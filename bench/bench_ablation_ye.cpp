@@ -1,0 +1,106 @@
+// Ablation B: SAMURAI vs the Ye et al. 2-stage equivalent-circuit
+// baseline (paper ref. [10]) on a *switching* gate bias.
+//
+// Both generators are set up to match the same trap at the high-bias
+// point. When the gate switches low, the physical trap freezes (its
+// capture/emission ratio collapses); SAMURAI tracks this, the white-noise
+// 2-stage generator cannot — it keeps producing stationary telegraph
+// activity. We also compare the cost per generated transition.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/ye_two_stage.hpp"
+#include "core/propensity.hpp"
+#include "core/uniformisation.hpp"
+#include "physics/srh_model.hpp"
+#include "physics/technology.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace samurai;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto tech = physics::technology(cli.get_string("node", "90nm"));
+  const physics::SrhModel srh(tech);
+  util::Rng rng(cli.get_seed("seed", 55));
+
+  // A trap resonant near 0.75 V_dd.
+  const physics::Trap trap{0.22 * tech.t_ox, 0.60, physics::TrapState::kEmpty};
+  const double v_high = 0.75 * tech.v_dd;
+  const auto p_high = srh.propensities(trap, v_high);
+  const double tau_empty = 1.0 / p_high.lambda_c;
+  const double tau_filled = 1.0 / p_high.lambda_e;
+
+  std::printf("=== Ablation B: SAMURAI vs Ye-style 2-stage baseline ===\n");
+  std::printf("trap at y=%.2f nm, E=%.2f eV; at V=%.2f V: τ_empty=%.3g s, "
+              "τ_filled=%.3g s\n\n",
+              trap.y_tr * 1e9, trap.e_tr, v_high, tau_empty, tau_filled);
+
+  // Square-wave gate: high for the first half, low for the second.
+  const double horizon = 4000.0 * std::max(tau_empty, tau_filled);
+  core::Pwl gate;
+  gate.append(0.0, v_high);
+  gate.append(0.5 * horizon * (1.0 - 1e-9), v_high);
+  gate.append(0.5 * horizon, 0.05 * tech.v_dd);
+
+  auto half_split = [&](const core::TrapTrajectory& traj, std::size_t& high,
+                        std::size_t& low) {
+    high = low = 0;
+    for (double t : traj.switch_times()) {
+      (t < 0.5 * horizon ? high : low)++;
+    }
+  };
+
+  util::Table table({"generator", "transitions V-high", "transitions V-low",
+                     "non-stationary?", "random draws", "draws per transition"});
+
+  // SAMURAI.
+  {
+    util::Rng samurai_rng = rng.split(1);
+    const core::BiasPropensity propensity(srh, trap, gate);
+    core::UniformisationStats stats;
+    const auto traj = core::simulate_trap(propensity, 0.0, horizon,
+                                          trap.init_state, samurai_rng, {},
+                                          &stats);
+    std::size_t high = 0, low = 0;
+    half_split(traj, high, low);
+    const double draws = 2.0 * static_cast<double>(stats.candidates);
+    table.add_row({std::string("SAMURAI (Alg. 1)"),
+                   static_cast<long long>(high), static_cast<long long>(low),
+                   std::string(low < high / 10 + 2 ? "yes (freezes)" : "NO"),
+                   draws,
+                   traj.num_switches() ? draws / traj.num_switches() : 0.0});
+  }
+
+  // Ye 2-stage, calibrated at the high-bias point.
+  {
+    util::Rng cal_rng = rng.split(2);
+    const auto params = baseline::calibrate_ye_two_stage(tau_empty, tau_filled,
+                                                         cal_rng);
+    util::Rng ye_rng = rng.split(3);
+    baseline::YeTwoStageStats stats;
+    const auto traj = baseline::ye_two_stage(params, 0.0, horizon,
+                                             trap.init_state, ye_rng, &stats);
+    std::size_t high = 0, low = 0;
+    half_split(traj, high, low);
+    table.add_row({std::string("Ye 2-stage (ref. [10])"),
+                   static_cast<long long>(high), static_cast<long long>(low),
+                   std::string(low < high / 10 + 2 ? "yes" : "NO (stationary)"),
+                   static_cast<double>(stats.samples),
+                   traj.num_switches()
+                       ? static_cast<double>(stats.samples) /
+                             static_cast<double>(traj.num_switches())
+                       : 0.0});
+  }
+  table.print(std::cout);
+
+  std::printf("\nExpected shape (paper §I-C): the 2-stage baseline keeps\n"
+              "toggling after the gate drops — it cannot express bias-\n"
+              "dependent statistics — and burns orders of magnitude more\n"
+              "random numbers per transition because the white-noise source\n"
+              "must be sampled far above the telegraph rate. SAMURAI\n"
+              "freezes with the gate and pays ~2 draws per candidate.\n");
+  return 0;
+}

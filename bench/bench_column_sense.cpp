@@ -1,0 +1,82 @@
+// Column-level read bench: RTN vs the sense margin. A transistor-level
+// SRAM column (shared floating bitlines, precharge, write drivers) runs a
+// read-heavy pattern; SAMURAI RTN injected into every cell transistor
+// slows the addressed cell's discharge path and eats into the
+// differential available at sense time — the array-level face of the
+// read-failure mechanism (paper ref. [16]) and the natural extension of
+// the paper's single-cell methodology to "entire SRAM arrays"
+// (future-work #3).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "sram/column.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace samurai;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  sram::ColumnConfig config;
+  config.tech = physics::technology(cli.get_string("node", "90nm"));
+  config.tech.v_dd = cli.get_double("vdd", 1.0);
+  config.num_cells = static_cast<std::size_t>(cli.get_int("cells", 4));
+  config.bitline_cap = cli.get_double("cbl", 120e-15);
+  config.initial_bits = {1, 0, 1, 0};
+  config.initial_bits.resize(config.num_cells, 0);
+  // A read-heavy pattern touching every cell twice.
+  for (std::size_t i = 0; i < config.num_cells; ++i) {
+    config.ops.push_back(sram::ColumnOp::read(i));
+  }
+  config.ops.push_back(sram::ColumnOp::write(0, 0));
+  config.ops.push_back(sram::ColumnOp::read(0));
+  for (std::size_t i = 1; i < config.num_cells; ++i) {
+    config.ops.push_back(sram::ColumnOp::read(i));
+  }
+
+  std::printf("=== Column read bench: sense margin under RTN ===\n");
+  std::printf("%s column, %zu cells, C_bl = %.0f fF, V_dd = %.2f V, %zu ops\n\n",
+              config.tech.name.c_str(), config.num_cells,
+              config.bitline_cap * 1e15, config.tech.v_dd, config.ops.size());
+
+  const auto seeds = static_cast<std::size_t>(cli.get_int("seeds", 4));
+  util::Table table({"RTN scale", "sense errors", "disturbs",
+                     "min margin (mV)", "mean margin (mV)",
+                     "worst margin loss vs nominal (mV)"});
+  std::vector<double> nominal_margins;
+  for (double scale : {0.0, 30.0, 120.0, 300.0, 600.0}) {
+    std::size_t sense_errors = 0, disturbs = 0;
+    double min_margin = config.tech.v_dd, margin_sum = 0.0, worst_loss = 0.0;
+    std::size_t margin_count = 0;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const auto result = run_column_rtn(config, 10 + s, scale);
+      const auto& reads = result.rtn_report.reads;
+      for (std::size_t i = 0; i < reads.size(); ++i) {
+        if (reads[i].sensed != reads[i].expected) ++sense_errors;
+        if (reads[i].disturbed) ++disturbs;
+        min_margin = std::min(min_margin, reads[i].sense_margin);
+        margin_sum += reads[i].sense_margin;
+        ++margin_count;
+        if (scale == 0.0) {
+          if (s == 0) nominal_margins.push_back(reads[i].sense_margin);
+        } else if (i < nominal_margins.size()) {
+          worst_loss = std::max(worst_loss,
+                                nominal_margins[i] - reads[i].sense_margin);
+        }
+      }
+      if (scale == 0.0) break;  // nominal is seed-independent
+    }
+    table.add_row({scale, static_cast<long long>(sense_errors),
+                   static_cast<long long>(disturbs), min_margin * 1e3,
+                   margin_sum / static_cast<double>(margin_count) * 1e3,
+                   worst_loss * 1e3});
+  }
+  table.print(std::cout);
+
+  std::printf("\nExpected shape: margins erode monotonically with the RTN\n"
+              "scale (trapped charge throttles the discharge path while the\n"
+              "bitline race is on); sense errors appear once the erosion\n"
+              "reaches the slot with the least nominal margin.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Extension bench (paper future-work #4): RTN impact on a ring
+// oscillator — period statistics with and without SAMURAI traces injected,
+// swept over the RTN amplitude scale.
+#include <cstdio>
+#include <iostream>
+
+#include "osc/ring.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace samurai;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  osc::RingConfig config;
+  config.tech = physics::technology(cli.get_string("node", "90nm"));
+  config.stages = static_cast<std::size_t>(cli.get_int("stages", 5));
+  // ~80 cycles is plenty for period statistics and keeps the RTN-injected
+  // transient (whose step size is limited by trap switch breakpoints)
+  // affordable.
+  config.t_stop = cli.get_double("t-stop", 12e-9);
+  const auto seed = cli.get_seed("seed", 5);
+
+  std::printf("=== Extension 4: ring-oscillator period under RTN ===\n");
+  std::printf("%s, %zu stages\n\n", config.tech.name.c_str(), config.stages);
+
+  util::Table table({"RTN scale", "cycles", "period (ps)", "jitter 1σ (ps)",
+                     "jitter (%)", "Δf (ppm)", "RTN transitions"});
+  for (double scale : {0.0, 30.0, 100.0, 300.0}) {
+    const auto result = osc::ring_rtn_analysis(config, seed, scale);
+    const auto& stats = scale == 0.0 ? result.nominal : result.with_rtn;
+    table.add_row({scale, static_cast<long long>(stats.cycles),
+                   stats.mean * 1e12, stats.stddev * 1e12,
+                   stats.mean > 0.0 ? 100.0 * stats.stddev / stats.mean : 0.0,
+                   scale == 0.0 ? 0.0 : result.frequency_shift_ppm,
+                   static_cast<long long>(scale == 0.0 ? 0 : result.rtn_switches)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nExpected shape: period jitter grows with the RTN scale and\n"
+              "the mean frequency shifts (trapped charge steals drive\n"
+              "current) — the RTN-on-ring-oscillator effect the paper's\n"
+              "conclusion cites.\n");
+  return 0;
+}

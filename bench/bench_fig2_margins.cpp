@@ -1,0 +1,85 @@
+// Reproduces the *shape* of paper Fig. 2: stacked V_dd-margin
+// contributions (static noise, parameter variation, NBTI, RTN) per CMOS
+// node, against the V_dd scaling line.
+//
+// The paper's figure uses proprietary Renesas measurements; here every
+// term is derived from this library's own technology cards and trap
+// physics (documented substitution, see DESIGN.md):
+//   variation: Pelgrom-style sigma_VT = A_vt / sqrt(W L), taken at 5 sigma
+//   NBTI:      threshold shift from the mean *filled* trap charge
+//   RTN:       threshold fluctuation from the active (switching) traps,
+//              sqrt(N_active) single-charge steps at 5 sigma
+// The headline behaviour — the RTN increment growing with scaling until
+// the stack crosses the V_dd line — emerges from q/(C_ox W L) scaling.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "physics/constants.hpp"
+#include "physics/srh_model.hpp"
+#include "physics/technology.hpp"
+#include "physics/trap_profile.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace samurai;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  util::Rng rng(cli.get_seed("seed", 12));
+  const double a_vt = cli.get_double("avt", 2.2e-9);  // V*m (2.2 mV*um)
+  const double sigmas = cli.get_double("sigmas", 5.0);
+
+  std::printf("=== Paper Fig. 2 (shape): V_dd margin stack per node ===\n\n");
+  util::Table table({"node", "V_dd (V)", "base (V)", "+variation (V)",
+                     "+NBTI (V)", "+RTN (V)", "total (V)", "RTN share (%)",
+                     "margin left (V)"});
+
+  for (const auto& name : physics::technology_nodes()) {
+    const auto tech = physics::technology(name);
+    const physics::SrhModel srh(tech);
+    const physics::MosGeometry geom{tech.w_min, tech.l_min};
+    const double area = geom.width * geom.length;
+    const double q_step = physics::kElementaryCharge / (tech.c_ox() * area);
+
+    // Static-noise base: the minimum supply that keeps the inverter pair
+    // regenerative; model as V_th + a fixed subthreshold-slope allowance.
+    const double base = tech.v_th0() + 8.0 * tech.phi_t();
+
+    // Variation: 5 sigma Pelgrom mismatch.
+    const double variation = sigmas * a_vt / std::sqrt(area);
+
+    // NBTI and RTN from the trap population, averaged over sampled devices.
+    double filled_mean = 0.0, active_mean = 0.0;
+    const int samples = 64;
+    for (int s = 0; s < samples; ++s) {
+      util::Rng device_rng = rng.split(static_cast<std::uint64_t>(s) + 1);
+      const auto traps = physics::sample_trap_profile(tech, geom, device_rng);
+      double filled = 0.0;
+      for (const auto& trap : traps) {
+        filled += srh.stationary_fill(trap, tech.v_dd);
+      }
+      filled_mean += filled;
+      active_mean += static_cast<double>(
+          physics::active_trap_count(srh, traps, tech.v_dd));
+    }
+    filled_mean /= samples;
+    active_mean /= samples;
+
+    const double nbti = 0.5 * filled_mean * q_step;  // mean trapped charge
+    const double rtn = sigmas * std::sqrt(std::max(active_mean, 0.25)) * q_step;
+    const double total = base + variation + nbti + rtn;
+
+    table.add_row({name, tech.v_dd, base, variation, nbti, rtn, total,
+                   100.0 * rtn / total, tech.v_dd - total});
+  }
+  table.print(std::cout);
+
+  std::printf("\nExpected shape (paper): the V_dd scaling line falls faster\n"
+              "than the margin stack shrinks; the RTN increment (q/C_ox·WL\n"
+              "per trapped electron) grows toward scaled nodes and is the\n"
+              "term that pushes the stack over the line — 'margin left'\n"
+              "turning negative at the most scaled nodes.\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Reproduces paper Fig. 3: spectral-density plots for 25 randomly sampled
+// devices in an old and a new CMOS technology, against the analytic 1/f
+// fit.
+//
+// In the old node (many traps per device) the 1/f aggregate is a good fit;
+// in the scaled node (~5-10 traps) individual Lorentzian corners dominate
+// and the 1/f fit fails — the paper's case for computational, trap-level
+// RTN analysis.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/rtn_generator.hpp"
+#include "physics/mos_device.hpp"
+#include "physics/srh_model.hpp"
+#include "physics/technology.hpp"
+#include "physics/trap_profile.hpp"
+#include "signal/analytic.hpp"
+#include "signal/resample.hpp"
+#include "signal/spectral.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/grid.hpp"
+#include "util/table.hpp"
+
+using namespace samurai;
+
+namespace {
+
+struct DeviceSpectrum {
+  std::size_t traps = 0;
+  std::size_t active = 0;
+  signal::Spectrum spectrum;
+  double one_over_f_error = 0.0;   ///< rms log10 error of the 1/f fit
+  double free_slope = 0.0;         ///< unconstrained power-law slope
+};
+
+DeviceSpectrum run_device(const physics::Technology& tech,
+                          const physics::SrhModel& srh,
+                          const physics::MosDevice& device, double v_bias,
+                          double horizon, util::Rng rng) {
+  DeviceSpectrum out;
+  physics::TrapProfileOptions profile;
+  profile.equilibrium_bias = v_bias;
+  const auto traps = physics::sample_trap_profile(tech, device.geometry(),
+                                                  rng, profile);
+  out.traps = traps.size();
+  out.active = physics::active_trap_count(srh, traps, v_bias);
+
+  core::RtnGeneratorOptions options;
+  options.tf = horizon;
+  options.envelope_samples = 8;
+  util::Rng trap_rng = rng.split(0xF00D);
+  const auto result = core::generate_device_rtn(
+      srh, device, traps, core::Pwl::constant(v_bias),
+      core::Pwl::constant(device.evaluate(v_bias, 0.5 * tech.v_dd).i_d),
+      trap_rng, options);
+
+  const std::size_t n = 1 << 16;
+  const auto record = signal::resample(result.n_filled, 0.0, horizon, n);
+  const double amp = core::rtn_amplitude(
+      device, v_bias, device.evaluate(v_bias, 0.5 * tech.v_dd).i_d);
+  std::vector<double> samples = record.samples;
+  for (auto& s : samples) s *= amp;
+  out.spectrum = signal::welch_psd(samples, record.dt, 4096);
+
+  // Fit over the resolved band, skipping the lowest (windowing-biased) and
+  // highest (aliasing) half-decades.
+  std::vector<double> freqs, density;
+  const double f_lo = 4.0 / horizon * 10.0;
+  const double f_hi = 0.25 / record.dt;
+  for (std::size_t k = 0; k < out.spectrum.frequencies.size(); ++k) {
+    const double f = out.spectrum.frequencies[k];
+    if (f < f_lo || f > f_hi || out.spectrum.density[k] <= 0.0) continue;
+    freqs.push_back(f);
+    density.push_back(out.spectrum.density[k]);
+  }
+  if (freqs.size() >= 8) {
+    out.one_over_f_error = signal::fit_power_law(freqs, density, true).rms_log_error;
+    out.free_slope = signal::fit_power_law(freqs, density, false).slope;
+  }
+  return out;
+}
+
+void run_node(const std::string& node, double horizon, std::size_t devices,
+              util::Rng& rng, bool plots) {
+  const auto tech = physics::technology(node);
+  const physics::SrhModel srh(tech);
+  const physics::MosDevice device(tech, physics::MosType::kNmos,
+                                  {tech.w_min, tech.l_min});
+  const double v_bias = 0.8 * tech.v_dd;
+
+  util::Table table({"device", "traps", "active", "1/f fit rms err (dec)",
+                     "free slope"});
+  double err_sum = 0.0, slope_sum = 0.0;
+  std::vector<util::Series> series;
+  for (std::size_t d = 0; d < devices; ++d) {
+    const auto result =
+        run_device(tech, srh, device, v_bias, horizon, rng.split(d + 1));
+    table.add_row({static_cast<long long>(d),
+                   static_cast<long long>(result.traps),
+                   static_cast<long long>(result.active),
+                   result.one_over_f_error, result.free_slope});
+    err_sum += result.one_over_f_error;
+    slope_sum += result.free_slope;
+    if (plots && d < 5) {
+      util::Series s;
+      s.name = "dev" + std::to_string(d);
+      for (std::size_t k = 0; k < result.spectrum.frequencies.size(); k += 6) {
+        s.x.push_back(result.spectrum.frequencies[k]);
+        s.y.push_back(result.spectrum.density[k]);
+      }
+      series.push_back(std::move(s));
+    }
+  }
+  std::printf("--- %s (%zu devices at V_gs = %.2f V) ---\n", node.c_str(),
+              devices, v_bias);
+  table.print(std::cout);
+  std::printf("mean 1/f fit rms error: %.3f decades, mean free slope: %.2f\n\n",
+              err_sum / static_cast<double>(devices),
+              slope_sum / static_cast<double>(devices));
+  if (plots) {
+    util::PlotOptions options;
+    options.title = "Fig. 3 (" + node + "): PSD of first 5 sampled devices";
+    options.x_label = "f (Hz)";
+    options.y_label = "A^2/Hz";
+    options.log_x = true;
+    options.log_y = true;
+    options.height = 14;
+    util::plot(std::cout, series, options);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto devices = static_cast<std::size_t>(cli.get_int("devices", 25));
+  util::Rng rng(cli.get_seed("seed", 33));
+  const bool plots = !cli.has("no-plots");
+
+  std::printf("=== Paper Fig. 3: 1/f fit quality, old vs scaled node ===\n\n");
+  // Old node: many traps -> 1/f aggregate. Shorter horizon keeps the
+  // (expensive, many-trap) old-node sweep tractable; the band still spans
+  // ~4 decades.
+  util::Rng rng_old = rng.split(1);
+  run_node(cli.get_string("old-node", "130nm"),
+           cli.get_double("horizon-old", 4e-5), devices, rng_old, plots);
+  util::Rng rng_new = rng.split(2);
+  run_node(cli.get_string("new-node", "22nm"),
+           cli.get_double("horizon-new", 2e-4), devices, rng_new, plots);
+
+  std::printf("Expected shape (paper): the old node's spectra hug a 1/f line\n"
+              "(small, uniform fit errors); the scaled node's spectra are\n"
+              "individual Lorentzian staircases with large, scattered 1/f\n"
+              "fit errors and wildly varying slopes.\n");
+  return 0;
+}

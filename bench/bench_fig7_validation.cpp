@@ -1,0 +1,223 @@
+// Reproduces paper Fig. 7 (a)-(f): validation of SAMURAI against the
+// analytic stationary-RTN expressions.
+//
+// Three sweeps — gate bias V_gs (a,d), trap energy E_tr (b,e) and trap
+// depth y_tr (c,f) — with the two non-swept parameters held at typical
+// values. For every configuration a long constant-bias trace is generated
+// with Algorithm 1; the measured autocorrelation R(τ) and PSD S(f) are
+// compared against the analytic exponential / Lorentzian laws, and the
+// thermal-noise floor S_th = (8/3) k T g_m is printed for context.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <numbers>
+
+#include "core/propensity.hpp"
+#include "core/uniformisation.hpp"
+#include "physics/mos_device.hpp"
+#include "physics/srh_model.hpp"
+#include "physics/technology.hpp"
+#include "signal/analytic.hpp"
+#include "signal/resample.hpp"
+#include "signal/spectral.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/cli.hpp"
+#include "util/grid.hpp"
+#include "util/table.hpp"
+
+using namespace samurai;
+
+namespace {
+
+struct Config {
+  std::string label;
+  physics::Trap trap;
+  double v_gs;
+};
+
+struct Measurement {
+  signal::Autocorrelation acf;
+  signal::Spectrum spectrum;
+  signal::RtsParams analytic;
+  double delta_i = 0.0;
+  double thermal_floor = 0.0;
+};
+
+Measurement measure(const physics::Technology& tech,
+                    const physics::SrhModel& srh,
+                    const physics::MosDevice& device, const Config& config,
+                    util::Rng& rng) {
+  Measurement m;
+  const auto p = srh.propensities(config.trap, config.v_gs);
+  const double total = p.lambda_c + p.lambda_e;
+  const auto op = device.evaluate(config.v_gs, 0.5 * tech.v_dd);
+  m.delta_i = std::abs(op.i_d) / std::max(device.carrier_count(config.v_gs), 1.0);
+  m.analytic = {p.lambda_c, p.lambda_e, m.delta_i};
+  m.thermal_floor = signal::thermal_noise_psd(tech.temperature, op.g_m);
+
+  const core::BiasPropensity propensity(srh, config.trap,
+                                        core::Pwl::constant(config.v_gs));
+  // The sampling grid must resolve the Lorentzian corner (dt ~ 0.1/Λ) and
+  // the record must hold enough Welch segments for a low-variance PSD, so
+  // fix dt·Λ ~ 0.1 and grow the record: 2^20 samples = 1e5 candidate
+  // events = 256+ Welch segments.
+  const double horizon = 1.0e5 / total;
+  const auto traj = core::simulate_trap(propensity, 0.0, horizon,
+                                        config.trap.init_state, rng);
+  const std::size_t n = 1 << 20;
+  auto record = signal::resample(traj, n);
+  for (auto& s : record.samples) s *= m.delta_i;
+  m.acf = signal::autocorrelation(record.samples, record.dt, true, true,
+                                  n / 16);
+  m.spectrum = signal::welch_psd(record.samples, record.dt, 4096);
+  return m;
+}
+
+void run_sweep(const char* title, const char* plot_tag_acf,
+               const char* plot_tag_psd, const physics::Technology& tech,
+               const physics::SrhModel& srh,
+               const physics::MosDevice& device,
+               const std::vector<Config>& configs, util::Rng& rng,
+               bool make_plots) {
+  util::Table table({"config", "corner f (Hz)", "R(0) sim/ana",
+                     "R(1/L) sim/ana", "S(fc/4) sim/ana", "S(fc) sim/ana",
+                     "S_thermal (A^2/Hz)"});
+  std::vector<util::Series> acf_series, psd_series;
+  std::size_t index = 0;
+  for (const auto& config : configs) {
+    util::Rng case_rng = rng.split(++index);
+    const auto m = measure(tech, srh, device, config, case_rng);
+    const double total = m.analytic.lambda_c + m.analytic.lambda_e;
+    const double corner = total / (2.0 * std::numbers::pi);
+
+    auto acf_at = [&](double tau) {
+      return util::interp_linear(m.acf.lags, m.acf.values, tau);
+    };
+    auto psd_at = [&](double f) {
+      return util::interp_linear(m.spectrum.frequencies, m.spectrum.density, f);
+    };
+    const double r0_ratio =
+        acf_at(0.0) / signal::rts_autocovariance(m.analytic, 0.0);
+    const double r1_ratio = acf_at(1.0 / total) /
+                            signal::rts_autocovariance(m.analytic, 1.0 / total);
+    const double s_low_ratio =
+        psd_at(corner / 4.0) / signal::rts_psd(m.analytic, corner / 4.0);
+    const double s_corner_ratio =
+        psd_at(corner) / signal::rts_psd(m.analytic, corner);
+    table.add_row({config.label, corner, r0_ratio, r1_ratio, s_low_ratio,
+                   s_corner_ratio, m.thermal_floor});
+
+    // Normalised overlay series for the figure plots.
+    util::Series acf_sim;
+    acf_sim.name = config.label;
+    for (std::size_t k = 0; k < m.acf.lags.size(); k += 32) {
+      const double tau = m.acf.lags[k];
+      if (tau * total > 5.0) break;
+      acf_sim.x.push_back(tau * total);  // lag in units of 1/Λ
+      acf_sim.y.push_back(m.acf.values[k] /
+                          signal::rts_autocovariance(m.analytic, 0.0));
+    }
+    acf_series.push_back(std::move(acf_sim));
+
+    util::Series psd_sim;
+    psd_sim.name = config.label;
+    for (std::size_t k = 0; k < m.spectrum.frequencies.size(); k += 8) {
+      psd_sim.x.push_back(m.spectrum.frequencies[k]);
+      psd_sim.y.push_back(m.spectrum.density[k]);
+    }
+    psd_series.push_back(std::move(psd_sim));
+  }
+  std::printf("%s\n", title);
+  table.print(std::cout);
+  std::printf("(ratios ~1 mean SAMURAI matches the analytic law; R ratios at\n"
+              " small lag, S ratios below and at the Lorentzian corner)\n\n");
+
+  if (make_plots) {
+    util::PlotOptions acf_options;
+    acf_options.title = std::string("Fig. 7") + plot_tag_acf +
+                        ": normalised R(τ·Λ), analytic = exp(-x)";
+    acf_options.x_label = "lag · Λ";
+    acf_options.y_label = "R/R(0)";
+    acf_options.height = 12;
+    // Analytic reference curve.
+    util::Series reference;
+    reference.name = "analytic exp(-x)";
+    for (double x : util::linspace(0.0, 5.0, 60)) {
+      reference.x.push_back(x);
+      reference.y.push_back(std::exp(-x));
+    }
+    std::vector<util::Series> acf_with_ref = acf_series;
+    acf_with_ref.push_back(reference);
+    util::plot(std::cout, acf_with_ref, acf_options);
+    std::printf("\n");
+
+    util::PlotOptions psd_options;
+    psd_options.title = std::string("Fig. 7") + plot_tag_psd +
+                        ": S(f) per configuration (Lorentzians)";
+    psd_options.x_label = "f (Hz)";
+    psd_options.y_label = "A^2/Hz";
+    psd_options.log_x = true;
+    psd_options.log_y = true;
+    psd_options.height = 14;
+    util::plot(std::cout, psd_series, psd_options);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto tech = physics::technology(cli.get_string("node", "90nm"));
+  const physics::SrhModel srh(tech);
+  const physics::MosDevice device(tech, physics::MosType::kNmos,
+                                  {2.0 * tech.w_min, tech.l_min});
+  util::Rng rng(cli.get_seed("seed", 7));
+  const bool plots = !cli.has("no-plots");
+
+  std::printf("=== Paper Fig. 7: SAMURAI vs analytic stationary RTN (%s) ===\n\n",
+              tech.name.c_str());
+
+  // Typical fixed values; each sweep is chosen so the trap stays
+  // observably bistable (β within a few decades of 1).
+  const double e_mid = 0.60;
+  const double y_mid = 0.22 * tech.t_ox;
+
+  // (a)/(d): sweep V_gs.
+  std::vector<Config> v_sweep;
+  for (double v : util::linspace(0.55 * tech.v_dd, 0.95 * tech.v_dd, 4)) {
+    char label[64];
+    std::snprintf(label, sizeof label, "Vgs=%.2fV", v);
+    v_sweep.push_back({label, {y_mid, e_mid, physics::TrapState::kEmpty}, v});
+  }
+  run_sweep("--- sweep V_gs (paper plots (a) and (d)) ---", "(a)", "(d)",
+            tech, srh, device, v_sweep, rng, plots);
+
+  // (b)/(e): sweep E_tr.
+  std::vector<Config> e_sweep;
+  for (double e : util::linspace(e_mid - 0.05, e_mid + 0.05, 4)) {
+    char label[64];
+    std::snprintf(label, sizeof label, "Etr=%.2feV", e);
+    e_sweep.push_back(
+        {label, {y_mid, e, physics::TrapState::kEmpty}, 0.75 * tech.v_dd});
+  }
+  run_sweep("--- sweep E_tr (paper plots (b) and (e)) ---", "(b)", "(e)",
+            tech, srh, device, e_sweep, rng, plots);
+
+  // (c)/(f): sweep y_tr.
+  std::vector<Config> y_sweep;
+  for (double frac : {0.10, 0.16, 0.22, 0.28}) {
+    char label[64];
+    std::snprintf(label, sizeof label, "y=%.2f*tox", frac);
+    y_sweep.push_back({label,
+                       {frac * tech.t_ox, e_mid, physics::TrapState::kEmpty},
+                       0.75 * tech.v_dd});
+  }
+  run_sweep("--- sweep y_tr (paper plots (c) and (f)) ---", "(c)", "(f)",
+            tech, srh, device, y_sweep, rng, plots);
+
+  std::printf("Expected shape (paper): simulated R(τ) and S(f) overlay the\n"
+              "analytic exponentials/Lorentzians across all three sweeps;\n"
+              "corner frequency moves with Λ(y_tr) and β(V_gs, E_tr).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Yield-estimation bench: naive Monte-Carlo vs mean-shift importance
+// sampling for the rare write failures the paper highlights ("extremely
+// rare events"). At the operating point used here the failure probability
+// sits far in the variation distribution's tail: naive sampling at
+// affordable counts sees nothing, while the biased estimator resolves the
+// probability with tight relative error from the same budget.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "sram/importance.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace samurai;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  sram::ImportanceConfig config;
+  config.cell.tech = physics::technology(cli.get_string("node", "90nm"));
+  config.cell.tech.v_dd = cli.get_double("vdd", 0.97);
+  config.cell.sizing.extra_node_cap = 40e-15;
+  config.cell.timing.period = 1e-9;
+  config.cell.ops = sram::ops_from_bits({1, 0});
+  config.cell.rtn_scale = cli.get_double("scale", 30.0);
+  config.sigma_vt = cli.get_double("sigma-vt", 0.03);
+  config.samples = static_cast<std::size_t>(cli.get_int("samples", 120));
+  config.seed = cli.get_seed("seed", 31);
+  config.with_rtn = !cli.has("nominal-only");
+
+  std::printf("=== Rare write-failure estimation: naive MC vs importance "
+              "sampling ===\n");
+  std::printf("%s at V_dd = %.2f V, sigma_VT = %.0f mV, RTN x%.0f, %zu "
+              "samples per estimator\n\n",
+              config.cell.tech.name.c_str(), config.cell.tech.v_dd,
+              config.sigma_vt * 1e3, config.cell.rtn_scale, config.samples);
+
+  util::Table table({"estimator", "mean shift (mV)", "failures seen",
+                     "P(fail) estimate", "std error", "ESS"});
+  // Naive.
+  {
+    const auto result = estimate_failure_probability(config);
+    table.add_row({std::string("naive Monte-Carlo"), 0.0,
+                   static_cast<long long>(result.failures_observed),
+                   result.failure_probability, result.standard_error,
+                   result.effective_sample_size});
+  }
+  // Mean-shift ladder toward the write-critical devices (pass gates).
+  for (double shift : {0.06, 0.09, 0.12}) {
+    sram::ImportanceConfig biased = config;
+    biased.shift = {{"M1", shift}, {"M2", shift}};
+    const auto result = estimate_failure_probability(biased);
+    table.add_row({std::string("importance (mean shift)"), shift * 1e3,
+                   static_cast<long long>(result.failures_observed),
+                   result.failure_probability, result.standard_error,
+                   result.effective_sample_size});
+  }
+  table.print(std::cout);
+
+  std::printf("\nExpected shape: the naive estimator sees zero failures\n"
+              "(its estimate collapses to 0 with no error information); the\n"
+              "biased estimators see tens of failures and resolve a tail\n"
+              "probability orders of magnitude below 1/samples. The price\n"
+              "is effective sample size — the estimates scatter within\n"
+              "their (wide) error bars at this budget, tightening as\n"
+              "samples grow and as the shift lands near the failure\n"
+              "boundary (the middle row).\n");
+  return 0;
+}

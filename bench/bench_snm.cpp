@@ -1,0 +1,70 @@
+// Static-noise-margin ablation: the stability-axis view of the paper's
+// Fig. 2 margin stack. For each node, the hold and read SNM at nominal
+// supply, and the read-SNM cost of a single trapped charge and of the
+// expected active RTN population (ΔV_th = q/(C_ox W L) per charge) —
+// showing how the per-charge cost explodes toward scaled nodes.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "physics/constants.hpp"
+#include "physics/srh_model.hpp"
+#include "physics/trap_profile.hpp"
+#include "sram/snm.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace samurai;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  util::Rng rng(cli.get_seed("seed", 4));
+
+  std::printf("=== SNM view of the RTN margin (cf. paper Fig. 2) ===\n\n");
+  util::Table table({"node", "V_dd (V)", "hold SNM (mV)", "read SNM (mV)",
+                     "dVth/charge (mV)", "read SNM loss, 1 charge (mV)",
+                     "loss at E[active traps] (mV)"});
+  for (const auto& node : physics::technology_nodes()) {
+    sram::SnmConfig config;
+    config.tech = physics::technology(node);
+    const double hold = sram::compute_snm(config).snm;
+    config.mode = sram::SnmMode::kRead;
+    const double read = sram::compute_snm(config).snm;
+
+    // Per-charge threshold shift on the read pull-down (M6 geometry).
+    const auto geom = sram::transistor_geometry(config.tech, config.sizing, 6);
+    const double q_step = physics::kElementaryCharge /
+                          (config.tech.c_ox() * geom.width * geom.length);
+    config.vth_shifts["M6"] = q_step;
+    const double read_one = sram::compute_snm(config).snm;
+
+    // Expected simultaneously-active trap count at V_dd (64 sampled
+    // devices), as sqrt(N) one-sigma charges on the pull-down.
+    const physics::SrhModel srh(config.tech);
+    double active = 0.0;
+    const int samples = 64;
+    for (int s = 0; s < samples; ++s) {
+      util::Rng device_rng = rng.split(static_cast<std::uint64_t>(s) + 1);
+      const auto traps =
+          physics::sample_trap_profile(config.tech, geom, device_rng);
+      active += static_cast<double>(
+          physics::active_trap_count(srh, traps, config.tech.v_dd));
+    }
+    active /= samples;
+    config.vth_shifts["M6"] = q_step * std::sqrt(std::max(active, 0.25));
+    const double read_active = sram::compute_snm(config).snm;
+
+    table.add_row({node, config.tech.v_dd, hold * 1e3, read * 1e3,
+                   q_step * 1e3, (read - read_one) * 1e3,
+                   (read - read_active) * 1e3});
+  }
+  table.print(std::cout);
+
+  std::printf("\nExpected shape: SNM shrinks with V_dd scaling while the\n"
+              "per-charge V_T step q/(C_ox W L) grows as the device area\n"
+              "shrinks — so the read-stability cost of the *same* trap\n"
+              "activity rises sharply toward scaled nodes, the mechanism\n"
+              "behind Fig. 2's growing RTN increment.\n");
+  return 0;
+}

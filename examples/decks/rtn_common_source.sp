@@ -1,0 +1,12 @@
+* Common-source amplifier with SAMURAI RTN on its transistor.
+* Run: ./netlist_sim examples/decks/rtn_common_source.sp --plot
+Vdd vdd 0 DC 1.2
+Vg  g   0 DC 0.55
+Rload vdd out 20k
+Cout out 0 5f
+M1 out g 0 0 nfet W=110n L=90n
+.model nfet nmos node=90nm
+.rtn M1 scale=30 seed=7
+.tran 20p 80n
+.print v(out)
+.end

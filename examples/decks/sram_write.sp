@@ -1,0 +1,20 @@
+* 6T SRAM cell write-1-then-write-0, with RTN on the pass gates.
+* Run: ./netlist_sim examples/decks/sram_write.sp --plot
+Vdd vdd 0 DC 1.2
+Vwl wl 0 PWL(0 0 0.4n 0 0.45n 1.2 1.4n 1.2 1.45n 0 2.4n 0 2.45n 1.2 3.4n 1.2 3.45n 0 4n 0)
+Vbl bl 0 PWL(0 1.2 2.0n 1.2 2.05n 0 3.6n 0 3.65n 1.2 4n 1.2)
+Vblb blb 0 PWL(0 1.2 0.1n 1.2 0.15n 0 1.6n 0 1.65n 1.2 4n 1.2)
+M1 bl wl q 0 nfet W=264n L=90n
+M2 blb wl qb 0 nfet W=264n L=90n
+M3 q qb vdd vdd pfet W=220n L=90n
+M4 qb q vdd vdd pfet W=220n L=90n
+M5 qb q 0 0 nfet W=440n L=90n
+M6 q qb 0 0 nfet W=440n L=90n
+.model nfet nmos node=90nm
+.model pfet pmos node=90nm
+.nodeset v(q)=0 v(qb)=1.2 v(vdd)=1.2 v(bl)=1.2 v(blb)=1.2
+.rtn M1 scale=30 seed=5
+.rtn M2 scale=30 seed=6
+.tran 5p 4n
+.print v(q) v(qb)
+.end

@@ -1,0 +1,94 @@
+// Trap spectroscopy: sweep a single trap's parameters (depth, energy,
+// bias), generate stationary RTN with SAMURAI, and tabulate the measured
+// dwell times and Lorentzian corner frequency against the analytic model —
+// the per-trap view behind the paper's Fig. 7 validation.
+//
+//   ./trap_spectroscopy [--node 90nm] [--sweep y|e|v] [--seed 3]
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <numbers>
+
+#include "core/propensity.hpp"
+#include "core/uniformisation.hpp"
+#include "physics/srh_model.hpp"
+#include "physics/technology.hpp"
+#include "util/cli.hpp"
+#include "util/grid.hpp"
+#include "util/table.hpp"
+
+using namespace samurai;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto tech = physics::technology(cli.get_string("node", "90nm"));
+  const std::string sweep = cli.get_string("sweep", "y");
+  util::Rng rng(cli.get_seed("seed", 3));
+  const physics::SrhModel srh(tech);
+
+  const double e_mid = 0.5 * (tech.trap_e_min + tech.trap_e_max);
+  const double v_mid = 0.75 * tech.v_dd;
+  const double y_mid = 0.3 * tech.t_ox;
+
+  struct Case {
+    physics::Trap trap;
+    double v_gs;
+    std::string label;
+  };
+  std::vector<Case> cases;
+  if (sweep == "y") {
+    for (double frac : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+      cases.push_back({{frac * tech.t_ox, e_mid, physics::TrapState::kEmpty},
+                       v_mid,
+                       "y=" + std::to_string(frac) + "*tox"});
+    }
+  } else if (sweep == "e") {
+    for (double e : util::linspace(e_mid - 0.08, e_mid + 0.08, 5)) {
+      cases.push_back({{y_mid, e, physics::TrapState::kEmpty}, v_mid,
+                       "E=" + std::to_string(e) + " eV"});
+    }
+  } else if (sweep == "v") {
+    for (double v : util::linspace(0.5 * tech.v_dd, 1.1 * tech.v_dd, 5)) {
+      cases.push_back({{y_mid, e_mid, physics::TrapState::kEmpty}, v,
+                       "V=" + std::to_string(v) + " V"});
+    }
+  } else {
+    std::fprintf(stderr, "unknown --sweep %s (use y, e or v)\n", sweep.c_str());
+    return 1;
+  }
+
+  util::Table table({"case", "lambda_c (1/s)", "lambda_e (1/s)",
+                     "tau_e meas/theory", "tau_f meas/theory",
+                     "corner f (Hz)", "P(fill) meas", "P(fill) theory"});
+  std::size_t index = 0;
+  for (const auto& c : cases) {
+    const auto p = srh.propensities(c.trap, c.v_gs);
+    const core::BiasPropensity propensity(srh, c.trap,
+                                          core::Pwl::constant(c.v_gs));
+    const double horizon = 3.0e4 / srh.total_rate(c.trap);
+    util::Rng case_rng = rng.split(++index);
+    const auto traj = core::simulate_trap(propensity, 0.0, horizon,
+                                          c.trap.init_state, case_rng);
+    const auto dwells = traj.dwell_times(true);
+    auto mean = [](const std::vector<double>& v) {
+      if (v.empty()) return 0.0;
+      double s = 0.0;
+      for (double d : v) s += d;
+      return s / static_cast<double>(v.size());
+    };
+    const double tau_e_ratio =
+        dwells.empty.empty() ? 0.0 : mean(dwells.empty) * p.lambda_c;
+    const double tau_f_ratio =
+        dwells.filled.empty() ? 0.0 : mean(dwells.filled) * p.lambda_e;
+    const double corner =
+        (p.lambda_c + p.lambda_e) / (2.0 * std::numbers::pi);
+    table.add_row({c.label, p.lambda_c, p.lambda_e, tau_e_ratio, tau_f_ratio,
+                   corner, traj.filled_fraction(),
+                   srh.stationary_fill(c.trap, c.v_gs)});
+  }
+  std::printf("Trap spectroscopy on %s (sweep '%s'); ratios ~1 mean the\n"
+              "generated dwell statistics match the analytic law.\n\n",
+              tech.name.c_str(), sweep.c_str());
+  table.print(std::cout);
+  return 0;
+}

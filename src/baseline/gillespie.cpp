@@ -1,0 +1,62 @@
+#include "baseline/gillespie.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace samurai::baseline {
+
+core::TrapTrajectory gillespie_stationary(double lambda_c, double lambda_e,
+                                          double t0, double tf,
+                                          physics::TrapState init_state,
+                                          util::Rng& rng) {
+  if (lambda_c < 0.0 || lambda_e < 0.0 || !(tf >= t0)) {
+    throw std::invalid_argument("gillespie_stationary: bad arguments");
+  }
+  std::vector<double> switches;
+  double t = t0;
+  physics::TrapState state = init_state;
+  for (;;) {
+    const double rate =
+        state == physics::TrapState::kEmpty ? lambda_c : lambda_e;
+    if (rate <= 0.0) break;  // absorbed
+    t += rng.exponential(rate);
+    if (t > tf) break;
+    switches.push_back(t);
+    state = toggled(state);
+  }
+  return core::TrapTrajectory(t0, tf, init_state, std::move(switches));
+}
+
+core::TrapTrajectory naive_time_stepped(const core::PropensityFunction& propensity,
+                                        double t0, double tf,
+                                        physics::TrapState init_state,
+                                        util::Rng& rng,
+                                        const NaiveOptions& options,
+                                        std::uint64_t* steps_taken) {
+  if (!(options.dt > 0.0) || !(tf >= t0)) {
+    throw std::invalid_argument("naive_time_stepped: bad arguments");
+  }
+  std::vector<double> switches;
+  physics::TrapState state = init_state;
+  std::uint64_t steps = 0;
+  for (double t = t0; t < tf; t += options.dt) {
+    ++steps;
+    const double step = std::min(options.dt, tf - t);
+    const auto p = propensity.at(t);
+    const double rate =
+        state == physics::TrapState::kEmpty ? p.lambda_c : p.lambda_e;
+    const double prob = std::min(rate * step, 1.0);  // first-order, biased
+    if (rng.bernoulli(prob)) {
+      const double t_switch = t + step;
+      if (t_switch <= tf && (switches.empty() || t_switch > switches.back())) {
+        switches.push_back(t_switch);
+        state = toggled(state);
+      }
+    }
+  }
+  if (steps_taken) *steps_taken = steps;
+  return core::TrapTrajectory(t0, tf, init_state, std::move(switches));
+}
+
+}  // namespace samurai::baseline

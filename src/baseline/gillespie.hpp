@@ -1,0 +1,42 @@
+// Baseline stochastic simulators that SAMURAI's uniformisation is compared
+// against in the ablation benches:
+//
+//  * `gillespie_stationary` — the classic SSA (Gillespie 1976) for a
+//    *time-homogeneous* two-state chain. Exact under constant bias; its
+//    inability to handle time-varying propensities is precisely the gap
+//    uniformisation closes.
+//  * `naive_time_stepped` — per-step Bernoulli switching with probability
+//    λ·Δt. Handles time variation but is biased O(Δt) and needs tiny steps
+//    for fast traps; the standard straw-man for exact methods.
+#pragma once
+
+#include <cstdint>
+
+#include "core/propensity.hpp"
+#include "core/trajectory.hpp"
+#include "physics/trap.hpp"
+#include "util/rng.hpp"
+
+namespace samurai::baseline {
+
+/// Exact SSA for constant propensities: dwell times are exponential with
+/// the current state's exit rate.
+core::TrapTrajectory gillespie_stationary(double lambda_c, double lambda_e,
+                                          double t0, double tf,
+                                          physics::TrapState init_state,
+                                          util::Rng& rng);
+
+struct NaiveOptions {
+  double dt = 1e-6;  ///< fixed step; switching prob is clamped at 1
+};
+
+/// First-order time-stepped simulation of a (possibly inhomogeneous)
+/// chain; switch events are placed at step boundaries.
+core::TrapTrajectory naive_time_stepped(const core::PropensityFunction& propensity,
+                                        double t0, double tf,
+                                        physics::TrapState init_state,
+                                        util::Rng& rng,
+                                        const NaiveOptions& options,
+                                        std::uint64_t* steps_taken = nullptr);
+
+}  // namespace samurai::baseline

@@ -1,0 +1,42 @@
+// Tau-leaping-style approximate accelerator for two-state chains.
+//
+// Uniformisation pays one candidate per 1/λ* of simulated time even when
+// nothing interesting happens. For a *slowly modulated* chain one can
+// instead leap over an interval τ treating the propensities as frozen and
+// drawing the state at t+τ from the analytic two-state transition kernel
+//
+//   P(filled at t+τ | state at t) given frozen (λc, λe)
+//
+// recording at most the *net* state change per leap. This is exact for
+// piecewise-constant propensities as long as only the endpoint state
+// matters, but it erases intra-leap toggles — fine for slow observers
+// (occupancy statistics), wrong for dwell-time statistics. The ablation
+// bench quantifies that trade-off against Algorithm 1.
+#pragma once
+
+#include <cstdint>
+
+#include "core/propensity.hpp"
+#include "core/trajectory.hpp"
+#include "util/rng.hpp"
+
+namespace samurai::baseline {
+
+struct TauLeapOptions {
+  double tau = 1e-6;  ///< leap length, s
+};
+
+/// Leap the chain over [t0, tf]; switch events are recorded at leap
+/// boundaries where the endpoint state changed (net toggles only).
+core::TrapTrajectory tau_leaping(const core::PropensityFunction& propensity,
+                                 double t0, double tf,
+                                 physics::TrapState init_state, util::Rng& rng,
+                                 const TauLeapOptions& options,
+                                 std::uint64_t* leaps_taken = nullptr);
+
+/// The frozen-rate endpoint-state transition probability: chance the chain
+/// is filled at t+tau given `filled_now`, with rates λc, λe.
+double two_state_transition_probability(double lambda_c, double lambda_e,
+                                        double tau, bool filled_now);
+
+}  // namespace samurai::baseline

@@ -1,0 +1,96 @@
+#include "baseline/ye_two_stage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace samurai::baseline {
+
+core::TrapTrajectory ye_two_stage(const YeTwoStageParams& params, double t0,
+                                  double tf, physics::TrapState init_state,
+                                  util::Rng& rng, YeTwoStageStats* stats) {
+  if (!(params.tau_filter > 0.0) ||
+      !(params.threshold_up > params.threshold_down) || !(tf >= t0)) {
+    throw std::invalid_argument("ye_two_stage: bad parameters");
+  }
+  const double dt = params.dt > 0.0 ? params.dt : params.tau_filter / 20.0;
+  // Exact OU update over one step: x' = ρ x + sqrt(1-ρ²) ξ, unit variance.
+  const double rho = std::exp(-dt / params.tau_filter);
+  const double noise_scale = std::sqrt(1.0 - rho * rho);
+
+  std::vector<double> switches;
+  physics::TrapState state = init_state;
+  double x = rng.normal();  // stationary start
+  std::uint64_t samples = 0;
+  for (double t = t0 + dt; t <= tf; t += dt) {
+    x = rho * x + noise_scale * rng.normal();
+    ++samples;
+    if (state == physics::TrapState::kEmpty && x > params.threshold_up) {
+      switches.push_back(std::min(t, tf));
+      state = physics::TrapState::kFilled;
+    } else if (state == physics::TrapState::kFilled &&
+               x < params.threshold_down) {
+      switches.push_back(std::min(t, tf));
+      state = physics::TrapState::kEmpty;
+    }
+  }
+  if (stats) {
+    stats->samples += samples;
+    stats->switches += switches.size();
+  }
+  return core::TrapTrajectory(t0, tf, init_state, std::move(switches));
+}
+
+YeTwoStageParams calibrate_ye_two_stage(double target_tau_empty,
+                                        double target_tau_filled,
+                                        util::Rng& rng,
+                                        double pilot_horizon_factor) {
+  if (!(target_tau_empty > 0.0) || !(target_tau_filled > 0.0)) {
+    throw std::invalid_argument("calibrate_ye_two_stage: bad targets");
+  }
+  YeTwoStageParams params;
+  // The filter must be much faster than the dwell times it generates.
+  params.tau_filter = 0.02 * std::min(target_tau_empty, target_tau_filled);
+  params.threshold_up = 1.5;
+  params.threshold_down = -1.5;
+
+  const double horizon =
+      pilot_horizon_factor * std::max(target_tau_empty, target_tau_filled);
+  auto measure = [&](const YeTwoStageParams& p, double& tau_e, double& tau_f) {
+    util::Rng pilot_rng = rng.split(0xCA11B8);
+    const auto traj = ye_two_stage(p, 0.0, horizon,
+                                   physics::TrapState::kEmpty, pilot_rng);
+    const auto dwells = traj.dwell_times(true);
+    auto mean = [](const std::vector<double>& v) {
+      if (v.empty()) return 0.0;
+      double s = 0.0;
+      for (double d : v) s += d;
+      return s / static_cast<double>(v.size());
+    };
+    tau_e = mean(dwells.empty);
+    tau_f = mean(dwells.filled);
+  };
+
+  // Raising a threshold makes the corresponding crossing exponentially
+  // rarer, so iterate in log space on each threshold independently.
+  for (int iter = 0; iter < 10; ++iter) {
+    double tau_e = 0.0, tau_f = 0.0;
+    measure(params, tau_e, tau_f);
+    if (tau_e <= 0.0) {
+      params.threshold_up *= 0.8;  // no up-crossings seen: lower the bar
+    } else {
+      const double err = std::log(tau_e / target_tau_empty);
+      params.threshold_up = std::max(0.2, params.threshold_up - 0.3 * err);
+    }
+    if (tau_f <= 0.0) {
+      params.threshold_down *= 0.8;
+    } else {
+      const double err = std::log(tau_f / target_tau_filled);
+      params.threshold_down = std::min(-0.2, params.threshold_down + 0.3 * err);
+    }
+  }
+  return params;
+}
+
+}  // namespace samurai::baseline

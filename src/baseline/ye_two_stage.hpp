@@ -1,0 +1,48 @@
+// Reimplementation of the comparison baseline of Ye, Wang & Cao
+// (ICCAD 2010, paper ref. [10]): an RTN-like telegraph waveform produced
+// by driving a 2-stage equivalent circuit — a first-order low-pass filter
+// (stage 1) feeding a hysteretic comparator (stage 2) — from an ideal
+// white-noise source.
+//
+// We model stage 1 as an Ornstein-Uhlenbeck process (the exact
+// continuous-time limit of white noise through an RC filter) sampled on a
+// fine grid, and stage 2 as a Schmitt trigger. Thresholds are calibrated
+// against target mean dwell times at a *fixed* bias; the method has no
+// mechanism to track bias-dependent statistics, which is the drawback the
+// paper calls out (§I-C) and which the ablation bench demonstrates.
+#pragma once
+
+#include <cstdint>
+
+#include "core/trajectory.hpp"
+#include "physics/trap.hpp"
+#include "util/rng.hpp"
+
+namespace samurai::baseline {
+
+struct YeTwoStageParams {
+  double tau_filter = 1e-7;    ///< stage-1 RC time constant, s
+  double threshold_up = 1.0;   ///< comparator goes "filled" above this
+  double threshold_down = -1.0;///< and "empty" below this
+  double dt = 0.0;             ///< sample step; 0 = tau_filter / 20
+};
+
+struct YeTwoStageStats {
+  std::uint64_t samples = 0;   ///< white-noise samples drawn (the cost)
+  std::uint64_t switches = 0;
+};
+
+/// Generate a telegraph trajectory over [t0, tf].
+core::TrapTrajectory ye_two_stage(const YeTwoStageParams& params, double t0,
+                                  double tf, physics::TrapState init_state,
+                                  util::Rng& rng,
+                                  YeTwoStageStats* stats = nullptr);
+
+/// Calibrate thresholds so the generated mean dwell times approximate the
+/// targets (seconds) at fixed bias, via secant iteration on pilot runs.
+YeTwoStageParams calibrate_ye_two_stage(double target_tau_empty,
+                                        double target_tau_filled,
+                                        util::Rng& rng,
+                                        double pilot_horizon_factor = 400.0);
+
+}  // namespace samurai::baseline

@@ -1,0 +1,82 @@
+#include "core/propensity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace samurai::core {
+
+ConstantPropensity::ConstantPropensity(double lambda_c, double lambda_e)
+    : p_{lambda_c, lambda_e} {
+  if (lambda_c < 0.0 || lambda_e < 0.0) {
+    throw std::invalid_argument("ConstantPropensity: negative rate");
+  }
+}
+
+physics::Propensities ConstantPropensity::at(double) const { return p_; }
+
+double ConstantPropensity::rate_bound(double, double) const {
+  return std::max(p_.lambda_c, p_.lambda_e);
+}
+
+FunctionalPropensity::FunctionalPropensity(std::function<double(double)> lambda_c,
+                                           std::function<double(double)> lambda_e,
+                                           double global_bound)
+    : lc_(std::move(lambda_c)), le_(std::move(lambda_e)), bound_(global_bound) {
+  if (!(bound_ > 0.0)) {
+    throw std::invalid_argument("FunctionalPropensity: bound must be positive");
+  }
+}
+
+physics::Propensities FunctionalPropensity::at(double t) const {
+  return {lc_(t), le_(t)};
+}
+
+double FunctionalPropensity::rate_bound(double, double) const { return bound_; }
+
+BiasPropensity::BiasPropensity(const physics::SrhModel& model,
+                               const physics::Trap& trap, const Pwl& v_gs,
+                               double max_bias_step) {
+  if (!(max_bias_step > 0.0)) {
+    throw std::invalid_argument("BiasPropensity: max_bias_step must be > 0");
+  }
+  total_rate_ = model.total_rate(trap);
+
+  // Refine the bias breakpoints so each segment's voltage change is below
+  // max_bias_step, then tabulate λ_c at every refined point.
+  std::vector<double> times;
+  if (v_gs.is_constant() || v_gs.times().size() < 2) {
+    times.push_back(v_gs.times().empty() ? 0.0 : v_gs.times().front());
+  } else {
+    const auto& ts = v_gs.times();
+    const auto& vs = v_gs.values();
+    times.push_back(ts.front());
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      const double dv = std::abs(vs[i] - vs[i - 1]);
+      const auto pieces = static_cast<std::size_t>(
+          std::max(1.0, std::ceil(dv / max_bias_step)));
+      for (std::size_t k = 1; k <= pieces; ++k) {
+        const double t = ts[i - 1] + (ts[i] - ts[i - 1]) *
+                                         static_cast<double>(k) /
+                                         static_cast<double>(pieces);
+        if (t > times.back()) times.push_back(t);
+      }
+    }
+  }
+
+  std::vector<double> lc;
+  lc.reserve(times.size());
+  for (double t : times) {
+    lc.push_back(model.propensities(trap, v_gs.eval(t)).lambda_c);
+  }
+  lambda_c_of_t_ = Pwl(std::move(times), std::move(lc));
+}
+
+physics::Propensities BiasPropensity::at(double t) const {
+  const double lc = std::clamp(lambda_c_of_t_.eval(t), 0.0, total_rate_);
+  return {lc, total_rate_ - lc};
+}
+
+double BiasPropensity::rate_bound(double, double) const { return total_rate_; }
+
+}  // namespace samurai::core

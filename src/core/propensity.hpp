@@ -1,0 +1,85 @@
+// Propensity functions for two-state time-inhomogeneous Markov chains.
+//
+// A `PropensityFunction` exposes λ_c(t), λ_e(t) and a certified upper
+// bound λ* over any window — the two ingredients Algorithm 1 needs. The
+// SRH-backed implementation (`BiasPropensity`) derives both from the
+// paper's Eqs. (1)-(2): the bound is *exact* because λ_c + λ_e is
+// constant in time for a physical trap (Eq. 1).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/waveform.hpp"
+#include "physics/srh_model.hpp"
+#include "physics/trap.hpp"
+
+namespace samurai::core {
+
+class PropensityFunction {
+ public:
+  virtual ~PropensityFunction() = default;
+
+  /// λ_c(t) and λ_e(t).
+  virtual physics::Propensities at(double t) const = 0;
+
+  /// A value λ* with λ* >= max(λ_c(t), λ_e(t)) for all t in [t0, t1].
+  /// Must be strictly positive when either propensity can be non-zero.
+  virtual double rate_bound(double t0, double t1) const = 0;
+};
+
+/// Time-invariant propensities: the stationary RTS of the validation
+/// experiments (paper §IV-A).
+class ConstantPropensity final : public PropensityFunction {
+ public:
+  ConstantPropensity(double lambda_c, double lambda_e);
+  physics::Propensities at(double t) const override;
+  double rate_bound(double t0, double t1) const override;
+
+ private:
+  physics::Propensities p_;
+};
+
+/// Propensities driven by arbitrary user functions plus an explicit bound;
+/// used by tests (e.g. sinusoidally modulated chains with known master-
+/// equation solutions).
+class FunctionalPropensity final : public PropensityFunction {
+ public:
+  FunctionalPropensity(std::function<double(double)> lambda_c,
+                       std::function<double(double)> lambda_e,
+                       double global_bound);
+  physics::Propensities at(double t) const override;
+  double rate_bound(double t0, double t1) const override;
+
+ private:
+  std::function<double(double)> lc_;
+  std::function<double(double)> le_;
+  double bound_;
+};
+
+/// SRH trap propensities under a time-varying gate bias V_gs(t).
+///
+/// Evaluating the surface-potential solve per candidate event would be
+/// wasteful (uniformisation of a shallow trap draws millions of
+/// candidates), so the propensities are precomputed at the bias
+/// breakpoints — refined so no segment's bias change exceeds
+/// `max_bias_step` — and linearly interpolated in time. The thinning bound
+/// Λ = λ_c + λ_e is exact regardless of interpolation error.
+class BiasPropensity final : public PropensityFunction {
+ public:
+  BiasPropensity(const physics::SrhModel& model, const physics::Trap& trap,
+                 const Pwl& v_gs, double max_bias_step = 0.01);
+
+  physics::Propensities at(double t) const override;
+  double rate_bound(double t0, double t1) const override;
+
+  /// The trap's constant total rate Λ (paper Eq. 1).
+  double total_rate() const noexcept { return total_rate_; }
+
+ private:
+  double total_rate_;
+  Pwl lambda_c_of_t_;  ///< interpolated λ_c(t); λ_e = Λ - λ_c
+};
+
+}  // namespace samurai::core

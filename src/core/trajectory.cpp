@@ -1,0 +1,107 @@
+#include "core/trajectory.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace samurai::core {
+
+TrapTrajectory::TrapTrajectory(double t0, double tf,
+                               physics::TrapState init_state,
+                               std::vector<double> switch_times)
+    : t0_(t0), tf_(tf), init_(init_state), switches_(std::move(switch_times)) {
+  if (!(tf_ >= t0_)) throw std::invalid_argument("TrapTrajectory: tf < t0");
+  double prev = t0_;
+  for (double t : switches_) {
+    if (!(t > prev) || t > tf_) {
+      throw std::invalid_argument(
+          "TrapTrajectory: switch times must be strictly increasing in (t0, tf]");
+    }
+    prev = t;
+  }
+}
+
+physics::TrapState TrapTrajectory::state_at(double t) const {
+  const auto it = std::upper_bound(switches_.begin(), switches_.end(), t);
+  const std::size_t toggles = static_cast<std::size_t>(it - switches_.begin());
+  return (toggles % 2 == 0) ? init_ : toggled(init_);
+}
+
+double TrapTrajectory::filled_fraction() const {
+  if (!(tf_ > t0_)) return 0.0;
+  double filled_time = 0.0;
+  double prev_t = t0_;
+  physics::TrapState state = init_;
+  for (double t : switches_) {
+    if (state == physics::TrapState::kFilled) filled_time += t - prev_t;
+    prev_t = t;
+    state = toggled(state);
+  }
+  if (state == physics::TrapState::kFilled) filled_time += tf_ - prev_t;
+  return filled_time / (tf_ - t0_);
+}
+
+TrapTrajectory::Dwells TrapTrajectory::dwell_times(bool exclude_censored) const {
+  Dwells dwells;
+  double prev_t = t0_;
+  physics::TrapState state = init_;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    const bool censored_left = (i == 0);
+    const double duration = switches_[i] - prev_t;
+    if (!(censored_left && exclude_censored)) {
+      (state == physics::TrapState::kEmpty ? dwells.empty : dwells.filled)
+          .push_back(duration);
+    }
+    prev_t = switches_[i];
+    state = toggled(state);
+  }
+  if (!exclude_censored) {
+    (state == physics::TrapState::kEmpty ? dwells.empty : dwells.filled)
+        .push_back(tf_ - prev_t);
+  }
+  return dwells;
+}
+
+StepTrace TrapTrajectory::to_step_trace() const {
+  std::vector<double> values;
+  values.reserve(switches_.size());
+  physics::TrapState state = init_;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    state = toggled(state);
+    values.push_back(state == physics::TrapState::kFilled ? 1.0 : 0.0);
+  }
+  return StepTrace(init_ == physics::TrapState::kFilled ? 1.0 : 0.0,
+                   switches_, std::move(values));
+}
+
+StepTrace aggregate_filled_count(const std::vector<TrapTrajectory>& trajectories) {
+  double initial = 0.0;
+  // Each switch toggles its trap, so the count delta alternates per trap
+  // starting from -/+1 according to the initial state.
+  std::multimap<double, int> deltas;
+  for (const auto& traj : trajectories) {
+    if (traj.initial_state() == physics::TrapState::kFilled) initial += 1.0;
+    int delta = traj.initial_state() == physics::TrapState::kFilled ? -1 : +1;
+    for (double t : traj.switch_times()) {
+      deltas.emplace(t, delta);
+      delta = -delta;
+    }
+  }
+  std::vector<double> times;
+  std::vector<double> values;
+  times.reserve(deltas.size());
+  values.reserve(deltas.size());
+  double count = initial;
+  for (const auto& [t, delta] : deltas) {
+    count += delta;
+    if (!times.empty() && times.back() == t) {
+      values.back() = count;  // coincident events collapse into one step
+    } else {
+      times.push_back(t);
+      values.push_back(count);
+    }
+  }
+  return StepTrace(initial, std::move(times), std::move(values));
+}
+
+}  // namespace samurai::core

@@ -1,0 +1,55 @@
+// Trap state trajectories: the output of Algorithm 1 for one trap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/waveform.hpp"
+#include "physics/trap.hpp"
+
+namespace samurai::core {
+
+/// The state history of one trap over [t0, tf]: the initial state plus the
+/// strictly increasing times at which it toggled. Compact (every event is a
+/// toggle, so states need not be stored) and exact (no sampling grid).
+class TrapTrajectory {
+ public:
+  TrapTrajectory() = default;
+  TrapTrajectory(double t0, double tf, physics::TrapState init_state,
+                 std::vector<double> switch_times);
+
+  double t0() const noexcept { return t0_; }
+  double tf() const noexcept { return tf_; }
+  physics::TrapState initial_state() const noexcept { return init_; }
+  const std::vector<double>& switch_times() const noexcept { return switches_; }
+  std::size_t num_switches() const noexcept { return switches_.size(); }
+
+  /// State at time t (right-continuous at switch instants).
+  physics::TrapState state_at(double t) const;
+
+  /// Fraction of [t0, tf] spent filled.
+  double filled_fraction() const;
+
+  /// Dwell durations, split by the state being dwelt in. The first and
+  /// last (censored) dwells are excluded when `exclude_censored` is true.
+  struct Dwells {
+    std::vector<double> empty;
+    std::vector<double> filled;
+  };
+  Dwells dwell_times(bool exclude_censored = true) const;
+
+  /// Render as a 0/1 StepTrace (for plotting / occupancy aggregation).
+  StepTrace to_step_trace() const;
+
+ private:
+  double t0_ = 0.0;
+  double tf_ = 0.0;
+  physics::TrapState init_ = physics::TrapState::kEmpty;
+  std::vector<double> switches_;
+};
+
+/// Aggregate per-trap trajectories into the device occupancy count
+/// N_filled(t) (the quantity plotted in paper Fig. 8 (b),(c)).
+StepTrace aggregate_filled_count(const std::vector<TrapTrajectory>& trajectories);
+
+}  // namespace samurai::core

@@ -1,0 +1,132 @@
+#include "core/uniformisation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace samurai::core {
+
+namespace {
+
+// Run the Algorithm-1 loop on [t0, tf] with a fixed bound, appending
+// accepted switch times. Returns the state at tf.
+physics::TrapState run_window(const PropensityFunction& propensity, double t0,
+                              double tf, physics::TrapState state,
+                              double lambda_star, util::Rng& rng,
+                              const UniformisationOptions& options,
+                              UniformisationStats* stats,
+                              std::vector<double>& switches) {
+  if (!(lambda_star >= 0.0) || !std::isfinite(lambda_star)) {
+    throw std::invalid_argument("uniformisation: invalid rate bound");
+  }
+  if (lambda_star == 0.0) return state;  // chain is frozen on this window
+
+  double curr_time = t0;
+  std::uint64_t candidates = 0;
+  for (;;) {
+    curr_time += rng.exponential(lambda_star);  // next candidate (line 7)
+    if (curr_time > tf) break;                  // horizon reached (line 9)
+    if (++candidates > options.max_candidates) {
+      throw std::runtime_error("uniformisation: candidate budget exceeded "
+                               "(bad bound or horizon?)");
+    }
+    const physics::Propensities p = propensity.at(curr_time);
+    const double lambda_next = state == physics::TrapState::kFilled
+                                   ? p.lambda_e   // line 11
+                                   : p.lambda_c;  // line 13
+    if (lambda_next > lambda_star * (1.0 + 1e-9)) {
+      throw std::runtime_error("uniformisation: propensity exceeds bound "
+                               "— thinning would be biased");
+    }
+    if (rng.uniform() < lambda_next / lambda_star) {  // line 15
+      switches.push_back(curr_time);
+      state = toggled(state);
+      if (stats) ++stats->accepted;
+    }
+  }
+  if (stats) stats->candidates += candidates;
+  return state;
+}
+
+}  // namespace
+
+TrapTrajectory simulate_trap(const PropensityFunction& propensity, double t0,
+                             double tf, physics::TrapState init_state,
+                             util::Rng& rng,
+                             const UniformisationOptions& options,
+                             UniformisationStats* stats) {
+  if (!(tf >= t0)) throw std::invalid_argument("simulate_trap: tf < t0");
+  const double bound =
+      (options.rate_bound ? *options.rate_bound : propensity.rate_bound(t0, tf)) *
+      options.bound_safety;
+  std::vector<double> switches;
+  run_window(propensity, t0, tf, init_state, bound, rng, options, stats, switches);
+  return TrapTrajectory(t0, tf, init_state, std::move(switches));
+}
+
+TrapTrajectory simulate_trap_windowed(const PropensityFunction& propensity,
+                                      double t0, double tf,
+                                      physics::TrapState init_state,
+                                      const std::vector<double>& window_boundaries,
+                                      util::Rng& rng,
+                                      const UniformisationOptions& options,
+                                      UniformisationStats* stats) {
+  if (!(tf >= t0)) throw std::invalid_argument("simulate_trap_windowed: tf < t0");
+  std::vector<double> switches;
+  physics::TrapState state = init_state;
+  double start = t0;
+  auto run_to = [&](double end) {
+    if (!(end > start)) return;
+    const double bound =
+        (options.rate_bound ? *options.rate_bound
+                            : propensity.rate_bound(start, end)) *
+        options.bound_safety;
+    state = run_window(propensity, start, end, state, bound, rng, options,
+                       stats, switches);
+    start = end;
+  };
+  for (double boundary : window_boundaries) {
+    if (boundary <= t0) continue;
+    if (boundary >= tf) break;
+    if (!(boundary > start)) {
+      throw std::invalid_argument(
+          "simulate_trap_windowed: boundaries must be strictly increasing");
+    }
+    run_to(boundary);
+  }
+  run_to(tf);
+  return TrapTrajectory(t0, tf, init_state, std::move(switches));
+}
+
+std::vector<double> master_equation_fill_probability(
+    const PropensityFunction& propensity, double t0, double tf,
+    double p_filled_0, std::size_t steps, std::vector<double>* grid) {
+  if (steps == 0) throw std::invalid_argument("master equation: steps == 0");
+  const double h = (tf - t0) / static_cast<double>(steps);
+  auto rhs = [&](double t, double p) {
+    const physics::Propensities pr = propensity.at(t);
+    return pr.lambda_c * (1.0 - p) - pr.lambda_e * p;
+  };
+  std::vector<double> out;
+  out.reserve(steps + 1);
+  if (grid) {
+    grid->clear();
+    grid->reserve(steps + 1);
+  }
+  double p = p_filled_0;
+  double t = t0;
+  out.push_back(p);
+  if (grid) grid->push_back(t);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double k1 = rhs(t, p);
+    const double k2 = rhs(t + 0.5 * h, p + 0.5 * h * k1);
+    const double k3 = rhs(t + 0.5 * h, p + 0.5 * h * k2);
+    const double k4 = rhs(t + h, p + h * k3);
+    p += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    t = t0 + static_cast<double>(i + 1) * h;
+    out.push_back(p);
+    if (grid) grid->push_back(t);
+  }
+  return out;
+}
+
+}  // namespace samurai::core

@@ -1,0 +1,124 @@
+#include "core/waveform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace samurai::core {
+
+Pwl::Pwl(std::vector<double> times, std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  if (times_.size() != values_.size()) {
+    throw std::invalid_argument("Pwl: times/values size mismatch");
+  }
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (!(times_[i] > times_[i - 1])) {
+      throw std::invalid_argument("Pwl: times must be strictly increasing");
+    }
+  }
+}
+
+Pwl Pwl::constant(double value) { return Pwl({0.0}, {value}); }
+
+void Pwl::append(double t, double v) {
+  if (!times_.empty() && !(t > times_.back())) {
+    throw std::invalid_argument("Pwl::append: non-increasing time");
+  }
+  times_.push_back(t);
+  values_.push_back(v);
+}
+
+double Pwl::eval(double t) const {
+  if (times_.empty()) return 0.0;
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  // Forward-sweep hint: transient loops evaluate at increasing t, so the
+  // containing segment is almost always hint_ or hint_+1.
+  std::size_t i = hint_;
+  if (i >= times_.size() - 1 || times_[i] > t) i = 0;
+  if (t >= times_[i] && i + 1 < times_.size() && t <= times_[i + 1]) {
+    // fall through with current i
+  } else if (i + 2 < times_.size() && t >= times_[i + 1] && t <= times_[i + 2]) {
+    ++i;
+  } else {
+    const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+    i = static_cast<std::size_t>(it - times_.begin()) - 1;
+  }
+  hint_ = i;
+  const double span = times_[i + 1] - times_[i];
+  const double alpha = (t - times_[i]) / span;
+  return values_[i] + alpha * (values_[i + 1] - values_[i]);
+}
+
+std::vector<double> Pwl::sample(std::span<const double> grid) const {
+  std::vector<double> out;
+  out.reserve(grid.size());
+  for (double t : grid) out.push_back(eval(t));
+  return out;
+}
+
+Pwl Pwl::scaled(double factor) const {
+  Pwl out = *this;
+  for (auto& v : out.values_) v *= factor;
+  return out;
+}
+
+StepTrace::StepTrace(double initial_value, std::vector<double> times,
+                     std::vector<double> values)
+    : initial_(initial_value), times_(std::move(times)), values_(std::move(values)) {
+  if (times_.size() != values_.size()) {
+    throw std::invalid_argument("StepTrace: times/values size mismatch");
+  }
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (!(times_[i] > times_[i - 1])) {
+      throw std::invalid_argument("StepTrace: times must be strictly increasing");
+    }
+  }
+}
+
+double StepTrace::eval(double t) const {
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return initial_;
+  return values_[static_cast<std::size_t>(it - times_.begin()) - 1];
+}
+
+std::vector<double> StepTrace::sample(std::span<const double> grid) const {
+  std::vector<double> out;
+  out.reserve(grid.size());
+  for (double t : grid) out.push_back(eval(t));
+  return out;
+}
+
+double StepTrace::time_average(double t0, double t1) const {
+  if (!(t1 > t0)) throw std::invalid_argument("StepTrace::time_average: t1 <= t0");
+  double integral = 0.0;
+  double prev_t = t0;
+  double prev_v = eval(t0);
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] <= t0) continue;
+    if (times_[i] >= t1) break;
+    integral += prev_v * (times_[i] - prev_t);
+    prev_t = times_[i];
+    prev_v = values_[i];
+  }
+  integral += prev_v * (t1 - prev_t);
+  return integral / (t1 - t0);
+}
+
+void StepTrace::to_paper_arrays(double t0, double t1, std::vector<double>& times,
+                                std::vector<double>& states) const {
+  times.clear();
+  states.clear();
+  times.push_back(t0);
+  states.push_back(eval(t0));
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] <= t0 || times_[i] >= t1) continue;
+    times.push_back(times_[i]);
+    states.push_back(states.back());  // value just before the step
+    times.push_back(times_[i]);
+    states.push_back(values_[i]);     // value just after the step
+  }
+  times.push_back(t1);
+  states.push_back(eval(t1));
+}
+
+}  // namespace samurai::core

@@ -1,0 +1,180 @@
+#include "dram/vrt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "baseline/gillespie.hpp"
+#include "core/trajectory.hpp"
+#include "physics/constants.hpp"
+#include "physics/trap_profile.hpp"
+
+namespace samurai::dram {
+
+namespace {
+
+/// Slope factor n φ_t of the access device's subthreshold swing.
+double subthreshold_swing(const physics::Technology& tech) {
+  const double n =
+      1.0 + tech.gamma_body() / (2.0 * std::sqrt(2.0 * tech.phi_f()));
+  return n * tech.phi_t();
+}
+
+}  // namespace
+
+double leakage_current(const physics::MosDevice& device, double v,
+                       double filled_mean_field, double filled_defects,
+                       double tat_strength) {
+  const auto& tech = device.tech();
+  // Subthreshold channel leakage with WL = 0; the stored node is the
+  // drain. Never negative (the diode-like model can cross zero at v ~ 0).
+  const double base = std::max(device.evaluate(0.0, v).i_d, 0.0);
+  const double delta_vth =
+      physics::kElementaryCharge /
+      (tech.c_ox() * device.geometry().width * device.geometry().length);
+  const double channel = base * std::exp(-(filled_mean_field + filled_defects) *
+                                         delta_vth / subthreshold_swing(tech));
+  // Each filled slow defect opens a trap-assisted-tunnelling path.
+  return channel * (1.0 + tat_strength * filled_defects);
+}
+
+VrtDeviceResult simulate_device_retention(const VrtConfig& config,
+                                          util::Rng& rng, std::size_t trials) {
+  VrtDeviceResult result;
+  physics::Technology tech = config.tech;
+  tech.trap_e_min = config.trap_e_min;
+  tech.trap_e_max = config.trap_e_max;
+  const physics::MosGeometry geom =
+      config.access_geometry.width > 0.0
+          ? config.access_geometry
+          : physics::MosGeometry{tech.w_min, tech.l_min};
+  const physics::MosDevice device(tech, physics::MosType::kNmos, geom);
+  const physics::SrhModel srh(tech);
+
+  util::Rng profile_rng = rng.split(1);
+  result.traps = physics::sample_trap_profile(tech, geom, profile_rng);
+
+  const double v0 = config.v_initial > 0.0 ? config.v_initial : tech.v_dd;
+  const double v_sense = config.v_sense > 0.0 ? config.v_sense : 0.5 * v0;
+  if (!(v_sense < v0) || !(config.storage_cap > 0.0)) {
+    throw std::invalid_argument("simulate_device_retention: bad cell spec");
+  }
+
+  // Precompute per-trap stationary propensities at the (constant) off-state
+  // bias. Traps that would switch thousands of times within t_max only
+  // contribute their *average* occupancy to the leakage (mean field); the
+  // slow traps — the ones whose individual toggles produce VRT — are
+  // simulated discretely.
+  struct TrapRates {
+    double lambda_c, lambda_e, p_fill;
+    bool discrete;
+  };
+  std::vector<TrapRates> rates;
+  rates.reserve(result.traps.size());
+  double mean_field_filled = 0.0;
+  for (const auto& trap : result.traps) {
+    auto p = srh.propensities(trap, 0.0);
+    p.lambda_c /= config.defect_slowdown;
+    p.lambda_e /= config.defect_slowdown;
+    TrapRates r{p.lambda_c, p.lambda_e,
+                p.lambda_c / std::max(p.lambda_c + p.lambda_e, 1e-300), true};
+    const double expected_switches =
+        2.0 * p.lambda_c * p.lambda_e /
+        std::max(p.lambda_c + p.lambda_e, 1e-300) * config.t_max;
+    if (expected_switches > 500.0) {
+      r.discrete = false;
+      mean_field_filled += r.p_fill;
+    }
+    rates.push_back(r);
+  }
+
+  result.trials.reserve(trials);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    util::Rng trial_rng = rng.split(100 + trial);
+    // Equilibrium initial occupancy, then per-trap exact trajectories
+    // (stationary propensities -> Gillespie is exact), merged into a
+    // filled-count step trace lazily as we integrate.
+    std::vector<core::TrapTrajectory> trajectories;
+    trajectories.reserve(result.traps.size());
+    std::size_t switches = 0;
+    for (std::size_t i = 0; i < result.traps.size(); ++i) {
+      if (!rates[i].discrete) continue;
+      util::Rng trap_rng = trial_rng.split(i + 1);
+      const auto init = trap_rng.bernoulli(rates[i].p_fill)
+                            ? physics::TrapState::kFilled
+                            : physics::TrapState::kEmpty;
+      auto traj = baseline::gillespie_stationary(
+          rates[i].lambda_c, rates[i].lambda_e, 0.0, config.t_max, init,
+          trap_rng);
+      switches += traj.num_switches();
+      if (switches > config.max_trap_switches) {
+        throw std::runtime_error(
+            "simulate_device_retention: trap switch budget exceeded");
+      }
+      trajectories.push_back(std::move(traj));
+    }
+    const auto filled_count = core::aggregate_filled_count(trajectories);
+
+    // Integrate C dV/dt = -I_leak(V, filled(t)) between occupancy events.
+    RetentionTrial outcome;
+    outcome.trap_switches = switches;
+    double v = v0;
+    double t = 0.0;
+    double filled_integral = 0.0;
+    std::size_t event_index = 0;
+    const auto& event_times = filled_count.times();
+    while (t < config.t_max && v > v_sense) {
+      const double next_event = event_index < event_times.size()
+                                    ? event_times[event_index]
+                                    : config.t_max;
+      const double filled_defects = filled_count.eval(t);
+      double segment_end = std::min(next_event, config.t_max);
+      // Adaptive sub-steps inside the segment: dt such that dV per step is
+      // small relative to the remaining swing.
+      while (t < segment_end && v > v_sense) {
+        const double i_leak =
+            leakage_current(device, v, mean_field_filled, filled_defects,
+                            config.tat_strength);
+        if (i_leak <= 0.0) {
+          t = segment_end;  // nothing flows: jump to the next event
+          break;
+        }
+        double dt = 0.01 * config.storage_cap * (v0 - v_sense) / i_leak;
+        dt = std::min(dt, segment_end - t);
+        v -= i_leak * dt / config.storage_cap;
+        filled_integral += (mean_field_filled + filled_defects) * dt;
+        t += dt;
+      }
+      if (t >= next_event) ++event_index;
+    }
+    outcome.retention_time = v <= v_sense ? t : config.t_max;
+    outcome.mean_filled = t > 0.0 ? filled_integral / t : 0.0;
+    result.trials.push_back(outcome);
+  }
+
+  result.retention_min = result.trials.front().retention_time;
+  result.retention_max = result.trials.front().retention_time;
+  for (const auto& trial : result.trials) {
+    result.retention_min = std::min(result.retention_min, trial.retention_time);
+    result.retention_max = std::max(result.retention_max, trial.retention_time);
+  }
+  result.vrt_ratio = result.retention_min > 0.0
+                         ? result.retention_max / result.retention_min
+                         : 1.0;
+  return result;
+}
+
+std::vector<VrtDeviceResult> simulate_population(const VrtConfig& config,
+                                                 util::Rng& rng,
+                                                 std::size_t devices,
+                                                 std::size_t trials) {
+  std::vector<VrtDeviceResult> population;
+  population.reserve(devices);
+  for (std::size_t d = 0; d < devices; ++d) {
+    util::Rng device_rng = rng.split(d + 1);
+    population.push_back(simulate_device_retention(config, device_rng, trials));
+  }
+  return population;
+}
+
+}  // namespace samurai::dram

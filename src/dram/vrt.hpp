@@ -1,0 +1,89 @@
+// DRAM Variable Retention Time (VRT) analysis — the other circuit family
+// the paper's conclusion points RTN at (refs [22], [23]: VRT is caused by
+// a single defect toggling the cell's leakage between two levels).
+//
+// Model: a 1T1C cell stores V_dd on C_s; with the wordline low the charge
+// leaks through the access transistor's subthreshold channel toward the
+// grounded bitline. Each *filled* trap in the access device shifts its
+// threshold by q/(C_ox W L), suppressing the leakage by
+// exp(-ΔV_th/(n φ_t)). Traps toggle as stationary two-state chains (the
+// off-state gate bias is constant), so the retention time — how long the
+// stored level stays above the sense threshold — jumps between discrete
+// values as the dominant slow trap toggles: exactly the bimodal VRT
+// signature reported for DRAMs.
+//
+// The trap energy window here is the module's own (defaults 0.10-0.45 eV
+// above E_i): VRT defects sit near the junction/GIDL region and are
+// resonant around V_gs ~ 0, unlike the channel traps of the SRAM studies
+// (documented substitution, see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "physics/mos_device.hpp"
+#include "physics/srh_model.hpp"
+#include "physics/technology.hpp"
+#include "physics/trap.hpp"
+#include "util/rng.hpp"
+
+namespace samurai::dram {
+
+struct VrtConfig {
+  physics::Technology tech;
+  physics::MosGeometry access_geometry{0.0, 0.0};  ///< 0 = tech minimum
+  double storage_cap = 25e-15;  ///< C_s, F
+  double v_initial = 0.0;       ///< 0 = tech.v_dd
+  double v_sense = 0.0;         ///< retention threshold; 0 = v_initial/2
+  double trap_e_min = 0.10;     ///< VRT-defect energy window, eV vs E_i
+  double trap_e_max = 0.45;
+  /// VRT defects are metastable structural defects (ref. [23]: a silicon
+  /// vacancy-oxygen complex) with thermally activated reconfiguration —
+  /// far slower than channel-trap tunnelling. Both propensities of the
+  /// module's traps are divided by this factor (β, i.e. the occupancy
+  /// statistics, is preserved; only the timescale stretches).
+  double defect_slowdown = 3e3;
+  /// A *filled* defect opens a trap-assisted-tunnelling leakage path
+  /// through the storage junction: the leakage is multiplied by
+  /// (1 + tat_strength) per filled slow defect. Values of 1-5 reproduce
+  /// the 2-10x retention toggling reported for VRT cells.
+  double tat_strength = 1.5;
+  double t_max = 30.0;          ///< give up after this many seconds
+  std::size_t max_trap_switches = 200000;
+};
+
+struct RetentionTrial {
+  double retention_time = 0.0;  ///< s (t_max if the cell never decayed)
+  std::size_t trap_switches = 0;
+  double mean_filled = 0.0;     ///< time-averaged filled-trap count
+};
+
+struct VrtDeviceResult {
+  std::vector<physics::Trap> traps;
+  std::vector<RetentionTrial> trials;
+  double retention_min = 0.0;
+  double retention_max = 0.0;
+  /// max/min retention across trials: > ~1.3 marks a VRT-affected cell.
+  double vrt_ratio = 1.0;
+};
+
+/// Leakage current (A) of the cell at storage voltage `v`:
+/// subthreshold channel leakage suppressed by the mean trapped charge
+/// (`filled_mean_field`, fractional) and multiplied by the trap-assisted
+/// junction path opened by each filled slow defect (`filled_defects`).
+double leakage_current(const physics::MosDevice& device, double v,
+                       double filled_mean_field, double filled_defects,
+                       double tat_strength);
+
+/// Run `trials` independent discharge experiments on one sampled device.
+VrtDeviceResult simulate_device_retention(const VrtConfig& config,
+                                          util::Rng& rng, std::size_t trials);
+
+/// Population study: sample `devices` cells, `trials` discharges each;
+/// returns per-device results (the VRT-affected fraction is the headline).
+std::vector<VrtDeviceResult> simulate_population(const VrtConfig& config,
+                                                 util::Rng& rng,
+                                                 std::size_t devices,
+                                                 std::size_t trials);
+
+}  // namespace samurai::dram

@@ -1,0 +1,184 @@
+#include "osc/ring.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rtn_generator.hpp"
+#include "physics/srh_model.hpp"
+#include "physics/trap_profile.hpp"
+#include "spice/devices.hpp"
+#include "sram/methodology.hpp"
+#include "util/rng.hpp"
+
+namespace samurai::osc {
+
+RingBuild build_ring(spice::Circuit& circuit, const RingConfig& config) {
+  if (config.stages < 3 || config.stages % 2 == 0) {
+    throw std::invalid_argument("build_ring: stages must be odd and >= 3");
+  }
+  RingBuild build;
+  build.vdd_node = "vdd";
+  const int vdd = circuit.node(build.vdd_node);
+  spice::VoltageSource::dc(circuit, "Vdd", vdd, spice::kGround,
+                           config.tech.v_dd);
+
+  build.stage_nodes.reserve(config.stages);
+  for (std::size_t s = 0; s < config.stages; ++s) {
+    build.stage_nodes.push_back("n" + std::to_string(s));
+  }
+  const double load =
+      config.load_cap > 0.0
+          ? config.load_cap
+          : 2.0 * config.tech.c_ox() * config.tech.w_min * config.tech.l_min;
+  for (std::size_t s = 0; s < config.stages; ++s) {
+    const int in = circuit.node(build.stage_nodes[(s + config.stages - 1) %
+                                                  config.stages]);
+    const int out = circuit.node(build.stage_nodes[s]);
+    physics::MosDevice nmos(
+        config.tech, physics::MosType::kNmos,
+        {config.width_mult_n * config.tech.w_min, config.tech.l_min});
+    physics::MosDevice pmos(
+        config.tech, physics::MosType::kPmos,
+        {config.width_mult_p * config.tech.w_min, config.tech.l_min});
+    circuit.add<spice::Mosfet>("MN" + std::to_string(s), out, in,
+                               spice::kGround, spice::kGround, std::move(nmos));
+    circuit.add<spice::Mosfet>("MP" + std::to_string(s), out, in, vdd, vdd,
+                               std::move(pmos));
+    circuit.add<spice::Capacitor>("CL" + std::to_string(s), out,
+                                  spice::kGround, load);
+  }
+  // Symmetry-breaking kick: without it the DC solve can settle on the
+  // metastable all-stages-at-midrail point and the noiseless transient
+  // would sit there forever. A brief current pulse into stage 0 starts
+  // the oscillation deterministically.
+  core::Pwl kick;
+  kick.append(0.0, 0.0);
+  kick.append(10e-12, 50e-6);
+  kick.append(150e-12, 50e-6);
+  kick.append(160e-12, 0.0);
+  circuit.add<spice::CurrentSource>("Ikick", spice::kGround,
+                                    circuit.node(build.stage_nodes[0]), kick);
+  return build;
+}
+
+std::vector<double> rising_crossings(const core::Pwl& waveform,
+                                     double threshold) {
+  std::vector<double> crossings;
+  const auto& ts = waveform.times();
+  const auto& vs = waveform.values();
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    if (vs[i - 1] < threshold && vs[i] >= threshold) {
+      const double alpha = (threshold - vs[i - 1]) / (vs[i] - vs[i - 1]);
+      crossings.push_back(ts[i - 1] + alpha * (ts[i] - ts[i - 1]));
+    }
+  }
+  return crossings;
+}
+
+PeriodStats period_statistics(const std::vector<double>& crossings,
+                              std::size_t skip_cycles) {
+  PeriodStats stats;
+  if (crossings.size() < skip_cycles + 2) return stats;
+  for (std::size_t i = skip_cycles + 1; i < crossings.size(); ++i) {
+    stats.periods.push_back(crossings[i] - crossings[i - 1]);
+  }
+  stats.cycles = stats.periods.size();
+  double sum = 0.0;
+  for (double p : stats.periods) sum += p;
+  stats.mean = sum / static_cast<double>(stats.cycles);
+  double ss = 0.0;
+  for (double p : stats.periods) {
+    const double d = p - stats.mean;
+    ss += d * d;
+  }
+  stats.stddev = stats.cycles > 1
+                     ? std::sqrt(ss / static_cast<double>(stats.cycles - 1))
+                     : 0.0;
+  return stats;
+}
+
+namespace {
+
+spice::TransientOptions ring_transient_options(const RingConfig& config,
+                                               const RingBuild& build) {
+  spice::TransientOptions options;
+  options.t_start = 0.0;
+  options.t_stop = config.t_stop > 0.0
+                       ? config.t_stop
+                       : 50.0 * static_cast<double>(config.stages) * 2.0e-10;
+  options.dt_max = options.t_stop / 4000.0;
+  // Kick the ring out of its metastable DC point: alternate the stage
+  // nodesets; with an odd stage count one edge is frustrated and the ring
+  // starts oscillating.
+  for (std::size_t s = 0; s < build.stage_nodes.size(); ++s) {
+    options.dc.nodeset[build.stage_nodes[s]] =
+        (s % 2 == 0) ? 0.0 : config.tech.v_dd;
+  }
+  return options;
+}
+
+}  // namespace
+
+RingRtnResult ring_rtn_analysis(const RingConfig& config, std::uint64_t seed,
+                                double rtn_scale) {
+  RingRtnResult result;
+  const double threshold = 0.5 * config.tech.v_dd;
+
+  // Nominal run.
+  spice::Circuit nominal;
+  const RingBuild build = build_ring(nominal, config);
+  const auto options = ring_transient_options(config, build);
+  const auto nominal_run = spice::transient(nominal, options);
+  result.nominal = period_statistics(
+      rising_crossings(nominal_run.voltage(build.stage_nodes[0]), threshold));
+
+  // SAMURAI traces for every transistor of every stage.
+  const physics::SrhModel srh(config.tech);
+  util::Rng rng(seed);
+  spice::Circuit noisy;
+  const RingBuild noisy_build = build_ring(noisy, config);
+
+  std::uint64_t device_tag = 0;
+  for (std::size_t s = 0; s < config.stages; ++s) {
+    for (const char* prefix : {"MN", "MP"}) {
+      const std::string name = prefix + std::to_string(s);
+      auto* source_fet = nominal.find<spice::Mosfet>(name);
+      auto* target_fet = noisy.find<spice::Mosfet>(name);
+      if (source_fet == nullptr || target_fet == nullptr) continue;
+      ++device_tag;
+
+      core::Pwl v_gs, i_d;
+      sram::extract_bias(nominal_run, nominal, *source_fet, v_gs, i_d);
+
+      util::Rng profile_rng = rng.split(device_tag * 101);
+      const auto traps = physics::sample_trap_profile(
+          config.tech, source_fet->model().geometry(), profile_rng);
+      physics::MosDevice equivalent(config.tech, physics::MosType::kNmos,
+                                    source_fet->model().geometry());
+      core::RtnGeneratorOptions gen;
+      gen.t0 = 0.0;
+      gen.tf = options.t_stop;
+      gen.amplitude_scale = rtn_scale;
+      gen.envelope_samples = 256;
+      util::Rng trap_rng = rng.split(device_tag * 977 + 13);
+      auto device_rtn = core::generate_device_rtn(srh, equivalent, traps, v_gs,
+                                                  i_d, trap_rng, gen);
+      result.rtn_switches += device_rtn.stats.accepted;
+      noisy.add<spice::CurrentSource>("Irtn_" + name, target_fet->drain(),
+                                      target_fet->source(),
+                                      device_rtn.i_rtn.scaled(-1.0));
+    }
+  }
+
+  const auto noisy_run = spice::transient(noisy, options);
+  result.with_rtn = period_statistics(rising_crossings(
+      noisy_run.voltage(noisy_build.stage_nodes[0]), threshold));
+  if (result.nominal.mean > 0.0 && result.with_rtn.mean > 0.0) {
+    result.frequency_shift_ppm =
+        (1.0 / result.with_rtn.mean - 1.0 / result.nominal.mean) /
+        (1.0 / result.nominal.mean) * 1e6;
+  }
+  return result;
+}
+
+}  // namespace samurai::osc

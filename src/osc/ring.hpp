@@ -1,0 +1,65 @@
+// Ring-oscillator RTN analysis (paper future-work direction #4: "RTN is
+// also known to impact ring oscillators").
+//
+// Builds an odd-stage CMOS inverter ring, runs a transient, extracts the
+// oscillation period from threshold crossings, and measures how injected
+// RTN currents modulate the period (period jitter / frequency shift).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/waveform.hpp"
+#include "physics/technology.hpp"
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+
+namespace samurai::osc {
+
+struct RingConfig {
+  physics::Technology tech;
+  std::size_t stages = 5;     ///< odd
+  double width_mult_n = 2.0;  ///< NMOS width, × w_min
+  double width_mult_p = 4.0;  ///< PMOS width, × w_min
+  double t_stop = 0.0;        ///< 0 = auto (enough for ~40 periods)
+  double load_cap = 0.0;      ///< extra per-stage load, F (0 = auto)
+};
+
+struct RingBuild {
+  std::vector<std::string> stage_nodes;  ///< output node of each stage
+  std::string vdd_node;
+};
+
+/// Build the ring into `circuit` (supply source included).
+RingBuild build_ring(spice::Circuit& circuit, const RingConfig& config);
+
+struct PeriodStats {
+  std::size_t cycles = 0;
+  double mean = 0.0;    ///< s
+  double stddev = 0.0;  ///< s
+  std::vector<double> periods;
+};
+
+/// Rising-edge crossing times of `waveform` through `threshold`.
+std::vector<double> rising_crossings(const core::Pwl& waveform,
+                                     double threshold);
+
+/// Period statistics from successive rising crossings, discarding the
+/// first `skip_cycles` (startup).
+PeriodStats period_statistics(const std::vector<double>& crossings,
+                              std::size_t skip_cycles = 4);
+
+struct RingRtnResult {
+  PeriodStats nominal;
+  PeriodStats with_rtn;
+  double frequency_shift_ppm = 0.0;
+  std::uint64_t rtn_switches = 0;
+};
+
+/// Run the ring twice — without RTN and with SAMURAI traces injected into
+/// every transistor (amplitude-scaled by `rtn_scale`) — and compare
+/// period statistics.
+RingRtnResult ring_rtn_analysis(const RingConfig& config, std::uint64_t seed,
+                                double rtn_scale);
+
+}  // namespace samurai::osc

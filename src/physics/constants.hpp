@@ -1,0 +1,20 @@
+// Physical constants (SI) used across the trap-physics and device models.
+#pragma once
+
+namespace samurai::physics {
+
+inline constexpr double kElementaryCharge = 1.602176634e-19;  ///< C
+inline constexpr double kBoltzmann = 1.380649e-23;            ///< J/K
+inline constexpr double kBoltzmannEv = 8.617333262e-5;        ///< eV/K
+inline constexpr double kEps0 = 8.8541878128e-12;             ///< F/m
+inline constexpr double kEpsSiRel = 11.7;                     ///< silicon
+inline constexpr double kEpsOxRel = 3.9;                      ///< SiO2
+inline constexpr double kRoomTemperature = 300.0;             ///< K
+inline constexpr double kIntrinsicSi = 1.0e16;                ///< n_i at 300K, m^-3
+
+/// Thermal voltage kT/q in volts at temperature T (kelvin).
+constexpr double thermal_voltage(double temperature_k) {
+  return kBoltzmannEv * temperature_k;
+}
+
+}  // namespace samurai::physics

@@ -1,0 +1,64 @@
+// DC MOSFET model shared by the circuit simulator and by Eq. 3's
+// I_RTN computation: an EKV-style single-expression interpolation that is
+// smooth from subthreshold to strong inversion (crucial both for Newton
+// convergence in SPICE and for evaluating trap statistics across the full
+// gate swing of an SRAM cell).
+#pragma once
+
+#include "physics/technology.hpp"
+
+namespace samurai::physics {
+
+enum class MosType { kNmos, kPmos };
+
+struct MosGeometry {
+  double width;   ///< m
+  double length;  ///< m
+};
+
+struct MosOperatingPoint {
+  double i_d;    ///< drain current, A (positive into drain for NMOS)
+  double g_m;    ///< dI/dVgs, S
+  double g_ds;   ///< dI/dVds, S
+  double g_mb;   ///< dI/dVbs, S (simplified body effect)
+  double n_inv;  ///< inversion carrier areal density at source end, 1/m^2
+};
+
+class MosDevice {
+ public:
+  /// `v_th_shift` adds to the threshold magnitude (local variation; used
+  /// by the SRAM-array Monte-Carlo analysis).
+  MosDevice(const Technology& tech, MosType type, MosGeometry geom,
+            double v_th_shift = 0.0);
+
+  /// Evaluate the DC model. Voltages are the device's own terminal
+  /// voltages (for PMOS pass the physical voltages; the model mirrors
+  /// internally). `v_bs` shifts the threshold via a linearised body effect.
+  MosOperatingPoint evaluate(double v_gs, double v_ds, double v_bs = 0.0) const;
+
+  /// Inversion carrier areal density (1/m^2) at gate bias v_gs — the N in
+  /// paper Eq. 3. Smooth exponential-to-linear interpolation, never zero.
+  double carrier_density(double v_gs) const;
+
+  /// Total inversion carrier count W·L·N (denominator of paper Eq. 3).
+  double carrier_count(double v_gs) const;
+
+  /// Transconductance at bias, used for the thermal-noise floor
+  /// S_thermal = (8/3) k T g_m (paper §IV-A).
+  double transconductance(double v_gs, double v_ds) const;
+
+  double v_th() const noexcept { return v_th_; }
+  const MosGeometry& geometry() const noexcept { return geom_; }
+  MosType type() const noexcept { return type_; }
+  const Technology& tech() const noexcept { return tech_; }
+
+ private:
+  Technology tech_;
+  MosType type_;
+  MosGeometry geom_;
+  double v_th_;      ///< |V_th| of the device
+  double mobility_;  ///< carrier mobility
+  double slope_n_;   ///< subthreshold slope factor n
+};
+
+}  // namespace samurai::physics

@@ -1,0 +1,21 @@
+// A single oxide trap: position, energy and initial occupancy.
+#pragma once
+
+#include <cstdint>
+
+namespace samurai::physics {
+
+/// Trap occupancy states of the two-state Markov chain (paper Fig. 6).
+enum class TrapState : std::uint8_t { kEmpty = 0, kFilled = 1 };
+
+constexpr TrapState toggled(TrapState s) {
+  return s == TrapState::kEmpty ? TrapState::kFilled : TrapState::kEmpty;
+}
+
+struct Trap {
+  double y_tr;               ///< depth into the oxide from the Si interface, m
+  double e_tr;               ///< energy at flat-band, eV relative to E_i
+  TrapState init_state = TrapState::kEmpty;
+};
+
+}  // namespace samurai::physics

@@ -1,0 +1,55 @@
+#include "physics/trap_profile.hpp"
+
+#include <cmath>
+
+#include "physics/constants.hpp"
+
+namespace samurai::physics {
+
+double expected_trap_count(const Technology& tech, const MosGeometry& geom) {
+  return tech.trap_density * geom.width * geom.length * tech.t_ox;
+}
+
+std::vector<Trap> sample_trap_profile(const Technology& tech,
+                                      const MosGeometry& geom, util::Rng& rng,
+                                      const TrapProfileOptions& options) {
+  const std::size_t count =
+      options.fixed_count ? *options.fixed_count
+                          : static_cast<std::size_t>(
+                                rng.poisson(expected_trap_count(tech, geom)));
+  std::vector<Trap> traps;
+  traps.reserve(count);
+  // Depths below ~0.05 t_ox give sub-nanosecond τ's that are below any
+  // circuit timescale of interest; we keep them anyway (they are cheap for
+  // uniformisation because Λ is per-trap) but bound away from exactly 0.
+  const double y_min = 0.02 * tech.t_ox;
+  for (std::size_t i = 0; i < count; ++i) {
+    Trap trap;
+    trap.y_tr = rng.uniform(y_min, tech.t_ox);
+    trap.e_tr = rng.uniform(tech.trap_e_min, tech.trap_e_max);
+    trap.init_state = TrapState::kEmpty;
+    traps.push_back(trap);
+  }
+  if (options.equilibrium_bias) {
+    const SrhModel model(tech);
+    for (auto& trap : traps) {
+      const double p_fill = model.stationary_fill(trap, *options.equilibrium_bias);
+      trap.init_state = rng.bernoulli(p_fill) ? TrapState::kFilled
+                                              : TrapState::kEmpty;
+    }
+  }
+  return traps;
+}
+
+std::size_t active_trap_count(const SrhModel& model,
+                              const std::vector<Trap>& traps, double v_gs,
+                              double window_kt) {
+  const double kt = kBoltzmannEv * model.tech().temperature;
+  std::size_t active = 0;
+  for (const auto& trap : traps) {
+    if (std::abs(model.trap_fermi_gap(trap, v_gs)) <= window_kt * kt) ++active;
+  }
+  return active;
+}
+
+}  // namespace samurai::physics

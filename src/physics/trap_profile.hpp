@@ -1,0 +1,47 @@
+// Statistical trap profiling (substitute for paper ref. [6], Dunga's
+// model, and measured profiles of ref. [7]).
+//
+// The number of oxide traps in a device is Poisson with mean
+// N_ot · W · L · t_ox (trap_density already folds in the energy window);
+// each trap's depth y_tr is uniform in the oxide and its flat-band energy
+// E_tr is uniform within the card's window. Initial occupancy is drawn
+// from the stationary distribution at a chosen reference bias so traces
+// start in statistical equilibrium.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "physics/mos_device.hpp"
+#include "physics/srh_model.hpp"
+#include "physics/technology.hpp"
+#include "physics/trap.hpp"
+#include "util/rng.hpp"
+
+namespace samurai::physics {
+
+struct TrapProfileOptions {
+  /// If set, override the Poisson draw with an exact trap count.
+  std::optional<std::size_t> fixed_count;
+  /// Bias at which initial occupancies are equilibrated; if unset, traps
+  /// start empty (as after a long off period).
+  std::optional<double> equilibrium_bias;
+};
+
+/// Expected trap count for a device geometry under a technology card.
+double expected_trap_count(const Technology& tech, const MosGeometry& geom);
+
+/// Sample a trap population for one device instance.
+std::vector<Trap> sample_trap_profile(const Technology& tech,
+                                      const MosGeometry& geom,
+                                      util::Rng& rng,
+                                      const TrapProfileOptions& options = {});
+
+/// Count traps that are "active" at bias v_gs: within `window_kt` kT of
+/// resonance (|E_T - E_F| small enough that both dwell times are
+/// observable). Matches the paper's "5-10 active traps" diagnostic.
+std::size_t active_trap_count(const SrhModel& model,
+                              const std::vector<Trap>& traps, double v_gs,
+                              double window_kt = 3.0);
+
+}  // namespace samurai::physics

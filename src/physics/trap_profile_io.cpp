@@ -1,0 +1,75 @@
+#include "physics/trap_profile_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace samurai::physics {
+
+void write_trap_profile(std::ostream& os, const std::vector<Trap>& traps) {
+  os << "# SAMURAI trap profile v1\n";
+  os << "# y_tr(nm)  E_tr(eV)  init(0|1)\n";
+  os << std::setprecision(9);
+  for (const auto& trap : traps) {
+    os << trap.y_tr * 1e9 << "  " << trap.e_tr << "  "
+       << (trap.init_state == TrapState::kFilled ? 1 : 0) << "\n";
+  }
+}
+
+void write_trap_profile_file(const std::string& path,
+                             const std::vector<Trap>& traps) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  write_trap_profile(os, traps);
+}
+
+std::vector<Trap> read_trap_profile(std::istream& is) {
+  std::vector<Trap> traps;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    double y_nm = 0.0, e_tr = 0.0;
+    if (!(fields >> y_nm)) continue;  // blank / comment-only line
+    if (!(fields >> e_tr)) {
+      throw std::runtime_error("trap profile line " +
+                               std::to_string(line_number) +
+                               ": expected 'y_tr E_tr [init]'");
+    }
+    int init = 0;
+    if (fields >> init && init != 0 && init != 1) {
+      throw std::runtime_error("trap profile line " +
+                               std::to_string(line_number) +
+                               ": init must be 0 or 1");
+    }
+    std::string leftover;
+    if (fields >> leftover) {
+      throw std::runtime_error("trap profile line " +
+                               std::to_string(line_number) +
+                               ": trailing garbage '" + leftover + "'");
+    }
+    if (!(y_nm > 0.0)) {
+      throw std::runtime_error("trap profile line " +
+                               std::to_string(line_number) +
+                               ": depth must be positive");
+    }
+    Trap trap;
+    trap.y_tr = y_nm * 1e-9;
+    trap.e_tr = e_tr;
+    trap.init_state = init ? TrapState::kFilled : TrapState::kEmpty;
+    traps.push_back(trap);
+  }
+  return traps;
+}
+
+std::vector<Trap> read_trap_profile_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return read_trap_profile(is);
+}
+
+}  // namespace samurai::physics

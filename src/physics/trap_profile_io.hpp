@@ -1,0 +1,34 @@
+// Trap-profile persistence: the paper's methodology takes trap profiles
+// either from the statistical model or "from measurement data [7]". This
+// module defines the on-disk interchange format for measured profiles —
+// a commented text format with one trap per line:
+//
+//   # SAMURAI trap profile v1
+//   # y_tr(nm)  E_tr(eV)  init(0|1)
+//   0.412  0.563  0
+//   1.103  0.731  1
+//
+// so measured populations can be fed into every analysis that accepts a
+// std::vector<Trap>.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "physics/trap.hpp"
+
+namespace samurai::physics {
+
+/// Serialise a trap population (depths printed in nm for readability).
+void write_trap_profile(std::ostream& os, const std::vector<Trap>& traps);
+void write_trap_profile_file(const std::string& path,
+                             const std::vector<Trap>& traps);
+
+/// Parse a trap profile; throws std::runtime_error with a line number on
+/// malformed input. Comment lines start with '#'; blank lines are ignored;
+/// the init column is optional (defaults to empty).
+std::vector<Trap> read_trap_profile(std::istream& is);
+std::vector<Trap> read_trap_profile_file(const std::string& path);
+
+}  // namespace samurai::physics

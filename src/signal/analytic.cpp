@@ -1,0 +1,92 @@
+#include "signal/analytic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "physics/constants.hpp"
+
+namespace samurai::signal {
+
+double rts_fill_probability(const RtsParams& p) {
+  const double total = p.lambda_c + p.lambda_e;
+  if (!(total > 0.0)) throw std::invalid_argument("rts: zero total rate");
+  return p.lambda_c / total;
+}
+
+double rts_variance(const RtsParams& p) {
+  const double fill = rts_fill_probability(p);
+  return p.delta_i * p.delta_i * fill * (1.0 - fill);
+}
+
+double rts_autocovariance(const RtsParams& p, double tau) {
+  return rts_variance(p) * std::exp(-(p.lambda_c + p.lambda_e) * std::abs(tau));
+}
+
+double rts_psd(const RtsParams& p, double frequency) {
+  const double total = p.lambda_c + p.lambda_e;
+  const double omega = 2.0 * std::numbers::pi * frequency;
+  return 4.0 * rts_variance(p) * total / (total * total + omega * omega);
+}
+
+double multi_rts_psd(const std::vector<RtsParams>& traps, double frequency) {
+  double sum = 0.0;
+  for (const auto& trap : traps) sum += rts_psd(trap, frequency);
+  return sum;
+}
+
+double multi_rts_autocovariance(const std::vector<RtsParams>& traps, double tau) {
+  double sum = 0.0;
+  for (const auto& trap : traps) sum += rts_autocovariance(trap, tau);
+  return sum;
+}
+
+double thermal_noise_psd(double temperature_k, double transconductance) {
+  return (8.0 / 3.0) * physics::kBoltzmann * temperature_k * transconductance;
+}
+
+PowerLawFit fit_power_law(const std::vector<double>& freqs,
+                          const std::vector<double>& psd,
+                          bool constrain_slope_to_one) {
+  if (freqs.size() != psd.size() || freqs.size() < 2) {
+    throw std::invalid_argument("fit_power_law: bad inputs");
+  }
+  // Fit log10 S = a - b log10 f by least squares over positive samples.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (!(freqs[i] > 0.0) || !(psd[i] > 0.0)) continue;
+    const double x = std::log10(freqs[i]);
+    const double y = std::log10(psd[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) throw std::invalid_argument("fit_power_law: too few positive points");
+  const double dn = static_cast<double>(n);
+  PowerLawFit fit;
+  if (constrain_slope_to_one) {
+    fit.slope = 1.0;
+    fit.amplitude = std::pow(10.0, (sy + sx) / dn);
+  } else {
+    const double denom = dn * sxx - sx * sx;
+    if (std::abs(denom) < 1e-30) throw std::runtime_error("fit_power_law: singular");
+    const double b = -(dn * sxy - sx * sy) / denom;
+    const double a = (sy + b * sx) / dn;
+    fit.slope = b;
+    fit.amplitude = std::pow(10.0, a);
+  }
+  double ss = 0.0;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (!(freqs[i] > 0.0) || !(psd[i] > 0.0)) continue;
+    const double model = std::log10(fit.amplitude) - fit.slope * std::log10(freqs[i]);
+    const double r = std::log10(psd[i]) - model;
+    ss += r * r;
+  }
+  fit.rms_log_error = std::sqrt(ss / dn);
+  return fit;
+}
+
+}  // namespace samurai::signal

@@ -1,0 +1,54 @@
+// Closed-form stationary RTN expressions (paper refs [3], [5]) that the
+// validation experiments compare against, plus the thermal-noise floor and
+// the aggregate-1/f model used in Fig. 3.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace samurai::signal {
+
+/// Stationary two-state RTS with capture rate λ_c (empty→filled),
+/// emission rate λ_e (filled→empty) and current step ΔI (amps added while
+/// the trap is filled).
+struct RtsParams {
+  double lambda_c;  ///< 1/s
+  double lambda_e;  ///< 1/s
+  double delta_i;   ///< A
+};
+
+/// Stationary filled probability λ_c / (λ_c + λ_e).
+double rts_fill_probability(const RtsParams& p);
+
+/// Variance of the stationary RTS current, ΔI² p (1-p).
+double rts_variance(const RtsParams& p);
+
+/// Autocovariance R(τ) = ΔI² p(1-p) e^{-(λ_c+λ_e)|τ|}.
+double rts_autocovariance(const RtsParams& p, double tau);
+
+/// One-sided Lorentzian PSD
+///   S(f) = 4 ΔI² p(1-p) Λ / (Λ² + (2πf)²),  Λ = λ_c + λ_e,
+/// normalised so ∫_0^∞ S df = variance.
+double rts_psd(const RtsParams& p, double frequency);
+
+/// Superposition of independent RTSs (total PSD of a multi-trap device at
+/// fixed bias; used for the analytical curves of Fig. 3).
+double multi_rts_psd(const std::vector<RtsParams>& traps, double frequency);
+double multi_rts_autocovariance(const std::vector<RtsParams>& traps, double tau);
+
+/// Thermal-noise PSD floor S_thermal = (8/3) k T g_m (paper §IV-A).
+double thermal_noise_psd(double temperature_k, double transconductance);
+
+/// Least-squares fit of log10 S = log10 K - slope·log10 f over the given
+/// points; returns {K, slope}. With slope constrained to 1 this is the
+/// analytic 1/f fit of Fig. 3.
+struct PowerLawFit {
+  double amplitude;  ///< K such that S(f) ≈ K / f^slope
+  double slope;
+  double rms_log_error;  ///< RMS residual in decades
+};
+PowerLawFit fit_power_law(const std::vector<double>& freqs,
+                          const std::vector<double>& psd,
+                          bool constrain_slope_to_one = false);
+
+}  // namespace samurai::signal

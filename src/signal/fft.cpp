@@ -1,0 +1,67 @@
+#include "signal/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace samurai::signal {
+
+namespace {
+
+void fft_core(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& value : a) value /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<std::complex<double>>& data) { fft_core(data, false); }
+
+void ifft(std::vector<std::complex<double>>& data) { fft_core(data, true); }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<std::complex<double>> rfft(const std::vector<double>& x,
+                                       std::size_t padded_size) {
+  const std::size_t n = padded_size == 0 ? next_pow2(x.size()) : padded_size;
+  if (n < x.size() || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("rfft: invalid padded size");
+  }
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = x[i];
+  fft(data);
+  return data;
+}
+
+}  // namespace samurai::signal

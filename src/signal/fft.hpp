@@ -1,0 +1,26 @@
+// Iterative radix-2 complex FFT (self-contained; no external DSP
+// dependency). Sufficient for the power-of-two record lengths the PSD and
+// autocorrelation estimators use.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace samurai::signal {
+
+/// In-place forward FFT. `data.size()` must be a power of two (>= 1).
+void fft(std::vector<std::complex<double>>& data);
+
+/// In-place inverse FFT (includes the 1/N normalisation).
+void ifft(std::vector<std::complex<double>>& data);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+/// Forward FFT of a real sequence, zero-padded to `padded_size` (must be a
+/// power of two >= x.size(); 0 means next_pow2(x.size())).
+std::vector<std::complex<double>> rfft(const std::vector<double>& x,
+                                       std::size_t padded_size = 0);
+
+}  // namespace samurai::signal

@@ -1,0 +1,42 @@
+#include "signal/resample.hpp"
+
+#include <stdexcept>
+
+namespace samurai::signal {
+
+namespace {
+
+template <typename Eval>
+UniformRecord make_record(double t0, double t1, std::size_t n, Eval&& eval) {
+  if (!(t1 > t0) || n < 2) {
+    throw std::invalid_argument("resample: bad grid parameters");
+  }
+  UniformRecord record;
+  record.t0 = t0;
+  record.dt = (t1 - t0) / static_cast<double>(n);
+  record.samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    record.samples.push_back(eval(t0 + record.dt * static_cast<double>(i)));
+  }
+  return record;
+}
+
+}  // namespace
+
+UniformRecord resample(const core::StepTrace& trace, double t0, double t1,
+                       std::size_t n) {
+  return make_record(t0, t1, n, [&](double t) { return trace.eval(t); });
+}
+
+UniformRecord resample(const core::Pwl& waveform, double t0, double t1,
+                       std::size_t n) {
+  return make_record(t0, t1, n, [&](double t) { return waveform.eval(t); });
+}
+
+UniformRecord resample(const core::TrapTrajectory& trajectory, std::size_t n) {
+  return make_record(trajectory.t0(), trajectory.tf(), n, [&](double t) {
+    return trajectory.state_at(t) == physics::TrapState::kFilled ? 1.0 : 0.0;
+  });
+}
+
+}  // namespace samurai::signal

@@ -1,0 +1,31 @@
+// Uniform-grid resampling of the library's waveform types — the bridge
+// between event-driven traces (StepTrace / TrapTrajectory output) and the
+// FFT-based estimators, which need uniformly sampled records.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/trajectory.hpp"
+#include "core/waveform.hpp"
+
+namespace samurai::signal {
+
+struct UniformRecord {
+  double t0 = 0.0;
+  double dt = 0.0;
+  std::vector<double> samples;
+};
+
+/// Sample a StepTrace on n uniform points over [t0, t1).
+UniformRecord resample(const core::StepTrace& trace, double t0, double t1,
+                       std::size_t n);
+
+/// Sample a Pwl on n uniform points over [t0, t1).
+UniformRecord resample(const core::Pwl& waveform, double t0, double t1,
+                       std::size_t n);
+
+/// Sample a trap trajectory as a 0/1 record on n uniform points.
+UniformRecord resample(const core::TrapTrajectory& trajectory, std::size_t n);
+
+}  // namespace samurai::signal

@@ -1,0 +1,42 @@
+// Spectral and correlation estimators used by the validation experiments
+// (paper §IV-A): autocorrelation R(τ) of a sampled trace and the one-sided
+// power spectral density S(f).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace samurai::signal {
+
+struct Autocorrelation {
+  std::vector<double> lags;    ///< seconds, starting at 0
+  std::vector<double> values;  ///< A^2 (for a current trace)
+};
+
+struct Spectrum {
+  std::vector<double> frequencies;  ///< Hz, DC excluded
+  std::vector<double> density;      ///< one-sided PSD, A^2/Hz
+};
+
+/// Autocorrelation of uniformly sampled data via FFT.
+/// `subtract_mean` gives the autocovariance (the paper's R(τ) of the RTN
+/// *fluctuation*); `unbiased` divides lag k by (N-k) instead of N.
+/// At most `max_lags` lags are returned (0 = N/2).
+Autocorrelation autocorrelation(const std::vector<double>& samples, double dt,
+                                bool subtract_mean = true, bool unbiased = true,
+                                std::size_t max_lags = 0);
+
+/// Welch PSD: `segment_length` samples per segment (power of two,
+/// 0 = N/8 rounded to a power of two), 50% overlap, Hann window,
+/// one-sided normalisation such that the integral of S over f equals the
+/// signal variance (mean removed when `subtract_mean`).
+Spectrum welch_psd(const std::vector<double>& samples, double dt,
+                   std::size_t segment_length = 0, bool subtract_mean = true);
+
+/// PSD via the Wiener-Khinchin theorem from an autocorrelation estimate:
+/// S(f) = 2 ∫ R(τ) cos(2πfτ) dτ evaluated on the requested frequency grid.
+/// This mirrors the paper's "compute S(f) numerically from R(τ)" step.
+std::vector<double> psd_from_autocorrelation(const Autocorrelation& acf,
+                                             const std::vector<double>& freqs);
+
+}  // namespace samurai::signal

@@ -1,0 +1,305 @@
+#include "spice/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/grid.hpp"
+
+namespace samurai::spice {
+
+namespace {
+
+struct NewtonOutcome {
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// One Newton solve of the MNA system at fixed (time, a0, ci), warm-started
+/// from and returning in `x`. `pins` adds a 1 S conductance from node id to
+/// a target voltage (nodeset); `gmin` leaks every node to ground.
+NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
+                           double time, double a0, double ci,
+                           const NewtonOptions& options, double gmin,
+                           const std::vector<std::pair<int, double>>& pins) {
+  const std::size_t n = circuit.system_size();
+  const std::size_t nodes = circuit.num_nodes();
+  DenseMatrix jacobian(n);
+  std::vector<double> residual(n);
+  std::vector<double> delta(n);
+
+  NewtonOutcome outcome;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    outcome.iterations = iter + 1;
+    jacobian.set_zero();
+    std::fill(residual.begin(), residual.end(), 0.0);
+    LoadContext ctx;
+    ctx.time = time;
+    ctx.a0 = a0;
+    ctx.ci = ci;
+    ctx.jacobian = &jacobian;
+    ctx.residual = &residual;
+    ctx.x = x;
+    for (auto& device : circuit.devices()) device->load(ctx);
+    for (std::size_t i = 0; i < nodes; ++i) {
+      jacobian.at(i, i) += gmin;
+      residual[i] += gmin * x[i];
+    }
+    for (const auto& [node, value] : pins) {
+      if (node < 0) continue;
+      const auto i = static_cast<std::size_t>(node);
+      jacobian.at(i, i) += 1.0;
+      residual[i] += 1.0 * (x[i] - value);
+    }
+
+    double max_residual = 0.0;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      max_residual = std::max(max_residual, std::abs(residual[i]));
+    }
+
+    delta = residual;
+    if (!lu_solve(jacobian, delta)) return outcome;  // singular
+
+    // Damp: clamp the largest node-voltage update.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      max_dv = std::max(max_dv, std::abs(delta[i]));
+    }
+    const double damp =
+        max_dv > options.dv_limit ? options.dv_limit / max_dv : 1.0;
+    for (std::size_t i = 0; i < n; ++i) x[i] -= damp * delta[i];
+
+    if (max_dv * damp < options.vntol && max_residual < options.abstol &&
+        damp == 1.0) {
+      outcome.converged = true;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+std::vector<std::pair<int, double>> resolve_pins(
+    Circuit& circuit, const std::map<std::string, double>& nodeset) {
+  std::vector<std::pair<int, double>> pins;
+  pins.reserve(nodeset.size());
+  for (const auto& [name, value] : nodeset) {
+    pins.emplace_back(circuit.find_node(name), value);
+  }
+  return pins;
+}
+
+}  // namespace
+
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
+  DcResult result;
+  result.x.assign(circuit.system_size(), 0.0);
+  const auto pins = resolve_pins(circuit, options.nodeset);
+
+  // Phase 1: solve with nodeset pins engaged (if any).
+  if (!pins.empty()) {
+    for (const auto& [node, value] : pins) {
+      if (node >= 0) result.x[static_cast<std::size_t>(node)] = value;
+    }
+    newton_solve(circuit, result.x, 0.0, 0.0, 0.0, options.newton,
+                 std::max(options.gmin, 1e-9), pins);
+  }
+
+  // Phase 2: plain Newton; on failure, gmin-step from 1e-2 down.
+  auto outcome = newton_solve(circuit, result.x, 0.0, 0.0, 0.0, options.newton,
+                              options.gmin, {});
+  if (!outcome.converged) {
+    std::vector<double> x = result.x;
+    bool ladder_ok = true;
+    for (double gmin = 1e-2; gmin >= options.gmin; gmin *= 0.1) {
+      const auto step = newton_solve(circuit, x, 0.0, 0.0, 0.0, options.newton,
+                                     gmin, pins);
+      if (!step.converged) {
+        ladder_ok = false;
+        break;
+      }
+    }
+    if (ladder_ok) {
+      outcome = newton_solve(circuit, x, 0.0, 0.0, 0.0, options.newton,
+                             options.gmin, {});
+      if (outcome.converged) result.x = x;
+    }
+  }
+  result.converged = outcome.converged;
+  result.iterations = outcome.iterations;
+  return result;
+}
+
+// ---------------------------------------------------------------- results
+
+TransientResult::TransientResult(std::vector<std::string> node_names)
+    : names_(std::move(node_names)), samples_(names_.size()) {}
+
+void TransientResult::record(double t, std::span<const double> x,
+                             std::size_t num_nodes) {
+  times_.push_back(t);
+  for (std::size_t i = 0; i < num_nodes && i < samples_.size(); ++i) {
+    samples_[i].push_back(x[i]);
+  }
+}
+
+std::size_t TransientResult::node_index(const std::string& node) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == node) return i;
+  }
+  throw std::invalid_argument("TransientResult: unknown node " + node);
+}
+
+const std::vector<double>& TransientResult::voltage_samples(
+    const std::string& node) const {
+  return samples_[node_index(node)];
+}
+
+core::Pwl TransientResult::voltage(const std::string& node) const {
+  return core::Pwl(times_, samples_[node_index(node)]);
+}
+
+double TransientResult::voltage_at(const std::string& node, double t) const {
+  return util::interp_linear(times_, samples_[node_index(node)], t);
+}
+
+core::Pwl TransientResult::voltage_between(const std::string& a,
+                                           const std::string& b) const {
+  const bool a_gnd = (a == "0" || a == "gnd" || a == "GND");
+  const bool b_gnd = (b == "0" || b == "gnd" || b == "GND");
+  std::vector<double> values(times_.size(), 0.0);
+  if (!a_gnd) {
+    const auto& va = samples_[node_index(a)];
+    for (std::size_t i = 0; i < values.size(); ++i) values[i] += va[i];
+  }
+  if (!b_gnd) {
+    const auto& vb = samples_[node_index(b)];
+    for (std::size_t i = 0; i < values.size(); ++i) values[i] -= vb[i];
+  }
+  return core::Pwl(times_, std::move(values));
+}
+
+// --------------------------------------------------------------- transient
+
+TransientResult transient(Circuit& circuit, const TransientOptions& options) {
+  if (!(options.t_stop > options.t_start)) {
+    throw std::invalid_argument("transient: t_stop <= t_start");
+  }
+  const std::size_t nodes = circuit.num_nodes();
+  const double span = options.t_stop - options.t_start;
+  const double dt_max = options.dt_max > 0.0 ? options.dt_max : span / 200.0;
+
+  // Initial operating point at t_start.
+  DcOptions dc = options.dc;
+  auto dc_result = dc_operating_point(circuit, dc);
+  if (!dc_result.converged) {
+    throw std::runtime_error("transient: DC operating point did not converge");
+  }
+  std::vector<double> x = dc_result.x;
+  for (auto& device : circuit.devices()) device->reset_history();
+  for (auto& device : circuit.devices()) device->commit(x, 0.0, 0.0);
+
+  // Breakpoints: source corners + caller extras, clipped to the window.
+  std::vector<double> breakpoints = options.extra_breakpoints;
+  for (const auto& device : circuit.devices()) {
+    device->collect_breakpoints(breakpoints);
+  }
+  breakpoints.push_back(options.t_stop);
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end(),
+                                [&](double a, double b) {
+                                  return std::abs(a - b) < span * 1e-12;
+                                }),
+                    breakpoints.end());
+
+  TransientResult result(circuit.node_names());
+  result.record(options.t_start, x, nodes);
+
+  double t = options.t_start;
+  double dt = std::min(options.dt_initial, dt_max);
+  double dt_prev = 0.0;
+  std::vector<double> x_prev = x;   // solution at t - dt_prev
+  std::vector<double> x_pred(x.size());
+  bool after_discontinuity = true;  // force BE on the first step
+
+  std::size_t bp_index = 0;
+  while (bp_index < breakpoints.size() && breakpoints[bp_index] <= t + span * 1e-12) {
+    ++bp_index;
+  }
+
+  const int max_rejects = 60;
+  int rejects = 0;
+  while (t < options.t_stop - span * 1e-12) {
+    bool hit_breakpoint = false;
+    double step = std::min(dt, dt_max);
+    if (bp_index < breakpoints.size()) {
+      const double to_bp = breakpoints[bp_index] - t;
+      if (step >= to_bp - options.dt_min) {
+        step = to_bp;
+        hit_breakpoint = true;
+      }
+    }
+    if (t + step > options.t_stop) step = options.t_stop - t;
+
+    const bool use_be = after_discontinuity ||
+                        options.method == IntegrationMethod::kBackwardEuler;
+    const double a0 = use_be ? 1.0 / step : 2.0 / step;
+    const double ci = use_be ? 0.0 : -1.0;
+
+    // Predictor: linear extrapolation (also the warm start).
+    const bool have_predictor = dt_prev > 0.0 && !after_discontinuity;
+    std::vector<double> x_new = x;
+    if (have_predictor) {
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        x_pred[i] = x[i] + (x[i] - x_prev[i]) * (step / dt_prev);
+      }
+      x_new = x_pred;
+    }
+
+    const auto outcome = newton_solve(circuit, x_new, t + step, a0, ci,
+                                      options.newton, options.dc.gmin, {});
+    bool accept = outcome.converged;
+    double err_ratio = 0.0;
+    if (accept && have_predictor) {
+      for (std::size_t i = 0; i < nodes; ++i) {
+        const double tol = options.lte_reltol *
+                               std::max(std::abs(x_new[i]), std::abs(x[i])) +
+                           options.lte_abstol;
+        err_ratio = std::max(err_ratio, std::abs(x_new[i] - x_pred[i]) / tol);
+      }
+      if (err_ratio > 10.0 && step > 4.0 * options.dt_min && !hit_breakpoint) {
+        accept = false;
+      }
+    }
+
+    if (!accept) {
+      if (++rejects > max_rejects || step <= 2.0 * options.dt_min) {
+        throw std::runtime_error("transient: step size underflow at t=" +
+                                 std::to_string(t));
+      }
+      dt = step / 4.0;
+      continue;
+    }
+    rejects = 0;
+
+    for (auto& device : circuit.devices()) device->commit(x_new, a0, ci);
+    x_prev = x;
+    x = x_new;
+    dt_prev = step;
+    t += step;
+    result.record(t, x, nodes);
+    if (options.on_step) options.on_step(t, x);
+
+    after_discontinuity = hit_breakpoint;
+    if (hit_breakpoint) ++bp_index;
+
+    // Step-size controller from the predictor/corrector difference.
+    double grow = 1.5;
+    if (have_predictor && err_ratio > 0.0) {
+      grow = std::clamp(std::sqrt(1.0 / err_ratio), 0.3, 2.0);
+    }
+    dt = std::clamp(step * grow, options.dt_min, dt_max);
+  }
+  return result;
+}
+
+}  // namespace samurai::spice

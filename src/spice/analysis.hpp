@@ -1,0 +1,92 @@
+// Circuit analyses: Newton-Raphson DC operating point (with nodeset
+// pinning and gmin stepping) and adaptive-step transient with backward
+// Euler / trapezoidal companion integration and LTE-based step control.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/waveform.hpp"
+#include "spice/circuit.hpp"
+
+namespace samurai::spice {
+
+struct NewtonOptions {
+  int max_iterations = 200;
+  double abstol = 1e-9;   ///< KCL residual tolerance, A
+  double vntol = 1e-6;    ///< Newton update tolerance, V
+  double dv_limit = 0.6;  ///< per-iteration voltage damping clamp, V
+};
+
+struct DcOptions {
+  NewtonOptions newton;
+  /// Initial-guess pins: solved first with a 1 S conductance tying each
+  /// node to its value, then released (SPICE .NODESET). This is how the
+  /// SRAM cell is placed in a chosen bistable basin.
+  std::map<std::string, double> nodeset;
+  double gmin = 1e-12;  ///< conductance from every node to ground
+};
+
+struct DcResult {
+  bool converged = false;
+  int iterations = 0;
+  std::vector<double> x;  ///< node voltages then branch currents
+};
+
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& options = {});
+
+enum class IntegrationMethod { kBackwardEuler, kTrapezoidal };
+
+struct TransientOptions {
+  double t_start = 0.0;
+  double t_stop = 0.0;     ///< required
+  double dt_initial = 1e-12;
+  double dt_min = 1e-17;
+  double dt_max = 0.0;     ///< 0 = (t_stop - t_start) / 200
+  IntegrationMethod method = IntegrationMethod::kTrapezoidal;
+  NewtonOptions newton;
+  DcOptions dc;            ///< initial operating point (nodeset etc.)
+  double lte_reltol = 2e-3;
+  double lte_abstol = 1e-5;
+  /// Extra mandatory time points (e.g. RTN switch instants).
+  std::vector<double> extra_breakpoints;
+  /// Called after every accepted step with (t, solution). This is the
+  /// coupling hook: the bi-directionally coupled RTN simulation advances
+  /// its trap chains here using the instantaneous node voltages.
+  std::function<void(double, std::span<const double>)> on_step;
+};
+
+class TransientResult {
+ public:
+  TransientResult() = default;
+  explicit TransientResult(std::vector<std::string> node_names);
+
+  void record(double t, std::span<const double> x, std::size_t num_nodes);
+
+  const std::vector<double>& times() const noexcept { return times_; }
+  const std::vector<std::string>& node_names() const noexcept { return names_; }
+  std::size_t num_points() const noexcept { return times_.size(); }
+
+  /// Voltage samples of one node (aligned with times()).
+  const std::vector<double>& voltage_samples(const std::string& node) const;
+  /// Voltage of one node as a PWL waveform.
+  core::Pwl voltage(const std::string& node) const;
+  /// Voltage at an arbitrary time by linear interpolation.
+  double voltage_at(const std::string& node, double t) const;
+
+  /// Difference waveform v(a) - v(b); either may be "0"/"gnd".
+  core::Pwl voltage_between(const std::string& a, const std::string& b) const;
+
+ private:
+  std::size_t node_index(const std::string& node) const;
+  std::vector<std::string> names_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> samples_;  ///< per node
+};
+
+TransientResult transient(Circuit& circuit, const TransientOptions& options);
+
+}  // namespace samurai::spice

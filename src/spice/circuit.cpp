@@ -1,0 +1,34 @@
+#include "spice/circuit.hpp"
+
+#include <stdexcept>
+
+namespace samurai::spice {
+
+void Device::commit(std::span<const double>, double, double) {}
+void Device::reset_history() {}
+void Device::collect_breakpoints(std::vector<double>&) const {}
+
+int Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  const auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const int id = static_cast<int>(node_names_.size());
+  node_ids_.emplace(name, id);
+  node_names_.push_back(name);
+  return id;
+}
+
+int Circuit::alloc_branch() {
+  return static_cast<int>(num_branches_++);
+}
+
+int Circuit::find_node(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  const auto it = node_ids_.find(name);
+  if (it == node_ids_.end()) {
+    throw std::invalid_argument("Circuit: unknown node " + name);
+  }
+  return it->second;
+}
+
+}  // namespace samurai::spice

@@ -1,0 +1,117 @@
+// Circuit container and the device stamping interface — a compact MNA
+// framework in the style of (and substituting for) the paper's SpiceOPUS.
+//
+// Unknown vector x = [node voltages (ground excluded) ; branch currents].
+// Devices stamp the Newton system J·Δx = -f, where f is the vector of KCL
+// residuals (sum of currents *leaving* each node) plus branch equations.
+// Energy-storage elements use companion models: the integrator supplies
+// a0 and ci such that i(t_{n+1}) = a0·(q_{n+1} - q_n) + ci·i_n
+// (a0 = 1/h, ci = 0 for backward Euler; a0 = 2/h, ci = -1 for trapezoidal;
+// a0 = 0 for DC, which opens all charge branches).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/matrix.hpp"
+
+namespace samurai::spice {
+
+/// Ground node id. Stamps to ground are dropped by DenseMatrix::stamp.
+inline constexpr int kGround = -1;
+
+struct LoadContext {
+  double time = 0.0;
+  double a0 = 0.0;  ///< companion coefficient, 0 in DC
+  double ci = 0.0;  ///< history-current coefficient (0 for BE, -1 for TRAP)
+  DenseMatrix* jacobian = nullptr;
+  std::vector<double>* residual = nullptr;
+  std::span<const double> x;
+};
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Stamp Jacobian and residual at the current iterate.
+  virtual void load(const LoadContext& ctx) = 0;
+
+  /// Record charge/current history after a step is accepted. `a0`/`ci`
+  /// are the coefficients the *accepted* step was integrated with.
+  virtual void commit(std::span<const double> x, double a0, double ci);
+
+  /// Forget all history (called before a fresh transient).
+  virtual void reset_history();
+
+  /// Contribute mandatory time points (source corners, trace switches).
+  virtual void collect_breakpoints(std::vector<double>& breakpoints) const;
+
+ private:
+  std::string name_;
+};
+
+class Circuit {
+ public:
+  /// Get-or-create a node id. "0" and "gnd" name the ground node.
+  int node(const std::string& name);
+
+  /// Allocate a branch-current unknown; returns its index in x.
+  int alloc_branch();
+
+  /// Construct and register a device.
+  template <typename DeviceT, typename... Args>
+  DeviceT& add(Args&&... args) {
+    auto device = std::make_unique<DeviceT>(std::forward<Args>(args)...);
+    DeviceT& ref = *device;
+    devices_.push_back(std::move(device));
+    return ref;
+  }
+
+  std::size_t num_nodes() const noexcept { return node_names_.size(); }
+  std::size_t num_branches() const noexcept { return num_branches_; }
+  /// Size of the MNA unknown vector.
+  std::size_t system_size() const noexcept { return num_nodes() + num_branches_; }
+  /// Branch unknowns live after the node voltages in x.
+  std::size_t branch_offset() const noexcept { return num_nodes(); }
+  /// Index of branch `b` in x (call after all nodes are created).
+  int branch_index(int branch) const {
+    return static_cast<int>(branch_offset()) + branch;
+  }
+
+  const std::string& node_name(int id) const { return node_names_.at(static_cast<std::size_t>(id)); }
+  const std::vector<std::string>& node_names() const noexcept { return node_names_; }
+  bool has_node(const std::string& name) const { return node_ids_.count(name) != 0; }
+  int find_node(const std::string& name) const;
+
+  std::span<const std::unique_ptr<Device>> devices() const {
+    return {devices_.data(), devices_.size()};
+  }
+  std::span<std::unique_ptr<Device>> devices() {
+    return {devices_.data(), devices_.size()};
+  }
+
+  /// Find a device by name; returns nullptr if absent or wrong type.
+  template <typename DeviceT>
+  DeviceT* find(const std::string& name) {
+    for (auto& device : devices_) {
+      if (device->name() == name) return dynamic_cast<DeviceT*>(device.get());
+    }
+    return nullptr;
+  }
+
+ private:
+  std::unordered_map<std::string, int> node_ids_;
+  std::vector<std::string> node_names_;
+  std::size_t num_branches_ = 0;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace samurai::spice

@@ -1,0 +1,49 @@
+#include "spice/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace samurai::spice {
+
+bool lu_solve(DenseMatrix& a, std::span<double> b) {
+  const std::size_t n = a.size();
+  if (b.size() != n) throw std::invalid_argument("lu_solve: size mismatch");
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t pivot = k;
+    double best = std::abs(a.at(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::abs(a.at(i, k));
+      if (mag > best) {
+        best = mag;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a.at(k, j), a.at(pivot, j));
+      std::swap(b[k], b[pivot]);
+    }
+    const double inv_pivot = 1.0 / a.at(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = a.at(i, k) * inv_pivot;
+      if (factor == 0.0) continue;
+      a.at(i, k) = factor;
+      for (std::size_t j = k + 1; j < n; ++j) a.at(i, j) -= factor * a.at(k, j);
+      b[i] -= factor * b[k];
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= a.at(i, j) * b[j];
+    b[i] = sum / a.at(i, i);
+  }
+  return true;
+}
+
+}  // namespace samurai::spice

@@ -1,0 +1,39 @@
+// Dense linear algebra for MNA systems. SRAM-cell-scale circuits have a
+// dozen unknowns, so dense LU with partial pivoting is both simpler and
+// faster than any sparse machinery; array-level analyses simulate cells
+// independently rather than as one giant matrix.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace samurai::spice {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+  std::size_t size() const noexcept { return n_; }
+  double& at(std::size_t row, std::size_t col) { return data_[row * n_ + col]; }
+  double at(std::size_t row, std::size_t col) const { return data_[row * n_ + col]; }
+  void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  /// Add `value` at (row, col); negative indices (ground) are ignored —
+  /// this is the MNA stamping primitive.
+  void stamp(int row, int col, double value) {
+    if (row < 0 || col < 0) return;
+    data_[static_cast<std::size_t>(row) * n_ + static_cast<std::size_t>(col)] += value;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b in place by LU with partial pivoting; returns false if a
+/// pivot underflows (singular matrix). A and b are destroyed.
+bool lu_solve(DenseMatrix& a, std::span<double> b);
+
+}  // namespace samurai::spice

@@ -1,0 +1,113 @@
+#include "spice/rtn_integration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "physics/srh_model.hpp"
+#include "physics/trap_profile.hpp"
+#include "spice/parser.hpp"
+#include "util/rng.hpp"
+
+namespace samurai::spice {
+
+void extract_device_bias(const TransientResult& result, const Circuit& circuit,
+                         const Mosfet& mosfet, core::Pwl& v_gs,
+                         core::Pwl& i_d) {
+  auto samples_of = [&](int node) -> const std::vector<double>* {
+    if (node < 0) return nullptr;
+    return &result.voltage_samples(circuit.node_name(node));
+  };
+  const auto* vd = samples_of(mosfet.drain());
+  const auto* vg = samples_of(mosfet.gate());
+  const auto* vs = samples_of(mosfet.source());
+  const auto& times = result.times();
+  const bool nmos = mosfet.model().type() == physics::MosType::kNmos;
+
+  std::vector<double> vgs_values(times.size());
+  std::vector<double> id_values(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double d = vd ? (*vd)[i] : 0.0;
+    const double g = vg ? (*vg)[i] : 0.0;
+    const double s = vs ? (*vs)[i] : 0.0;
+    // NMOS-equivalent trap bias referenced to the conducting source side.
+    vgs_values[i] = nmos ? g - std::min(d, s) : std::max(d, s) - g;
+    id_values[i] = mosfet.model().evaluate(g - s, d - s).i_d;  // signed
+  }
+  v_gs = core::Pwl(times, std::move(vgs_values));
+  i_d = core::Pwl(times, std::move(id_values));
+}
+
+RtnTransientResult run_rtn_transient(
+    const std::function<std::unique_ptr<Circuit>()>& build,
+    const TransientOptions& options, const std::vector<RtnRequest>& requests) {
+  RtnTransientResult result;
+
+  // Pass 1: nominal run.
+  auto nominal_circuit = build();
+  result.nominal = transient(*nominal_circuit, options);
+
+  // SAMURAI per tagged device.
+  result.traces.reserve(requests.size());
+  for (const auto& request : requests) {
+    auto* mosfet = nominal_circuit->find<Mosfet>(request.device);
+    if (mosfet == nullptr) {
+      throw std::invalid_argument(".rtn references unknown MOSFET '" +
+                                  request.device + "'");
+    }
+    DeviceRtnTrace trace;
+    trace.device = request.device;
+
+    const auto& tech = mosfet->model().tech();
+    const physics::SrhModel srh(tech);
+    util::Rng rng(request.seed);
+    util::Rng profile_rng = rng.split(101);
+    trace.traps = physics::sample_trap_profile(
+        tech, mosfet->model().geometry(), profile_rng);
+
+    core::Pwl v_gs, i_d;
+    extract_device_bias(result.nominal, *nominal_circuit, *mosfet, v_gs, i_d);
+    const physics::MosDevice equivalent(tech, physics::MosType::kNmos,
+                                        mosfet->model().geometry());
+    core::RtnGeneratorOptions gen;
+    gen.t0 = options.t_start;
+    gen.tf = options.t_stop;
+    gen.amplitude_scale = request.scale;
+    util::Rng trap_rng = rng.split(977);
+    auto device_rtn = core::generate_device_rtn(srh, equivalent, trace.traps,
+                                                v_gs, i_d, trap_rng, gen);
+    trace.n_filled = std::move(device_rtn.n_filled);
+    trace.i_rtn = std::move(device_rtn.i_rtn);
+    trace.stats = device_rtn.stats;
+    result.traces.push_back(std::move(trace));
+  }
+
+  // Pass 2: injected run on a fresh circuit.
+  auto rtn_circuit = build();
+  for (const auto& trace : result.traces) {
+    auto* mosfet = rtn_circuit->find<Mosfet>(trace.device);
+    if (mosfet == nullptr) {
+      throw std::runtime_error("circuit factory is not deterministic: '" +
+                               trace.device + "' vanished");
+    }
+    rtn_circuit->add<CurrentSource>("Irtn_" + trace.device, mosfet->drain(),
+                                    mosfet->source(), trace.i_rtn.scaled(-1.0));
+  }
+  result.with_rtn = transient(*rtn_circuit, options);
+  return result;
+}
+
+RtnTransientResult run_netlist_rtn(const std::string& netlist_text) {
+  // Parse once for the analysis spec and request list.
+  auto probe = parse_netlist(netlist_text);
+  if (!probe.has_tran) {
+    throw std::invalid_argument("run_netlist_rtn: netlist needs .tran");
+  }
+  if (probe.rtn_requests.empty()) {
+    throw std::invalid_argument("run_netlist_rtn: netlist has no .rtn cards");
+  }
+  return run_rtn_transient(
+      [&netlist_text] { return parse_netlist(netlist_text).circuit; },
+      probe.tran, probe.rtn_requests);
+}
+
+}  // namespace samurai::spice

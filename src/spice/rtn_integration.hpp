@@ -1,0 +1,69 @@
+// Generic SAMURAI <-> SPICE integration for *arbitrary* circuits — the
+// paper's methodology (Fig. 8 left) lifted out of the SRAM-specific
+// pipeline so any parsed netlist can request trap-level RTN on any of its
+// MOSFETs via `.rtn` cards:
+//
+//   .rtn M1 scale=30 seed=7
+//
+// Flow: run the nominal transient, extract each tagged device's
+// time-varying bias, sample a trap profile, run Algorithm 1, and re-run
+// the transient with the I_RTN traces injected opposing each channel
+// current.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rtn_generator.hpp"
+#include "core/waveform.hpp"
+#include "physics/trap.hpp"
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+
+namespace samurai::spice {
+
+/// One `.rtn` request (also constructible programmatically).
+struct RtnRequest {
+  std::string device;      ///< Mosfet name in the circuit
+  double scale = 1.0;      ///< amplitude scaling (paper's x30)
+  std::uint64_t seed = 1;  ///< trap population + trajectory seed
+};
+
+/// Extract a MOSFET's NMOS-equivalent gate bias V_gs(t) (positive when
+/// the channel conducts) and signed channel current I_d(t) from a
+/// transient solution. Shared by the SRAM methodology and the netlist
+/// integration.
+void extract_device_bias(const TransientResult& result, const Circuit& circuit,
+                         const Mosfet& mosfet, core::Pwl& v_gs, core::Pwl& i_d);
+
+struct DeviceRtnTrace {
+  std::string device;
+  std::vector<physics::Trap> traps;
+  core::StepTrace n_filled;
+  core::Pwl i_rtn;
+  core::UniformisationStats stats;
+};
+
+struct RtnTransientResult {
+  TransientResult nominal;
+  TransientResult with_rtn;
+  std::vector<DeviceRtnTrace> traces;
+};
+
+/// Run the two-pass RTN methodology on a circuit factory: `build` must
+/// produce identical circuits on each call (it is invoked twice — once
+/// for the nominal run, once for the injected run). Unknown device names
+/// in `requests` throw std::invalid_argument.
+RtnTransientResult run_rtn_transient(
+    const std::function<std::unique_ptr<Circuit>()>& build,
+    const TransientOptions& options, const std::vector<RtnRequest>& requests);
+
+/// Convenience: parse a netlist containing `.rtn` cards and run the full
+/// flow (the netlist must contain `.tran`).
+RtnTransientResult run_netlist_rtn(const std::string& netlist_text);
+
+}  // namespace samurai::spice

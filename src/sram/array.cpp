@@ -1,0 +1,73 @@
+#include "sram/array.hpp"
+
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace samurai::sram {
+
+namespace {
+
+CellOutcome simulate_cell(const ArrayConfig& config, std::size_t cell_index) {
+  util::Rng rng(config.seed);
+  util::Rng cell_rng = rng.split(cell_index + 1);
+  MethodologyConfig cell = config.cell;
+  cell.seed = cell_rng.next_u64();
+  if (config.sigma_vt > 0.0) {
+    for (int m = 1; m <= 6; ++m) {
+      cell.vth_shifts["M" + std::to_string(m)] =
+          cell_rng.normal(0.0, config.sigma_vt);
+    }
+  }
+  const auto run = run_methodology(cell);
+
+  CellOutcome outcome;
+  outcome.index = cell_index;
+  outcome.nominal_error = run.nominal_report.any_error;
+  outcome.rtn_error = run.rtn_report.any_error;
+  outcome.rtn_slow = run.rtn_report.any_slow;
+  for (const auto& transistor : run.rtn) {
+    outcome.total_traps += transistor.traps.size();
+    outcome.rtn_switches += transistor.stats.accepted;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+ArrayResult run_array(const ArrayConfig& config) {
+  ArrayResult result;
+  result.cells.resize(config.num_cells);
+
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(config.threads, config.num_cells));
+  if (workers == 1) {
+    for (std::size_t i = 0; i < config.num_cells; ++i) {
+      result.cells[i] = simulate_cell(config, i);
+    }
+  } else {
+    // Static stride partition: each cell's result depends only on
+    // (config, index), so scheduling cannot change the outcome.
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&config, &result, w, workers] {
+        for (std::size_t i = w; i < config.num_cells; i += workers) {
+          result.cells[i] = simulate_cell(config, i);
+        }
+      });
+    }
+    for (auto& worker : pool) worker.join();
+  }
+
+  for (const auto& outcome : result.cells) {
+    if (outcome.nominal_error) ++result.nominal_errors;
+    if (outcome.rtn_error) ++result.rtn_errors;
+    if (outcome.rtn_error && !outcome.nominal_error) ++result.rtn_only_errors;
+    if (!outcome.rtn_error && outcome.nominal_error) ++result.rtn_rescued;
+    if (outcome.rtn_slow) ++result.slow_cells;
+  }
+  return result;
+}
+
+}  // namespace samurai::sram

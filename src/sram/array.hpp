@@ -1,0 +1,51 @@
+// Statistical RTN analysis of SRAM arrays (paper future-work direction
+// #3): Monte-Carlo over cells with independent local V_T variation and
+// independent trap populations, counting RTN-induced write errors and
+// slow writes across the array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sram/methodology.hpp"
+
+namespace samurai::sram {
+
+struct ArrayConfig {
+  MethodologyConfig cell;     ///< template (seed is re-derived per cell)
+  std::size_t num_cells = 64;
+  double sigma_vt = 0.0;      ///< per-transistor V_T variation, V (1σ)
+  std::uint64_t seed = 7;
+  /// Worker threads. Cells are electrically independent and every cell
+  /// derives its own RNG stream from (seed, index), so any thread count
+  /// produces bit-identical results to the serial run.
+  std::size_t threads = 1;
+};
+
+struct CellOutcome {
+  std::size_t index = 0;
+  bool nominal_error = false;  ///< failed even without RTN (VT variation)
+  bool rtn_error = false;
+  bool rtn_slow = false;
+  std::size_t total_traps = 0;
+  std::uint64_t rtn_switches = 0;
+};
+
+struct ArrayResult {
+  std::vector<CellOutcome> cells;
+  std::size_t nominal_errors = 0;
+  std::size_t rtn_errors = 0;   ///< errors with RTN (incl. variation-only)
+  std::size_t rtn_only_errors = 0;  ///< cells broken by RTN specifically
+  /// Cells that fail nominally but pass with RTN: the injected noise also
+  /// weakens the device *opposing* the write, so marginal variation
+  /// failures can be (luckily) repaired — RTN cuts both ways.
+  std::size_t rtn_rescued = 0;
+  std::size_t slow_cells = 0;
+};
+
+/// Simulate `num_cells` independent cells. Cells are independent circuits
+/// (the bit-cell array is electrically decoupled through its drivers), so
+/// this is an embarrassingly parallel, deterministic Monte-Carlo.
+ArrayResult run_array(const ArrayConfig& config);
+
+}  // namespace samurai::sram

@@ -1,0 +1,99 @@
+#include "sram/cell.hpp"
+
+#include <stdexcept>
+
+namespace samurai::sram {
+
+bool is_nmos(int index_1_based) {
+  switch (index_1_based) {
+    case 1:
+    case 2:
+    case 5:
+    case 6:
+      return true;
+    case 3:
+    case 4:
+      return false;
+    default:
+      throw std::invalid_argument("SRAM transistor index must be 1..6");
+  }
+}
+
+physics::MosGeometry transistor_geometry(const physics::Technology& tech,
+                                         const CellSizing& sizing,
+                                         int index_1_based) {
+  double mult = 0.0;
+  switch (index_1_based) {
+    case 1:
+    case 2:
+      mult = sizing.pass_gate;
+      break;
+    case 3:
+    case 4:
+      mult = sizing.pull_up;
+      break;
+    case 5:
+    case 6:
+      mult = sizing.pull_down;
+      break;
+    default:
+      throw std::invalid_argument("SRAM transistor index must be 1..6");
+  }
+  return physics::MosGeometry{mult * tech.w_min, tech.l_min};
+}
+
+SramCellHandles build_6t_cell(spice::Circuit& circuit,
+                              const physics::Technology& tech,
+                              const CellSizing& sizing,
+                              const std::string& prefix,
+                              const VthShifts& vth_shifts) {
+  SramCellHandles handles;
+  handles.q = prefix + "q";
+  handles.qb = prefix + "qb";
+  handles.bl = prefix + "bl";
+  handles.blb = prefix + "blb";
+  handles.wl = prefix + "wl";
+  handles.vdd = prefix + "vdd";
+
+  const int q = circuit.node(handles.q);
+  const int qb = circuit.node(handles.qb);
+  const int bl = circuit.node(handles.bl);
+  const int blb = circuit.node(handles.blb);
+  const int wl = circuit.node(handles.wl);
+  const int vdd = circuit.node(handles.vdd);
+  const int gnd = spice::kGround;
+
+  auto shift = [&](const char* name) {
+    const auto it = vth_shifts.find(name);
+    return it == vth_shifts.end() ? 0.0 : it->second;
+  };
+  auto make = [&](const char* name, int index, int d, int g, int s, int b) {
+    const auto type =
+        is_nmos(index) ? physics::MosType::kNmos : physics::MosType::kPmos;
+    physics::MosDevice model(tech, type, transistor_geometry(tech, sizing, index),
+                             shift(name));
+    auto& mosfet = circuit.add<spice::Mosfet>(prefix + name, d, g, s, b,
+                                              std::move(model));
+    handles.transistors[static_cast<std::size_t>(index - 1)] = &mosfet;
+  };
+
+  // Pass gates (drain on the bitline side).
+  make("M1", 1, bl, wl, q, gnd);
+  make("M2", 2, blb, wl, qb, gnd);
+  // Pull-ups (PMOS, bulk at VDD).
+  make("M3", 3, q, qb, vdd, vdd);
+  make("M4", 4, qb, q, vdd, vdd);
+  // Pull-downs.
+  make("M5", 5, qb, q, gnd, gnd);
+  make("M6", 6, q, qb, gnd, gnd);
+
+  // Small explicit storage-node loads (wiring + diffusion not covered by
+  // the constant device caps).
+  const double c_node =
+      0.15 * tech.c_ox() * tech.w_min * tech.l_min * 4.0 + sizing.extra_node_cap;
+  circuit.add<spice::Capacitor>(prefix + "Cq", q, gnd, c_node);
+  circuit.add<spice::Capacitor>(prefix + "Cqb", qb, gnd, c_node);
+  return handles;
+}
+
+}  // namespace samurai::sram

@@ -1,0 +1,63 @@
+// 6T SRAM cell construction (paper Fig. 1).
+//
+// Transistor naming follows the paper's Fig. 1/§IV-B usage:
+//   M1: NMOS pass   BL  <-> Q,  gate WL
+//   M2: NMOS pass   BLB <-> QB, gate WL
+//   M3: PMOS pull-up of Q,  gate QB
+//   M4: PMOS pull-up of QB, gate Q
+//   M5: NMOS pull-down of QB, gate Q   (paper: "M5, whose gate voltage is Q")
+//   M6: NMOS pull-down of Q,  gate QB  (paper: "M6, whose gate voltage is Q̄")
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "physics/mos_device.hpp"
+#include "physics/technology.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices.hpp"
+
+namespace samurai::sram {
+
+/// Width multipliers (× technology w_min) for the classic read/write-
+/// stable ratioed cell. All lengths are l_min.
+struct CellSizing {
+  double pull_down = 2.0;
+  double pass_gate = 1.2;
+  double pull_up = 1.0;
+  /// Extra capacitance on each storage node, F. Models the bitline/wiring
+  /// loading reflected into the cell; raising it slows the write toward
+  /// the margin where RTN glitches matter (paper Fig. 5's regime).
+  double extra_node_cap = 0.0;
+};
+
+/// Per-transistor threshold shifts for variation studies; keys "M1".."M6".
+using VthShifts = std::map<std::string, double>;
+
+struct SramCellHandles {
+  std::string q, qb, bl, blb, wl, vdd;    ///< node names (prefixed)
+  std::array<spice::Mosfet*, 6> transistors{};  ///< index i -> M(i+1)
+  spice::Mosfet* mosfet(int index_1_based) const {
+    return transistors.at(static_cast<std::size_t>(index_1_based - 1));
+  }
+};
+
+/// Build one 6T cell into `circuit`. All cell nodes are prefixed with
+/// `prefix` (e.g. "c00_q"); rail/wordline/bitline nodes are prefixed too,
+/// so the caller wires sources to handles.wl / .bl / .blb / .vdd.
+SramCellHandles build_6t_cell(spice::Circuit& circuit,
+                              const physics::Technology& tech,
+                              const CellSizing& sizing = {},
+                              const std::string& prefix = "",
+                              const VthShifts& vth_shifts = {});
+
+/// Geometry of a cell transistor under a sizing rule (for trap profiling).
+physics::MosGeometry transistor_geometry(const physics::Technology& tech,
+                                         const CellSizing& sizing,
+                                         int index_1_based);
+
+/// True for the NMOS members of the cell (M1, M2, M5, M6).
+bool is_nmos(int index_1_based);
+
+}  // namespace samurai::sram

@@ -1,0 +1,111 @@
+// Transistor-level SRAM column: N 6T cells sharing a differential bitline
+// pair with precharge devices, an equaliser and NMOS write drivers — the
+// array context the single-cell methodology abstracts away.
+//
+// Reads here are *real* reads: the bitlines are precharged high, released
+// to float, and the addressed cell discharges one of them through its
+// pass gate and pull-down; the sensed bit is the sign of V_bl - V_blb at
+// sense time and the sense margin is its magnitude. RTN that weakens the
+// discharge path directly shrinks the sense margin / read speed — the
+// read-failure mechanism of paper ref. [16] in its natural habitat.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "spice/rtn_integration.hpp"
+#include "sram/cell.hpp"
+
+namespace samurai::sram {
+
+struct ColumnOp {
+  enum class Kind { kWrite, kRead, kNop };
+  Kind kind = Kind::kNop;
+  std::size_t cell = 0;  ///< addressed cell
+  int bit = 0;           ///< written value (writes only)
+
+  static ColumnOp write(std::size_t cell, int bit) {
+    return {Kind::kWrite, cell, bit};
+  }
+  static ColumnOp read(std::size_t cell) { return {Kind::kRead, cell, 0}; }
+  static ColumnOp nop() { return {}; }
+};
+
+struct ColumnTiming {
+  double period = 1e-9;
+  double edge = 50e-12;
+  double precharge_frac = 0.25;  ///< precharge window at the slot start
+  double wl_on_frac = 0.32;      ///< WL rises here
+  double wl_off_frac = 0.80;     ///< WL falls here
+  /// Read sense instant: shortly after WL rises, while the differential
+  /// is still a few hundred mV (sensing a fully railed bitline would hide
+  /// any RTN-induced discharge slowdown).
+  double sense_frac = 0.40;
+};
+
+struct ColumnConfig {
+  physics::Technology tech;
+  CellSizing sizing;
+  std::size_t num_cells = 4;
+  double bitline_cap = 120e-15;  ///< per bitline, F (a tall column)
+  double driver_width_mult = 6.0;///< write-driver NMOS width, x w_min
+  double precharge_width_mult = 16.0;
+  ColumnTiming timing;
+  std::vector<ColumnOp> ops;
+  /// Initial stored value per cell (nodeset).
+  std::vector<int> initial_bits;
+};
+
+struct ColumnBuild {
+  std::vector<SramCellHandles> cells;
+  std::string bl, blb, vdd;
+};
+
+/// Build the column circuit (cells + precharge + drivers + sources) for
+/// the given op sequence. Returns the handles needed for probing.
+ColumnBuild build_column(spice::Circuit& circuit, const ColumnConfig& config);
+
+struct ReadOutcome {
+  std::size_t slot = 0;
+  std::size_t cell = 0;
+  int expected = -1;        ///< tracked stored value, -1 if unknown
+  int sensed = -1;          ///< sign of the differential at sense time
+  double sense_margin = 0.0;///< |V_bl - V_blb| at sense time, V
+  bool disturbed = false;   ///< cell state flipped by the read
+};
+
+struct WriteOutcome {
+  std::size_t slot = 0;
+  std::size_t cell = 0;
+  int bit = 0;
+  bool ok = false;
+};
+
+struct ColumnReport {
+  std::vector<ReadOutcome> reads;
+  std::vector<WriteOutcome> writes;
+  bool any_error = false;       ///< wrong write, wrong sensed bit or disturb
+  double min_sense_margin = 0.0;
+};
+
+/// Evaluate a finished transient against the op sequence.
+ColumnReport check_column(const spice::TransientResult& result,
+                          const ColumnConfig& config,
+                          const ColumnBuild& build);
+
+struct ColumnRtnResult {
+  spice::RtnTransientResult rtn;  ///< nominal + injected transients
+  ColumnReport nominal_report;
+  ColumnReport rtn_report;
+};
+
+/// Run the column nominally and with SAMURAI RTN injected into every cell
+/// transistor (amplitude-scaled), via the generic two-pass integration.
+ColumnRtnResult run_column_rtn(const ColumnConfig& config, std::uint64_t seed,
+                               double rtn_scale);
+
+}  // namespace samurai::sram

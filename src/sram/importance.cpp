@@ -1,0 +1,72 @@
+#include "sram/importance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace samurai::sram {
+
+ImportanceResult estimate_failure_probability(const ImportanceConfig& config) {
+  if (!(config.sigma_vt > 0.0) || config.samples == 0) {
+    throw std::invalid_argument("importance sampling: bad configuration");
+  }
+  util::Rng rng(config.seed);
+  const double inv_two_var = 1.0 / (2.0 * config.sigma_vt * config.sigma_vt);
+
+  double weight_sum = 0.0;
+  double weight_sq_sum = 0.0;
+  double fail_weight_sum = 0.0;
+  double fail_weight_sq_sum = 0.0;
+  std::size_t failures = 0;
+
+  for (std::size_t n = 0; n < config.samples; ++n) {
+    util::Rng sample_rng = rng.split(n + 1);
+    MethodologyConfig cell = config.cell;
+    cell.seed = sample_rng.next_u64();
+
+    // Draw V_T offsets from the *biased* distribution N(shift_d, σ²) and
+    // accumulate the log likelihood ratio
+    //   log w = Σ_d [ φ(x; 0, σ) / φ(x; s_d, σ) ] = Σ_d (s_d² - 2 s_d x_d) / 2σ².
+    double log_weight = 0.0;
+    for (int m = 1; m <= 6; ++m) {
+      const std::string name = "M" + std::to_string(m);
+      const auto it = config.shift.find(name);
+      const double shift = it == config.shift.end() ? 0.0 : it->second;
+      const double x = sample_rng.normal(shift, config.sigma_vt);
+      cell.vth_shifts[name] = x;
+      log_weight += (shift * shift - 2.0 * shift * x) * inv_two_var;
+    }
+    const double weight = std::exp(log_weight);
+
+    const auto run = run_methodology(cell);
+    const auto& report = config.with_rtn ? run.rtn_report : run.nominal_report;
+    const bool failed = report.any_error ||
+                        (config.count_slow_as_fail && report.any_slow);
+
+    weight_sum += weight;
+    weight_sq_sum += weight * weight;
+    if (failed) {
+      ++failures;
+      fail_weight_sum += weight;
+      fail_weight_sq_sum += weight * weight;
+    }
+  }
+
+  ImportanceResult result;
+  result.samples = config.samples;
+  result.failures_observed = failures;
+  const double n = static_cast<double>(config.samples);
+  result.failure_probability = fail_weight_sum / n;
+  // Var(p̂) = (E[w² 1_fail] - p²) / n, estimated from the sample moments.
+  const double second_moment = fail_weight_sq_sum / n;
+  const double variance = std::max(
+      0.0, (second_moment - result.failure_probability *
+                                result.failure_probability) / n);
+  result.standard_error = std::sqrt(variance);
+  result.effective_sample_size =
+      weight_sq_sum > 0.0 ? weight_sum * weight_sum / weight_sq_sum : 0.0;
+  return result;
+}
+
+}  // namespace samurai::sram

@@ -1,0 +1,157 @@
+#include "sram/methodology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/srh_model.hpp"
+#include "spice/rtn_integration.hpp"
+#include "util/rng.hpp"
+
+namespace samurai::sram {
+
+namespace {
+
+/// Wire the pattern sources and supply to a built cell.
+void attach_sources(spice::Circuit& circuit, const SramCellHandles& handles,
+                    const PatternWaveforms& pattern, double v_dd,
+                    const std::string& prefix) {
+  circuit.add<spice::VoltageSource>(circuit, prefix + "Vdd",
+                                    circuit.find_node(handles.vdd),
+                                    spice::kGround, core::Pwl::constant(v_dd));
+  circuit.add<spice::VoltageSource>(circuit, prefix + "Vwl",
+                                    circuit.find_node(handles.wl),
+                                    spice::kGround, pattern.wl);
+  circuit.add<spice::VoltageSource>(circuit, prefix + "Vbl",
+                                    circuit.find_node(handles.bl),
+                                    spice::kGround, pattern.bl);
+  circuit.add<spice::VoltageSource>(circuit, prefix + "Vblb",
+                                    circuit.find_node(handles.blb),
+                                    spice::kGround, pattern.blb);
+}
+
+spice::TransientOptions make_transient_options(const MethodologyConfig& config,
+                                               const PatternWaveforms& pattern,
+                                               const SramCellHandles& handles) {
+  spice::TransientOptions options = config.transient;
+  options.t_start = 0.0;
+  options.t_stop = pattern.t_end;
+  if (options.dt_max <= 0.0) options.dt_max = config.timing.period / 40.0;
+  options.dc.nodeset[handles.q] = 0.0;
+  options.dc.nodeset[handles.qb] = config.tech.v_dd;
+  options.dc.nodeset[handles.vdd] = config.tech.v_dd;
+  options.dc.nodeset[handles.bl] = config.tech.v_dd;
+  options.dc.nodeset[handles.blb] = config.tech.v_dd;
+  return options;
+}
+
+}  // namespace
+
+void extract_bias(const spice::TransientResult& result,
+                  const spice::Circuit& circuit, const spice::Mosfet& mosfet,
+                  core::Pwl& v_gs, core::Pwl& i_d) {
+  spice::extract_device_bias(result, circuit, mosfet, v_gs, i_d);
+}
+
+NominalRun run_nominal(const MethodologyConfig& config,
+                       const std::string& prefix) {
+  if (config.ops.empty()) {
+    throw std::invalid_argument("run_methodology: empty op pattern");
+  }
+  NominalRun run;
+  run.pattern = build_pattern(config.ops, config.tech.v_dd, config.timing);
+  spice::Circuit circuit;
+  run.handles = build_6t_cell(circuit, config.tech, config.sizing, prefix,
+                              config.vth_shifts);
+  attach_sources(circuit, run.handles, run.pattern, config.tech.v_dd, prefix);
+  const auto options = make_transient_options(config, run.pattern, run.handles);
+  run.result = spice::transient(circuit, options);
+  return run;
+}
+
+MethodologyResult run_methodology(const MethodologyConfig& config) {
+  MethodologyResult result;
+
+  // ---- Phase 1: nominal SPICE run, bias extraction. -----------------------
+  // The circuit must outlive bias extraction, so rebuild it here rather
+  // than delegating to run_nominal.
+  result.pattern = build_pattern(config.ops, config.tech.v_dd, config.timing);
+  spice::Circuit nominal_circuit;
+  SramCellHandles handles = build_6t_cell(nominal_circuit, config.tech,
+                                          config.sizing, "", config.vth_shifts);
+  attach_sources(nominal_circuit, handles, result.pattern, config.tech.v_dd, "");
+  const auto transient_options =
+      make_transient_options(config, result.pattern, handles);
+  result.nominal = spice::transient(nominal_circuit, transient_options);
+  result.q_node = handles.q;
+  result.qb_node = handles.qb;
+
+  DetectorOptions detector = config.detector;
+  detector.v_dd = config.tech.v_dd;
+  result.nominal_report =
+      check_pattern(result.nominal.voltage(handles.q), result.pattern, detector);
+
+  // ---- Phase 2: SAMURAI per transistor. -----------------------------------
+  const physics::SrhModel srh(config.tech);
+  util::Rng rng(config.seed);
+  result.rtn.reserve(6);
+  for (int m = 1; m <= 6; ++m) {
+    const std::string name = "M" + std::to_string(m);
+    const spice::Mosfet* mosfet = handles.mosfet(m);
+    TransistorRtn entry;
+    entry.name = name;
+
+    util::Rng profile_rng = rng.split(static_cast<std::uint64_t>(m) * 101);
+    entry.traps = physics::sample_trap_profile(
+        config.tech, transistor_geometry(config.tech, config.sizing, m),
+        profile_rng, config.profile);
+
+    extract_bias(result.nominal, nominal_circuit, *mosfet, entry.v_gs,
+                 entry.i_d);
+
+    // Trap statistics and Eq. 3 use an NMOS-equivalent device so the
+    // extracted (positive-when-on) bias feeds both consistently.
+    physics::MosDevice equivalent(config.tech, physics::MosType::kNmos,
+                                  mosfet->model().geometry());
+    core::RtnGeneratorOptions gen;
+    gen.t0 = 0.0;
+    gen.tf = result.pattern.t_end;
+    gen.amplitude_scale = config.rtn_scale;
+    util::Rng trap_rng = rng.split(static_cast<std::uint64_t>(m) * 977 + 13);
+    auto device_rtn = core::generate_device_rtn(srh, equivalent, entry.traps,
+                                                entry.v_gs, entry.i_d,
+                                                trap_rng, gen);
+    entry.n_filled = std::move(device_rtn.n_filled);
+    entry.i_rtn = std::move(device_rtn.i_rtn);
+    entry.stats = device_rtn.stats;
+    result.rtn.push_back(std::move(entry));
+  }
+
+  // ---- Phase 3: re-simulate with I_RTN injected. --------------------------
+  spice::Circuit rtn_circuit;
+  SramCellHandles rtn_handles = build_6t_cell(rtn_circuit, config.tech,
+                                              config.sizing, "",
+                                              config.vth_shifts);
+  attach_sources(rtn_circuit, rtn_handles, result.pattern, config.tech.v_dd, "");
+  for (int m = 1; m <= 6; ++m) {
+    const auto& entry = result.rtn[static_cast<std::size_t>(m - 1)];
+    if (!config.rtn_devices.empty() &&
+        config.rtn_devices.count(entry.name) == 0) {
+      continue;
+    }
+    const spice::Mosfet* mosfet = rtn_handles.mosfet(m);
+    // Inject opposing the nominal channel current (paper Fig. 4 right):
+    // the trace is signed like I_d, so the negated source always bucks it.
+    rtn_circuit.add<spice::CurrentSource>("Irtn_" + entry.name,
+                                          mosfet->drain(), mosfet->source(),
+                                          entry.i_rtn.scaled(-1.0));
+  }
+  result.with_rtn = spice::transient(rtn_circuit, transient_options);
+
+  // ---- Phase 4: detection. -------------------------------------------------
+  result.rtn_report = check_pattern(result.with_rtn.voltage(rtn_handles.q),
+                                    result.pattern, detector);
+  return result;
+}
+
+}  // namespace samurai::sram

@@ -1,0 +1,90 @@
+// The SAMURAI+SPICE methodology of paper Fig. 8 (left):
+//
+//   1. transient-simulate the cell on a test pattern *without* RTN,
+//      extracting each transistor's time-varying bias V_gs(t), I_d(t);
+//   2. run SAMURAI (Algorithm 1) per transistor on a sampled trap profile
+//      to produce trap occupancies and I_RTN(t) traces (Eq. 3), optionally
+//      amplitude-scaled (the paper uses ×30 in Fig. 8(e));
+//   3. re-simulate the cell with each I_RTN injected as a drain-source
+//      current source opposing the nominal channel current (Fig. 4 right);
+//   4. detect write errors / slow-down on both runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/rtn_generator.hpp"
+#include "core/waveform.hpp"
+#include "physics/technology.hpp"
+#include "physics/trap.hpp"
+#include "physics/trap_profile.hpp"
+#include "spice/analysis.hpp"
+#include "sram/cell.hpp"
+#include "sram/detector.hpp"
+#include "sram/pattern.hpp"
+
+namespace samurai::sram {
+
+struct MethodologyConfig {
+  physics::Technology tech;
+  CellSizing sizing;
+  std::vector<Op> ops;            ///< test pattern
+  PatternTiming timing;
+  std::uint64_t seed = 1;
+  double rtn_scale = 1.0;         ///< Fig. 8(e) uses 30
+  physics::TrapProfileOptions profile;
+  /// If non-empty, I_RTN is injected only into these transistors
+  /// ("M1".."M6"); traces are still generated for all six. Used to isolate
+  /// which device's RTN drives a failure mode.
+  std::set<std::string> rtn_devices;
+  VthShifts vth_shifts;           ///< per-transistor variation (arrays)
+  DetectorOptions detector;       ///< v_dd is overwritten from tech
+  spice::TransientOptions transient;  ///< t_stop overwritten from pattern
+};
+
+/// Per-transistor SAMURAI outputs (phase 2).
+struct TransistorRtn {
+  std::string name;               ///< "M1".."M6"
+  std::vector<physics::Trap> traps;
+  core::Pwl v_gs;                 ///< extracted bias (magnitude for PMOS)
+  core::Pwl i_d;                  ///< nominal channel current magnitude
+  core::StepTrace n_filled;       ///< trap occupancy (Fig. 8 (b),(c))
+  core::Pwl i_rtn;                ///< Eq. 3 trace (Fig. 8 (d)), signed
+  core::UniformisationStats stats;
+};
+
+struct MethodologyResult {
+  PatternWaveforms pattern;
+  spice::TransientResult nominal;    ///< Fig. 8(a)
+  std::vector<TransistorRtn> rtn;    ///< Fig. 8(b)-(d)
+  spice::TransientResult with_rtn;   ///< Fig. 8(e)
+  PatternReport nominal_report;
+  PatternReport rtn_report;
+  std::string q_node, qb_node;       ///< prefixed node names for plotting
+};
+
+/// Run the full pipeline. Deterministic given `config.seed`.
+MethodologyResult run_methodology(const MethodologyConfig& config);
+
+/// Phase-1 helper exposed for reuse: build and simulate the nominal cell,
+/// returning the transient plus the cell handles (by value).
+struct NominalRun {
+  PatternWaveforms pattern;
+  spice::TransientResult result;
+  SramCellHandles handles;
+};
+NominalRun run_nominal(const MethodologyConfig& config,
+                       const std::string& prefix = "");
+
+/// Extract transistor bias waveforms from a transient solution.
+/// For NMOS, V_gs(t) = V(gate) - min(V(d), V(s)); for PMOS the magnitude
+/// of the overdrive against the higher terminal. I_d is the channel
+/// current magnitude from the DC model at the extracted bias.
+void extract_bias(const spice::TransientResult& result,
+                  const spice::Circuit& circuit, const spice::Mosfet& mosfet,
+                  core::Pwl& v_gs, core::Pwl& i_d);
+
+}  // namespace samurai::sram

@@ -1,0 +1,161 @@
+#include "sram/snm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/analysis.hpp"
+#include "spice/devices.hpp"
+#include "util/grid.hpp"
+
+namespace samurai::sram {
+
+namespace {
+
+/// DC-sweep one half cell: an inverter (pull-up + pull-down) with the
+/// input forced, optionally loaded by its pass transistor in read mode.
+/// Returns the output voltage at each input grid point.
+std::vector<double> sweep_half_cell(const SnmConfig& config, bool first_half,
+                                    const std::vector<double>& grid) {
+  const auto shift = [&](const char* name) {
+    const auto it = config.vth_shifts.find(name);
+    return it == config.vth_shifts.end() ? 0.0 : it->second;
+  };
+
+  std::vector<double> output;
+  output.reserve(grid.size());
+  double warm_start = config.tech.v_dd;
+  for (double vin : grid) {
+    spice::Circuit circuit;
+    const int in = circuit.node("in");
+    const int out = circuit.node("out");
+    const int vdd = circuit.node("vdd");
+    spice::VoltageSource::dc(circuit, "Vin", in, spice::kGround, vin);
+    spice::VoltageSource::dc(circuit, "Vdd", vdd, spice::kGround,
+                             config.tech.v_dd);
+    // Half 1: M4 (PU of QB) + M5 (PD of QB), input Q; pass M2 from BLB.
+    // Half 2: M3 (PU of Q)  + M6 (PD of Q),  input QB; pass M1 from BL.
+    const char* pu_name = first_half ? "M4" : "M3";
+    const char* pd_name = first_half ? "M5" : "M6";
+    const char* pg_name = first_half ? "M2" : "M1";
+    const int pu_index = first_half ? 4 : 3;
+    const int pd_index = first_half ? 5 : 6;
+    const int pg_index = first_half ? 2 : 1;
+    physics::MosDevice pu(config.tech, physics::MosType::kPmos,
+                          transistor_geometry(config.tech, config.sizing, pu_index),
+                          shift(pu_name));
+    physics::MosDevice pd(config.tech, physics::MosType::kNmos,
+                          transistor_geometry(config.tech, config.sizing, pd_index),
+                          shift(pd_name));
+    circuit.add<spice::Mosfet>(pu_name, out, in, vdd, vdd, std::move(pu));
+    circuit.add<spice::Mosfet>(pd_name, out, in, spice::kGround,
+                               spice::kGround, std::move(pd));
+    if (config.mode == SnmMode::kRead) {
+      const int bl = circuit.node("bl");
+      const int wl = circuit.node("wl");
+      spice::VoltageSource::dc(circuit, "Vbl", bl, spice::kGround,
+                               config.tech.v_dd);
+      spice::VoltageSource::dc(circuit, "Vwl", wl, spice::kGround,
+                               config.tech.v_dd);
+      physics::MosDevice pg(config.tech, physics::MosType::kNmos,
+                            transistor_geometry(config.tech, config.sizing,
+                                                pg_index),
+                            shift(pg_name));
+      circuit.add<spice::Mosfet>(pg_name, bl, wl, out, spice::kGround,
+                                 std::move(pg));
+    }
+    spice::DcOptions options;
+    options.nodeset["out"] = warm_start;
+    const auto result = spice::dc_operating_point(circuit, options);
+    if (!result.converged) {
+      throw std::runtime_error("compute_snm: DC sweep did not converge");
+    }
+    const double vout = result.x[static_cast<std::size_t>(out)];
+    output.push_back(vout);
+    warm_start = vout;
+  }
+  return output;
+}
+
+}  // namespace
+
+SnmResult compute_snm(const SnmConfig& config) {
+  if (config.sweep_points < 8) {
+    throw std::invalid_argument("compute_snm: too few sweep points");
+  }
+  SnmResult result;
+  result.input_grid = util::linspace(0.0, config.tech.v_dd,
+                                     config.sweep_points);
+  result.vtc1 = sweep_half_cell(config, true, result.input_grid);
+  result.vtc2 = sweep_half_cell(config, false, result.input_grid);
+
+  // Largest-square construction, evaluated directly in the (Vq, Vqb)
+  // plane. Both VTCs are monotone decreasing, so each has a well-defined
+  // inverse; a square of side s fits in the upper-left butterfly lobe iff
+  // some x satisfies f1(x) - s >= f2inv(x + s) (top-left corner on curve
+  // 1, bottom-right corner above curve 2), and symmetrically for the
+  // lower-right lobe. The SNM is the smaller lobe's largest s, found by
+  // bisection.
+  const auto& grid = result.input_grid;
+  auto eval_direct = [&](const std::vector<double>& vtc, double x) {
+    return util::interp_linear(grid, vtc, x);
+  };
+  // Inverse of a decreasing VTC: reverse both arrays to get an increasing
+  // abscissa for interpolation.
+  auto make_inverse = [&](const std::vector<double>& vtc) {
+    std::vector<double> ys(vtc.rbegin(), vtc.rend());
+    std::vector<double> xs(grid.rbegin(), grid.rend());
+    // Enforce strict monotonicity for the interpolator (flat rails).
+    std::vector<double> ys2, xs2;
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      if (!ys2.empty() && ys[i] <= ys2.back()) continue;
+      ys2.push_back(ys[i]);
+      xs2.push_back(xs[i]);
+    }
+    return std::pair<std::vector<double>, std::vector<double>>{ys2, xs2};
+  };
+  const auto inv1 = make_inverse(result.vtc1);  // x such that f1(x) = y
+  const auto inv2 = make_inverse(result.vtc2);  // y such that f2(y) = x
+
+  const double v_dd = config.tech.v_dd;
+  // Both boundaries are decreasing, so over the square's x-extent
+  // [x, x+s] the upper boundary f1 binds at its right end and the lower
+  // boundary f2inv at its left end: the square fits iff
+  // f1(x+s) - f2inv(x) >= s for some x (and symmetrically for the lower
+  // lobe with the axes swapped).
+  auto fits_upper = [&](double s) {
+    for (double x = 0.0; x + s <= v_dd; x += v_dd / 400.0) {
+      const double top = eval_direct(result.vtc1, x + s);
+      const double bottom = util::interp_linear(inv2.first, inv2.second, x);
+      if (top - bottom >= s) return true;
+    }
+    return false;
+  };
+  auto fits_lower = [&](double s) {
+    for (double y = 0.0; y + s <= v_dd; y += v_dd / 400.0) {
+      const double right = eval_direct(result.vtc2, y + s);
+      const double left = util::interp_linear(inv1.first, inv1.second, y);
+      if (right - left >= s) return true;
+    }
+    return false;
+  };
+  auto bisect = [&](auto&& fits) {
+    if (!fits(1e-6 * v_dd)) return 0.0;
+    double lo = 0.0, hi = v_dd;
+    for (int iter = 0; iter < 40; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (fits(mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+  const double upper = bisect(fits_upper);
+  const double lower = bisect(fits_lower);
+  result.snm = std::min(upper, lower);
+  return result;
+}
+
+}  // namespace samurai::sram

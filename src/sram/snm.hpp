@@ -1,0 +1,46 @@
+// Static noise margin (SNM) analysis of the 6T cell — the classic
+// butterfly-curve metric behind the "static noise" base of the paper's
+// Fig. 2 margin stack, and the natural place to quantify what a trapped
+// charge (an RTN/NBTI V_T shift) costs in stability terms.
+//
+// The two half-cell voltage-transfer curves are computed by DC-sweeping
+// each inverter (with the pass transistor loading it in read mode); the
+// SNM is the side of the largest square that fits between the curve and
+// the mirrored complement (Seevinck's construction, evaluated on the
+// rotated-coordinate residuals).
+#pragma once
+
+#include <vector>
+
+#include "physics/technology.hpp"
+#include "sram/cell.hpp"
+
+namespace samurai::sram {
+
+enum class SnmMode {
+  kHold,  ///< wordline low: pass gates off
+  kRead,  ///< wordline high, bitlines at V_dd: the disturbed state
+};
+
+struct SnmConfig {
+  physics::Technology tech;
+  CellSizing sizing;
+  VthShifts vth_shifts;   ///< e.g. an RTN/NBTI-induced shift under test
+  SnmMode mode = SnmMode::kHold;
+  std::size_t sweep_points = 81;
+};
+
+struct SnmResult {
+  double snm = 0.0;  ///< V; 0 when the cell is not bistable
+  /// VTC of inverter 1 (input Q, output QB) on the sweep grid, and of
+  /// inverter 2 (input QB, output Q).
+  std::vector<double> input_grid;
+  std::vector<double> vtc1;
+  std::vector<double> vtc2;
+};
+
+/// Compute the static noise margin. Deterministic; ~2*sweep_points DC
+/// solves.
+SnmResult compute_snm(const SnmConfig& config);
+
+}  // namespace samurai::sram

@@ -1,0 +1,77 @@
+#include "sram/vmin.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace samurai::sram {
+
+VminResult find_vmin(const VminConfig& config) {
+  const double v_hi = config.v_hi > 0.0 ? config.v_hi : config.cell.tech.v_dd;
+  if (!(config.v_lo < v_hi) || !(config.resolution > 0.0)) {
+    throw std::invalid_argument("find_vmin: bad sweep range");
+  }
+  VminResult result;
+  util::Rng seed_rng(config.cell.seed);
+
+  auto fails = [&](const PatternReport& report) {
+    return report.any_error ||
+           (config.count_slow_as_fail && report.any_slow);
+  };
+
+  for (double v = config.v_lo; v <= v_hi + 1e-12; v += config.resolution) {
+    VminPoint point;
+    point.v_dd = v;
+    MethodologyConfig cell = config.cell;
+    cell.tech.v_dd = v;
+    // Nominal pass/fail is seed-independent but cheapest obtained from the
+    // same pipeline (phase 1 + detector only would save the RTN phases;
+    // the run below is reused for the first RTN seed).
+    bool nominal_known = false;
+    for (std::size_t s = 0; s < config.rtn_seeds; ++s) {
+      cell.seed = seed_rng.split(s + 1).next_u64();
+      MethodologyResult run;
+      try {
+        run = run_methodology(cell);
+      } catch (const std::exception&) {
+        // Non-convergence at very low supply counts as failure everywhere.
+        point.nominal_pass = false;
+        point.rtn_failures = config.rtn_seeds;
+        nominal_known = true;
+        break;
+      }
+      if (!nominal_known) {
+        point.nominal_pass = !fails(run.nominal_report);
+        nominal_known = true;
+        if (!point.nominal_pass) {
+          // A nominally broken supply fails with RTN too; skip the seeds.
+          point.rtn_failures = config.rtn_seeds;
+          break;
+        }
+      }
+      if (fails(run.rtn_report)) ++point.rtn_failures;
+    }
+    result.sweep.push_back(point);
+  }
+
+  // V_min = the lowest supply from which everything above also passes.
+  auto lowest_all_above = [&](auto&& passes) {
+    double vmin = 0.0;
+    for (auto it = result.sweep.rbegin(); it != result.sweep.rend(); ++it) {
+      if (!passes(*it)) break;
+      vmin = it->v_dd;
+    }
+    return vmin;
+  };
+  result.vmin_nominal =
+      lowest_all_above([](const VminPoint& p) { return p.nominal_pass; });
+  result.vmin_rtn = lowest_all_above(
+      [](const VminPoint& p) { return p.nominal_pass && p.rtn_failures == 0; });
+  if (result.vmin_nominal > 0.0 && result.vmin_rtn > 0.0) {
+    result.rtn_margin = result.vmin_rtn - result.vmin_nominal;
+  }
+  return result;
+}
+
+}  // namespace samurai::sram

@@ -1,0 +1,47 @@
+// Minimum-operating-voltage (V_min) characterisation — the quantity the
+// paper's Fig. 2 frames the whole problem around: how much V_dd margin
+// each non-ideality costs, and how much *extra* margin RTN demands.
+//
+// The cell+pattern is swept over supply voltages; V_min is the lowest
+// supply at which the test pattern completes without write errors. Run
+// once without RTN and once with SAMURAI traces injected (worst case over
+// several trap-population seeds), the difference is the simulated RTN
+// V_dd margin. This also implements the "accelerated RTN testing"
+// alternative the paper cites (ref. [14]): instead of scaling I_RTN, the
+// cell is operated at reduced supply where unscaled RTN already matters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sram/methodology.hpp"
+
+namespace samurai::sram {
+
+struct VminConfig {
+  MethodologyConfig cell;   ///< tech.v_dd is overridden by the sweep
+  double v_lo = 0.4;        ///< sweep floor, V
+  double v_hi = 0.0;        ///< sweep ceiling; 0 = tech.v_dd
+  double resolution = 0.025;///< sweep step, V
+  std::size_t rtn_seeds = 4;///< worst-case over this many trap draws
+  bool count_slow_as_fail = false;
+};
+
+struct VminPoint {
+  double v_dd = 0.0;
+  bool nominal_pass = false;
+  std::size_t rtn_failures = 0;  ///< out of rtn_seeds
+};
+
+struct VminResult {
+  std::vector<VminPoint> sweep;   ///< ascending v_dd
+  double vmin_nominal = 0.0;      ///< 0 if never passes in range
+  double vmin_rtn = 0.0;          ///< lowest v where *all* seeds pass
+  /// RTN's V_dd margin cost: vmin_rtn - vmin_nominal (the paper's Fig. 2
+  /// "RTN" stack increment, obtained from simulation).
+  double rtn_margin = 0.0;
+};
+
+VminResult find_vmin(const VminConfig& config);
+
+}  // namespace samurai::sram

@@ -1,0 +1,108 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace samurai::util {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+bool usable(double v, bool log_scale) {
+  return std::isfinite(v) && (!log_scale || v > 0.0);
+}
+
+std::string format_tick(double v) {
+  std::ostringstream oss;
+  oss << std::setprecision(3) << std::scientific << v;
+  return oss.str();
+}
+
+}  // namespace
+
+void plot(std::ostream& os, const std::vector<Series>& series,
+          const PlotOptions& options) {
+  const int w = std::max(options.width, 16);
+  const int h = std::max(options.height, 6);
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& s : series) {
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!usable(s.x[i], options.log_x) || !usable(s.y[i], options.log_y)) {
+        continue;
+      }
+      const double px = options.log_x ? std::log10(s.x[i]) : s.x[i];
+      const double py = options.log_y ? std::log10(s.y[i]) : s.y[i];
+      xmin = std::min(xmin, px);
+      xmax = std::max(xmax, px);
+      ymin = std::min(ymin, py);
+      ymax = std::max(ymax, py);
+    }
+  }
+  if (!(xmin <= xmax) || !(ymin <= ymax)) {
+    os << "[plot: no plottable data]\n";
+    return;
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series[si];
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!usable(s.x[i], options.log_x) || !usable(s.y[i], options.log_y)) {
+        continue;
+      }
+      const double px = options.log_x ? std::log10(s.x[i]) : s.x[i];
+      const double py = options.log_y ? std::log10(s.y[i]) : s.y[i];
+      int col = static_cast<int>(std::lround((px - xmin) / (xmax - xmin) * (w - 1)));
+      int row = static_cast<int>(std::lround((py - ymin) / (ymax - ymin) * (h - 1)));
+      col = std::clamp(col, 0, w - 1);
+      row = std::clamp(row, 0, h - 1);
+      grid[static_cast<std::size_t>(h - 1 - row)][static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  if (!options.title.empty()) os << options.title << '\n';
+  const double y_top = options.log_y ? std::pow(10.0, ymax) : ymax;
+  const double y_bot = options.log_y ? std::pow(10.0, ymin) : ymin;
+  const double x_left = options.log_x ? std::pow(10.0, xmin) : xmin;
+  const double x_right = options.log_x ? std::pow(10.0, xmax) : xmax;
+
+  for (int r = 0; r < h; ++r) {
+    std::string label(12, ' ');
+    if (r == 0) label = format_tick(y_top);
+    if (r == h - 1) label = format_tick(y_bot);
+    label.resize(12, ' ');
+    os << label << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(12, ' ') << " +" << std::string(static_cast<std::size_t>(w), '-')
+     << '\n';
+  os << std::string(12, ' ') << "  " << format_tick(x_left);
+  const std::string right = format_tick(x_right);
+  const int pad = w - static_cast<int>(format_tick(x_left).size() + right.size());
+  os << std::string(static_cast<std::size_t>(std::max(pad, 1)), ' ') << right << '\n';
+  std::ostringstream legend;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    legend << (si ? "   " : "") << kGlyphs[si % sizeof(kGlyphs)] << " = "
+           << series[si].name;
+  }
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    os << std::string(14, ' ') << "x: " << options.x_label
+       << (options.log_x ? " (log)" : "") << "   y: " << options.y_label
+       << (options.log_y ? " (log)" : "") << '\n';
+  }
+  os << std::string(14, ' ') << legend.str() << '\n';
+}
+
+}  // namespace samurai::util

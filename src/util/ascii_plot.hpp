@@ -1,0 +1,36 @@
+// Terminal plotting for bench output.
+//
+// The paper's evaluation is figures; benches render each figure's series as
+// an ASCII chart so "the same rows/series the paper reports" are visible
+// directly in bench output, alongside the CSV data they also emit.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace samurai::util {
+
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct PlotOptions {
+  int width = 72;    ///< plot area width in characters
+  int height = 18;   ///< plot area height in characters
+  bool log_x = false;
+  bool log_y = false;
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Render up to 8 series (glyphs '*', '+', 'o', 'x', '#', '@', '%', '&')
+/// into an axis-labelled ASCII chart. Non-finite and (for log axes)
+/// non-positive points are skipped.
+void plot(std::ostream& os, const std::vector<Series>& series,
+          const PlotOptions& options);
+
+}  // namespace samurai::util

@@ -1,0 +1,66 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace samurai::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "true";  // bare flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return options_.count(name) != 0; }
+
+std::string Cli::get_string(const std::string& name, std::string fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? std::move(fallback) : it->second;
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+long long Cli::get_int(const std::string& name, long long fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+std::uint64_t Cli::get_seed(const std::string& name, std::uint64_t fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stoull(it->second, nullptr, 0);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a seed, got '" +
+                                it->second + "'");
+  }
+}
+
+}  // namespace samurai::util

@@ -1,0 +1,32 @@
+// Minimal command-line option parsing for examples and benches.
+//
+// Supports `--name value` and `--name=value`; unknown options are an error
+// so typos fail loudly. Only the handful of types the binaries need.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace samurai::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name, std::string fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  long long get_int(const std::string& name, long long fallback) const;
+  std::uint64_t get_seed(const std::string& name, std::uint64_t fallback) const;
+
+  /// Positional (non `--`) arguments in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace samurai::util

@@ -1,0 +1,76 @@
+#include "util/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace samurai::util {
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("linspace: n == 0");
+  std::vector<double> out(n);
+  if (n == 1) {
+    out[0] = lo;
+    return out;
+  }
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = lo + step * static_cast<double>(i);
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  if (lo <= 0.0 || hi <= 0.0) throw std::invalid_argument("logspace: endpoints must be > 0");
+  auto exps = linspace(std::log10(lo), std::log10(hi), n);
+  for (auto& e : exps) e = std::pow(10.0, e);
+  return exps;
+}
+
+double interp_linear(std::span<const double> xs, std::span<const double> ys,
+                     double x) {
+  if (xs.size() != ys.size() || xs.empty()) {
+    throw std::invalid_argument("interp_linear: bad sample arrays");
+  }
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+SampleStats summarize(std::span<const double> samples) {
+  SampleStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) return stats;
+  double sum = 0.0;
+  stats.min = samples[0];
+  stats.max = samples[0];
+  for (double v : samples) {
+    sum += v;
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+  }
+  stats.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double ss = 0.0;
+    for (double v : samples) {
+      const double d = v - stats.mean;
+      ss += d * d;
+    }
+    stats.variance = ss / static_cast<double>(samples.size() - 1);
+  }
+  return stats;
+}
+
+double trapezoid(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("trapezoid: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    sum += 0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1]);
+  }
+  return sum;
+}
+
+}  // namespace samurai::util

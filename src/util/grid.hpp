@@ -1,0 +1,37 @@
+// Small numeric helpers shared across modules: grids, interpolation and
+// summary statistics over samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace samurai::util {
+
+/// `n` evenly spaced points from `lo` to `hi` inclusive (n >= 2), or the
+/// single point `lo` when n == 1.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// `n` logarithmically spaced points from `lo` to `hi` inclusive; both
+/// endpoints must be positive.
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/// Linear interpolation of samples (xs, ys) at `x`; xs must be strictly
+/// increasing. Values outside the range clamp to the end samples.
+double interp_linear(std::span<const double> xs, std::span<const double> ys,
+                     double x);
+
+struct SampleStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1) sample variance
+  double min = 0.0;
+  double max = 0.0;
+};
+
+SampleStats summarize(std::span<const double> samples);
+
+/// Trapezoidal integral of y(x) over the sample grid.
+double trapezoid(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace samurai::util

@@ -1,0 +1,106 @@
+#include "signal/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "physics/constants.hpp"
+#include "util/grid.hpp"
+
+namespace samurai::signal {
+namespace {
+
+TEST(Analytic, FillProbabilityAndVariance) {
+  const RtsParams p{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(rts_fill_probability(p), 0.75);
+  EXPECT_DOUBLE_EQ(rts_variance(p), 4.0 * 0.75 * 0.25);
+  EXPECT_THROW(rts_fill_probability({0.0, 0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Analytic, AutocovarianceDecaysWithTotalRate) {
+  const RtsParams p{2.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(rts_autocovariance(p, 0.0), rts_variance(p));
+  EXPECT_NEAR(rts_autocovariance(p, 0.5) / rts_variance(p), std::exp(-2.0),
+              1e-12);
+  // Even in τ.
+  EXPECT_DOUBLE_EQ(rts_autocovariance(p, 0.3), rts_autocovariance(p, -0.3));
+}
+
+TEST(Analytic, PsdIntegratesToVariance) {
+  const RtsParams p{1000.0, 500.0, 3.0};
+  const auto freqs = util::logspace(1e-2, 1e8, 20000);
+  std::vector<double> psd;
+  psd.reserve(freqs.size());
+  for (double f : freqs) psd.push_back(rts_psd(p, f));
+  const double integral = util::trapezoid(freqs, psd);
+  EXPECT_NEAR(integral / rts_variance(p), 1.0, 0.01);
+}
+
+TEST(Analytic, PsdCornerFrequency) {
+  const RtsParams p{2000.0, 2000.0, 1.0};
+  const double corner = (p.lambda_c + p.lambda_e) / (2.0 * std::numbers::pi);
+  EXPECT_NEAR(rts_psd(p, corner) / rts_psd(p, 1e-3), 0.5, 1e-6);
+}
+
+TEST(Analytic, MultiTrapSuperposition) {
+  const std::vector<RtsParams> traps = {{100.0, 100.0, 1.0},
+                                        {1e4, 1e4, 0.5},
+                                        {1e6, 1e6, 0.25}};
+  const double f = 1234.0;
+  double sum = 0.0;
+  for (const auto& t : traps) sum += rts_psd(t, f);
+  EXPECT_DOUBLE_EQ(multi_rts_psd(traps, f), sum);
+  double acf_sum = 0.0;
+  for (const auto& t : traps) acf_sum += rts_autocovariance(t, 1e-5);
+  EXPECT_DOUBLE_EQ(multi_rts_autocovariance(traps, 1e-5), acf_sum);
+}
+
+TEST(Analytic, ThermalNoiseFloor) {
+  // S = (8/3) k T g_m.
+  const double s = thermal_noise_psd(300.0, 1e-3);
+  EXPECT_NEAR(s, (8.0 / 3.0) * physics::kBoltzmann * 300.0 * 1e-3, 1e-30);
+}
+
+TEST(Analytic, ManyTrapsApproachOneOverF) {
+  // A log-uniform spread of trap rates over many decades superposes into
+  // ~1/f — the classic result the paper's Fig. 3 (left) relies on.
+  std::vector<RtsParams> traps;
+  for (int d = 0; d < 60; ++d) {
+    const double rate = std::pow(10.0, 1.0 + 6.0 * d / 59.0);
+    traps.push_back({rate, rate, 1.0});
+  }
+  const auto freqs = util::logspace(1e2, 1e5, 40);
+  std::vector<double> psd;
+  for (double f : freqs) psd.push_back(multi_rts_psd(traps, f));
+  const auto fit = fit_power_law(freqs, psd);
+  EXPECT_NEAR(fit.slope, 1.0, 0.1);
+  EXPECT_LT(fit.rms_log_error, 0.1);
+}
+
+TEST(Analytic, PowerLawFitRecoversSyntheticLaw) {
+  const auto freqs = util::logspace(1.0, 1e4, 50);
+  std::vector<double> psd;
+  for (double f : freqs) psd.push_back(7.5 / std::pow(f, 1.3));
+  const auto fit = fit_power_law(freqs, psd);
+  EXPECT_NEAR(fit.slope, 1.3, 1e-6);
+  EXPECT_NEAR(fit.amplitude, 7.5, 1e-4);
+  EXPECT_NEAR(fit.rms_log_error, 0.0, 1e-9);
+}
+
+TEST(Analytic, ConstrainedFitForcesSlopeOne) {
+  const auto freqs = util::logspace(1.0, 1e4, 50);
+  std::vector<double> psd;
+  for (double f : freqs) psd.push_back(3.0 / std::pow(f, 2.0));
+  const auto fit = fit_power_law(freqs, psd, true);
+  EXPECT_DOUBLE_EQ(fit.slope, 1.0);
+  EXPECT_GT(fit.rms_log_error, 0.5);  // bad fit is reported as bad
+}
+
+TEST(Analytic, FitRejectsDegenerateInputs) {
+  EXPECT_THROW(fit_power_law({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({-1.0, -2.0}, {1.0, 1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace samurai::signal

@@ -1,0 +1,123 @@
+#include "sram/column.hpp"
+
+#include <gtest/gtest.h>
+
+namespace samurai::sram {
+namespace {
+
+ColumnConfig small_column() {
+  ColumnConfig config;
+  config.tech = physics::technology("90nm");
+  config.num_cells = 2;
+  config.initial_bits = {0, 1};
+  config.ops = {ColumnOp::write(0, 1), ColumnOp::read(0), ColumnOp::read(1)};
+  return config;
+}
+
+TEST(Column, RejectsEmptyConfigs) {
+  spice::Circuit circuit;
+  ColumnConfig config = small_column();
+  config.ops.clear();
+  EXPECT_THROW(build_column(circuit, config), std::invalid_argument);
+  config = small_column();
+  config.num_cells = 0;
+  spice::Circuit circuit2;
+  EXPECT_THROW(build_column(circuit2, config), std::invalid_argument);
+}
+
+TEST(Column, OpAddressingMissingCellThrows) {
+  spice::Circuit circuit;
+  ColumnConfig config = small_column();
+  config.ops.push_back(ColumnOp::read(7));
+  EXPECT_THROW(build_column(circuit, config), std::invalid_argument);
+}
+
+TEST(Column, BuildsSharedRailsAndPerCellWordlines) {
+  spice::Circuit circuit;
+  const auto build = build_column(circuit, small_column());
+  ASSERT_EQ(build.cells.size(), 2u);
+  EXPECT_TRUE(circuit.has_node("bl"));
+  EXPECT_TRUE(circuit.has_node("blb"));
+  EXPECT_TRUE(circuit.has_node("c0_q"));
+  EXPECT_TRUE(circuit.has_node("c1_q"));
+  EXPECT_NE(circuit.find<spice::Mosfet>("MPC0"), nullptr);
+  EXPECT_NE(circuit.find<spice::Mosfet>("MWD1"), nullptr);
+  EXPECT_NE(circuit.find<spice::Mosfet>("c1_M5"), nullptr);
+}
+
+TEST(Column, NominalOpsAllSucceed) {
+  const auto result = run_column_rtn(small_column(), 3, 0.0);
+  EXPECT_FALSE(result.nominal_report.any_error);
+  ASSERT_EQ(result.nominal_report.writes.size(), 1u);
+  EXPECT_TRUE(result.nominal_report.writes[0].ok);
+  ASSERT_EQ(result.nominal_report.reads.size(), 2u);
+  EXPECT_EQ(result.nominal_report.reads[0].sensed, 1);
+  EXPECT_EQ(result.nominal_report.reads[1].sensed, 1);
+  EXPECT_FALSE(result.nominal_report.reads[0].disturbed);
+}
+
+TEST(Column, ReadsSenseBothPolarities) {
+  ColumnConfig config = small_column();
+  config.ops = {ColumnOp::read(0), ColumnOp::read(1)};  // stored 0 and 1
+  const auto result = run_column_rtn(config, 4, 0.0);
+  ASSERT_EQ(result.nominal_report.reads.size(), 2u);
+  EXPECT_EQ(result.nominal_report.reads[0].sensed, 0);
+  EXPECT_EQ(result.nominal_report.reads[1].sensed, 1);
+  EXPECT_GT(result.nominal_report.min_sense_margin, 0.02);
+}
+
+TEST(Column, SenseMarginIsPartialDischarge) {
+  // Sensing happens before the bitline rails: margin well below V_dd.
+  const auto result = run_column_rtn(small_column(), 5, 0.0);
+  for (const auto& read : result.nominal_report.reads) {
+    EXPECT_GT(read.sense_margin, 0.02);
+    EXPECT_LT(read.sense_margin, 0.5 * 1.2);
+  }
+}
+
+TEST(Column, RtnShrinksOrPerturbsSenseMargins) {
+  ColumnConfig config = small_column();
+  const auto clean = run_column_rtn(config, 6, 0.0);
+  const auto noisy = run_column_rtn(config, 6, 120.0);
+  ASSERT_EQ(clean.rtn_report.reads.size(), noisy.rtn_report.reads.size());
+  double max_change = 0.0;
+  for (std::size_t i = 0; i < clean.rtn_report.reads.size(); ++i) {
+    max_change = std::max(max_change,
+                          std::abs(clean.rtn_report.reads[i].sense_margin -
+                                   noisy.rtn_report.reads[i].sense_margin));
+  }
+  EXPECT_GT(max_change, 1e-3);  // visibly perturbed at x120
+}
+
+TEST(Column, NopSlotsLeaveCellsAlone) {
+  ColumnConfig config = small_column();
+  config.ops = {ColumnOp::nop(), ColumnOp::nop(), ColumnOp::read(1)};
+  const auto result = run_column_rtn(config, 7, 0.0);
+  EXPECT_FALSE(result.nominal_report.any_error);
+  EXPECT_EQ(result.nominal_report.reads[0].expected, 1);
+}
+
+TEST(Column, WriteOverwritesOppositeValue) {
+  ColumnConfig config = small_column();
+  config.initial_bits = {1, 0};
+  config.ops = {ColumnOp::write(0, 0), ColumnOp::read(0),
+                ColumnOp::write(1, 1), ColumnOp::read(1)};
+  const auto result = run_column_rtn(config, 8, 0.0);
+  EXPECT_FALSE(result.nominal_report.any_error);
+  EXPECT_EQ(result.nominal_report.reads[0].sensed, 0);
+  EXPECT_EQ(result.nominal_report.reads[1].sensed, 1);
+}
+
+TEST(Column, DeterministicGivenSeed) {
+  const auto a = run_column_rtn(small_column(), 11, 30.0);
+  const auto b = run_column_rtn(small_column(), 11, 30.0);
+  ASSERT_EQ(a.rtn.traces.size(), b.rtn.traces.size());
+  for (std::size_t i = 0; i < a.rtn.traces.size(); ++i) {
+    EXPECT_EQ(a.rtn.traces[i].stats.accepted, b.rtn.traces[i].stats.accepted);
+  }
+  EXPECT_NEAR(a.rtn_report.min_sense_margin, b.rtn_report.min_sense_margin,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace samurai::sram

@@ -1,0 +1,139 @@
+// Tests for the future-work extensions: bi-directionally coupled
+// simulation (ext. 1) and array Monte-Carlo statistics (ext. 3).
+#include <gtest/gtest.h>
+
+#include "sram/array.hpp"
+#include "sram/coupled.hpp"
+
+namespace samurai::sram {
+namespace {
+
+MethodologyConfig tiny_config() {
+  MethodologyConfig config;
+  config.tech = physics::technology("90nm");
+  config.ops = ops_from_bits({1, 0});
+  config.seed = 3;
+  return config;
+}
+
+TEST(Coupled, RunsAndWritesSucceed) {
+  const auto result = run_coupled(tiny_config());
+  EXPECT_FALSE(result.report.any_error);
+  ASSERT_EQ(result.transistor_names.size(), 6u);
+  ASSERT_EQ(result.n_filled.size(), 6u);
+  ASSERT_EQ(result.traps.size(), 6u);
+  EXPECT_GT(result.transient.num_points(), 100u);
+}
+
+TEST(Coupled, OccupancyBoundedByTrapCount) {
+  const auto result = run_coupled(tiny_config());
+  for (std::size_t i = 0; i < result.n_filled.size(); ++i) {
+    const double cap = static_cast<double>(result.traps[i].size());
+    for (double v : result.n_filled[i].values()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, cap);
+    }
+  }
+}
+
+TEST(Coupled, DeterministicGivenSeed) {
+  const auto a = run_coupled(tiny_config());
+  const auto b = run_coupled(tiny_config());
+  ASSERT_EQ(a.n_filled.size(), b.n_filled.size());
+  for (std::size_t i = 0; i < a.n_filled.size(); ++i) {
+    EXPECT_EQ(a.traps[i].size(), b.traps[i].size());
+  }
+  EXPECT_EQ(a.report.any_error, b.report.any_error);
+}
+
+TEST(Coupled, TrapActivityFollowsBias) {
+  // Like the staged methodology, the coupled run's pull-down trap
+  // activity must track the stored value; here just check some switching
+  // occurred on at least one transistor (the cell carries ~600 traps).
+  const auto result = run_coupled(tiny_config());
+  std::size_t total_switches = 0;
+  for (const auto& trace : result.n_filled) total_switches += trace.num_steps();
+  EXPECT_GT(total_switches, 10u);
+}
+
+TEST(Array, CountsAreConsistent) {
+  ArrayConfig config;
+  config.cell = tiny_config();
+  config.num_cells = 6;
+  config.sigma_vt = 0.01;
+  config.seed = 5;
+  const auto result = run_array(config);
+  ASSERT_EQ(result.cells.size(), 6u);
+  EXPECT_LE(result.rtn_only_errors, result.rtn_errors);
+  EXPECT_LE(result.nominal_errors, result.cells.size());
+  std::size_t recount = 0;
+  for (const auto& cell : result.cells) {
+    if (cell.rtn_error) ++recount;
+    EXPECT_GT(cell.total_traps, 100u);  // ~600 traps per 90nm cell
+  }
+  EXPECT_EQ(recount, result.rtn_errors);
+}
+
+TEST(Array, DeterministicGivenSeed) {
+  ArrayConfig config;
+  config.cell = tiny_config();
+  config.num_cells = 3;
+  config.seed = 9;
+  const auto a = run_array(config);
+  const auto b = run_array(config);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].total_traps, b.cells[i].total_traps);
+    EXPECT_EQ(a.cells[i].rtn_error, b.cells[i].rtn_error);
+  }
+}
+
+TEST(Array, ParallelRunIsBitIdenticalToSerial) {
+  ArrayConfig config;
+  config.cell = tiny_config();
+  config.num_cells = 6;
+  config.sigma_vt = 0.02;
+  config.seed = 12;
+  config.threads = 1;
+  const auto serial = run_array(config);
+  config.threads = 4;
+  const auto parallel = run_array(config);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].total_traps, parallel.cells[i].total_traps);
+    EXPECT_EQ(serial.cells[i].rtn_switches, parallel.cells[i].rtn_switches);
+    EXPECT_EQ(serial.cells[i].rtn_error, parallel.cells[i].rtn_error);
+    EXPECT_EQ(serial.cells[i].rtn_slow, parallel.cells[i].rtn_slow);
+  }
+  EXPECT_EQ(serial.rtn_errors, parallel.rtn_errors);
+  EXPECT_EQ(serial.rtn_rescued, parallel.rtn_rescued);
+}
+
+TEST(Array, CellsDifferFromEachOther) {
+  ArrayConfig config;
+  config.cell = tiny_config();
+  config.num_cells = 4;
+  config.seed = 10;
+  const auto result = run_array(config);
+  bool trap_counts_differ = false;
+  for (std::size_t i = 1; i < result.cells.size(); ++i) {
+    if (result.cells[i].total_traps != result.cells[0].total_traps) {
+      trap_counts_differ = true;
+    }
+  }
+  EXPECT_TRUE(trap_counts_differ);
+}
+
+TEST(Array, BrokenCellIsDetectedThroughThePipeline) {
+  // Deterministic sanity check that cell failures feed through the
+  // detector: a pass-gate V_T pushed above the wordline swing cannot
+  // conduct, so no write ever lands.
+  MethodologyConfig config = tiny_config();
+  config.vth_shifts["M1"] = 1.5;
+  config.vth_shifts["M2"] = 1.5;
+  const auto result = run_methodology(config);
+  EXPECT_TRUE(result.nominal_report.any_error);
+}
+
+}  // namespace
+}  // namespace samurai::sram

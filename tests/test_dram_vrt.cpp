@@ -1,0 +1,123 @@
+#include "dram/vrt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace samurai::dram {
+namespace {
+
+VrtConfig fast_config() {
+  VrtConfig config;
+  config.tech = physics::technology("45nm");
+  config.t_max = 0.05;
+  return config;
+}
+
+TEST(DramVrt, LeakageDecreasesWithTrappedChannelCharge) {
+  const auto tech = physics::technology("45nm");
+  const physics::MosDevice device(tech, physics::MosType::kNmos,
+                                  {tech.w_min, tech.l_min});
+  const double i0 = leakage_current(device, 0.8, 0.0, 0.0, 0.0);
+  const double i5 = leakage_current(device, 0.8, 5.0, 0.0, 0.0);
+  EXPECT_GT(i0, 0.0);
+  EXPECT_LT(i5, i0);
+}
+
+TEST(DramVrt, FilledDefectOpensTatPath) {
+  const auto tech = physics::technology("45nm");
+  const physics::MosDevice device(tech, physics::MosType::kNmos,
+                                  {tech.w_min, tech.l_min});
+  const double closed = leakage_current(device, 0.8, 0.0, 0.0, 1.5);
+  const double open = leakage_current(device, 0.8, 0.0, 1.0, 1.5);
+  // One filled defect multiplies leakage by (1 + 1.5) against a small
+  // channel-charge suppression.
+  EXPECT_GT(open / closed, 2.0);
+  EXPECT_LT(open / closed, 2.6);
+}
+
+TEST(DramVrt, LeakageGrowsWithStoredVoltage) {
+  const auto tech = physics::technology("45nm");
+  const physics::MosDevice device(tech, physics::MosType::kNmos,
+                                  {tech.w_min, tech.l_min});
+  EXPECT_GT(leakage_current(device, 0.9, 0.0, 0.0, 0.0),
+            leakage_current(device, 0.3, 0.0, 0.0, 0.0));
+}
+
+TEST(DramVrt, BadCellSpecThrows) {
+  VrtConfig config = fast_config();
+  config.storage_cap = 0.0;
+  util::Rng rng(1);
+  EXPECT_THROW(simulate_device_retention(config, rng, 2), std::invalid_argument);
+  config = fast_config();
+  config.v_sense = 2.0 * config.tech.v_dd;  // above the stored level
+  EXPECT_THROW(simulate_device_retention(config, rng, 2), std::invalid_argument);
+}
+
+TEST(DramVrt, RetentionTimesArePositiveAndBounded) {
+  VrtConfig config = fast_config();
+  util::Rng rng(2);
+  const auto result = simulate_device_retention(config, rng, 6);
+  ASSERT_EQ(result.trials.size(), 6u);
+  for (const auto& trial : result.trials) {
+    EXPECT_GT(trial.retention_time, 0.0);
+    EXPECT_LE(trial.retention_time, config.t_max);
+  }
+  EXPECT_GE(result.vrt_ratio, 1.0);
+  EXPECT_LE(result.retention_min, result.retention_max);
+}
+
+TEST(DramVrt, DeterministicGivenSeed) {
+  VrtConfig config = fast_config();
+  util::Rng rng_a(3), rng_b(3);
+  const auto a = simulate_device_retention(config, rng_a, 4);
+  const auto b = simulate_device_retention(config, rng_b, 4);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trials[i].retention_time, b.trials[i].retention_time);
+  }
+}
+
+TEST(DramVrt, StrongerTatWidensRetentionSpread) {
+  // With the TAT path disabled, defect toggling barely moves retention;
+  // enabling it must (weakly) increase the population's max ratio.
+  VrtConfig weak = fast_config();
+  weak.tat_strength = 0.0;
+  VrtConfig strong = fast_config();
+  strong.tat_strength = 4.0;
+  util::Rng rng_a(4), rng_b(4);
+  const auto weak_pop = simulate_population(weak, rng_a, 8, 6);
+  const auto strong_pop = simulate_population(strong, rng_b, 8, 6);
+  double weak_max = 1.0, strong_max = 1.0;
+  for (const auto& device : weak_pop) weak_max = std::max(weak_max, device.vrt_ratio);
+  for (const auto& device : strong_pop) {
+    strong_max = std::max(strong_max, device.vrt_ratio);
+  }
+  EXPECT_GT(strong_max, weak_max);
+  EXPECT_LT(weak_max, 1.2);  // channel-charge-only effect is percent-level
+}
+
+TEST(DramVrt, PopulationContainsBothStableAndVrtCells) {
+  VrtConfig config = fast_config();
+  util::Rng rng(5);
+  const auto population = simulate_population(config, rng, 12, 6);
+  std::size_t stable = 0, affected = 0;
+  for (const auto& device : population) {
+    (device.vrt_ratio > 1.3 ? affected : stable)++;
+  }
+  EXPECT_GT(stable, 0u);
+  EXPECT_GT(affected, 0u);  // the VRT phenomenon exists in the population
+}
+
+TEST(DramVrt, SlowdownStretchesDefectTimescales) {
+  // With no slowdown the defects are fast channel traps: they mean-field
+  // away and every trial's retention collapses to the same value.
+  VrtConfig fast_defects = fast_config();
+  fast_defects.defect_slowdown = 1.0;
+  util::Rng rng(6);
+  const auto result = simulate_device_retention(fast_defects, rng, 5);
+  EXPECT_LT(result.vrt_ratio, 1.1);
+}
+
+}  // namespace
+}  // namespace samurai::dram

@@ -1,0 +1,97 @@
+#include "signal/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace samurai::signal {
+namespace {
+
+TEST(Fft, SizeMustBePowerOfTwo) {
+  std::vector<std::complex<double>> data(3);
+  EXPECT_THROW(fft(data), std::invalid_argument);
+  std::vector<std::complex<double>> empty;
+  EXPECT_THROW(fft(empty), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseTransformsToFlatSpectrum) {
+  std::vector<std::complex<double>> data(16);
+  data[0] = 1.0;
+  fft(data);
+  for (const auto& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcTransformsToFirstBin) {
+  std::vector<std::complex<double>> data(8, 1.0);
+  fft(data);
+  EXPECT_NEAR(data[0].real(), 8.0, 1e-12);
+  for (std::size_t k = 1; k < 8; ++k) EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-12);
+}
+
+TEST(Fft, SinusoidPeaksAtItsBin) {
+  const std::size_t n = 64;
+  const std::size_t bin = 5;
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = std::sin(2.0 * std::numbers::pi * static_cast<double>(bin * i) /
+                       static_cast<double>(n));
+  }
+  fft(data);
+  EXPECT_NEAR(std::abs(data[bin]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - bin]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[1]), 0.0, 1e-9);
+}
+
+TEST(Fft, InverseRoundTrip) {
+  std::vector<std::complex<double>> data(32);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = {std::cos(0.3 * static_cast<double>(i)),
+               std::sin(0.7 * static_cast<double>(i))};
+  }
+  const auto original = data;
+  fft(data);
+  ifft(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-12);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::vector<std::complex<double>> data(128);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::exp(-0.05 * static_cast<double>(i));
+  }
+  double time_energy = 0.0;
+  for (const auto& c : data) time_energy += std::norm(c);
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy,
+              1e-9 * time_energy);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Fft, RfftZeroPadsAndMatchesComplex) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const auto spectrum = rfft(x);
+  ASSERT_EQ(spectrum.size(), 4u);
+  EXPECT_NEAR(spectrum[0].real(), 6.0, 1e-12);  // DC = sum
+  EXPECT_THROW(rfft(x, 2), std::invalid_argument);
+  EXPECT_THROW(rfft(x, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace samurai::signal

@@ -1,0 +1,90 @@
+#include "sram/importance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace samurai::sram {
+namespace {
+
+ImportanceConfig fast_config() {
+  ImportanceConfig config;
+  config.cell.tech = physics::technology("90nm");
+  config.cell.tech.v_dd = 1.05;
+  config.cell.sizing.extra_node_cap = 40e-15;
+  config.cell.timing.period = 1e-9;
+  config.cell.ops = ops_from_bits({1, 0});
+  config.cell.rtn_scale = 30.0;
+  config.sigma_vt = 0.04;
+  config.samples = 30;
+  config.seed = 6;
+  config.with_rtn = false;  // nominal-only: each sample is one transient
+  return config;
+}
+
+TEST(Importance, BadConfigurationThrows) {
+  ImportanceConfig config = fast_config();
+  config.sigma_vt = 0.0;
+  EXPECT_THROW(estimate_failure_probability(config), std::invalid_argument);
+  config = fast_config();
+  config.samples = 0;
+  EXPECT_THROW(estimate_failure_probability(config), std::invalid_argument);
+}
+
+TEST(Importance, NaiveModeHasUnitWeights) {
+  // With no shift the likelihood ratio is exactly 1: the estimate is the
+  // raw failure fraction and the ESS equals the sample count.
+  const auto result = estimate_failure_probability(fast_config());
+  EXPECT_EQ(result.samples, 30u);
+  EXPECT_NEAR(result.effective_sample_size, 30.0, 1e-6);
+  EXPECT_NEAR(result.failure_probability,
+              static_cast<double>(result.failures_observed) / 30.0, 1e-12);
+}
+
+TEST(Importance, DeterministicGivenSeed) {
+  const auto a = estimate_failure_probability(fast_config());
+  const auto b = estimate_failure_probability(fast_config());
+  EXPECT_DOUBLE_EQ(a.failure_probability, b.failure_probability);
+  EXPECT_EQ(a.failures_observed, b.failures_observed);
+}
+
+TEST(Importance, BiasingFindsFailuresNaiveMisses) {
+  // Pass-gate V_T pushed toward the failure region: the biased run must
+  // observe failures; the naive run at this tiny sample count does not
+  // (at sigma = 25 mV the failure boundary sits many sigma out).
+  ImportanceConfig naive = fast_config();
+  naive.sigma_vt = 0.025;
+  const auto base = estimate_failure_probability(naive);
+  ImportanceConfig biased = fast_config();
+  biased.sigma_vt = 0.025;
+  biased.shift = {{"M1", 0.2}, {"M2", 0.2}};
+  const auto shifted = estimate_failure_probability(biased);
+  EXPECT_EQ(base.failures_observed, 0u);
+  EXPECT_GT(shifted.failures_observed, 5u);
+  // The re-weighted estimate stays small (it is a tail probability).
+  EXPECT_LT(shifted.failure_probability, 0.2);
+  EXPECT_GT(shifted.failure_probability, 0.0);
+  // Biasing costs effective sample size.
+  EXPECT_LT(shifted.effective_sample_size, 0.9 * 30.0);
+}
+
+TEST(Importance, EstimatesAgreeWhereBothResolve) {
+  // Blow up sigma so failures are common: naive and mildly-biased
+  // estimates must agree within combined error bars.
+  ImportanceConfig naive = fast_config();
+  naive.sigma_vt = 0.12;
+  naive.samples = 60;
+  const auto base = estimate_failure_probability(naive);
+  ImportanceConfig biased = naive;
+  biased.shift = {{"M1", 0.06}, {"M2", 0.06}};
+  const auto shifted = estimate_failure_probability(biased);
+  ASSERT_GT(base.failures_observed, 3u);
+  ASSERT_GT(shifted.failures_observed, 3u);
+  const double tolerance =
+      3.0 * (base.standard_error + shifted.standard_error) + 0.02;
+  EXPECT_NEAR(base.failure_probability, shifted.failure_probability,
+              tolerance);
+}
+
+}  // namespace
+}  // namespace samurai::sram

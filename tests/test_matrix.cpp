@@ -1,0 +1,91 @@
+#include "spice/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace samurai::spice {
+namespace {
+
+TEST(DenseMatrix, StampIgnoresGround) {
+  DenseMatrix m(2);
+  m.stamp(-1, 0, 5.0);
+  m.stamp(0, -1, 5.0);
+  m.stamp(0, 0, 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(DenseMatrix, StampAccumulates) {
+  DenseMatrix m(2);
+  m.stamp(1, 1, 2.0);
+  m.stamp(1, 1, 3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 5.0);
+}
+
+TEST(LuSolve, Solves2x2) {
+  DenseMatrix a(2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  std::vector<double> b = {5.0, 10.0};
+  ASSERT_TRUE(lu_solve(a, b));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(LuSolve, RequiresPivoting) {
+  // Zero on the diagonal: fails without partial pivoting.
+  DenseMatrix a(2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  std::vector<double> b = {2.0, 3.0};
+  ASSERT_TRUE(lu_solve(a, b));
+  EXPECT_NEAR(b[0], 3.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(LuSolve, DetectsSingular) {
+  DenseMatrix a(2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_FALSE(lu_solve(a, b));
+}
+
+TEST(LuSolve, SizeMismatchThrows) {
+  DenseMatrix a(2);
+  std::vector<double> b = {1.0};
+  EXPECT_THROW(lu_solve(a, b), std::invalid_argument);
+}
+
+TEST(LuSolve, RandomSystemsRoundTrip) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + trial % 10;
+    DenseMatrix a(n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.uniform(-5.0, 5.0);
+      for (std::size_t j = 0; j < n; ++j) a.at(i, j) = rng.uniform(-1.0, 1.0);
+      a.at(i, i) += 3.0;  // keep well conditioned
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+    }
+    DenseMatrix a_copy = a;
+    ASSERT_TRUE(lu_solve(a_copy, b));
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace samurai::spice

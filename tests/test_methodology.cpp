@@ -1,0 +1,145 @@
+// End-to-end tests of the Fig. 8 pipeline (kept small: short patterns).
+#include "sram/methodology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "physics/technology.hpp"
+
+namespace samurai::sram {
+namespace {
+
+MethodologyConfig small_config() {
+  MethodologyConfig config;
+  config.tech = physics::technology("90nm");
+  config.ops = ops_from_bits({1, 0, 1});
+  config.seed = 7;
+  return config;
+}
+
+TEST(Methodology, EmptyPatternThrows) {
+  MethodologyConfig config = small_config();
+  config.ops.clear();
+  EXPECT_THROW(run_methodology(config), std::invalid_argument);
+}
+
+TEST(Methodology, NominalWritesSucceed) {
+  const auto result = run_methodology(small_config());
+  EXPECT_FALSE(result.nominal_report.any_error);
+  ASSERT_EQ(result.nominal_report.ops.size(), 3u);
+  // Q tracks the written bits at each slot end.
+  const auto& pattern = result.pattern;
+  const double vdd = physics::technology("90nm").v_dd;
+  EXPECT_NEAR(result.nominal.voltage_at(result.q_node,
+                                        pattern.slot_start(0) +
+                                            0.99 * pattern.timing.period),
+              vdd, 0.1 * vdd);
+  EXPECT_NEAR(result.nominal.voltage_at(result.q_node,
+                                        pattern.slot_start(1) +
+                                            0.99 * pattern.timing.period),
+              0.0, 0.1 * vdd);
+}
+
+TEST(Methodology, ProducesSixTransistorTraces) {
+  const auto result = run_methodology(small_config());
+  ASSERT_EQ(result.rtn.size(), 6u);
+  for (int m = 1; m <= 6; ++m) {
+    const auto& entry = result.rtn[static_cast<std::size_t>(m - 1)];
+    EXPECT_EQ(entry.name, "M" + std::to_string(m));
+    EXPECT_GT(entry.traps.size(), 10u);  // 90nm devices carry many traps
+    EXPECT_GT(entry.v_gs.size(), 10u);
+    EXPECT_GT(entry.i_rtn.size(), 10u);
+  }
+}
+
+TEST(Methodology, OccupancyBoundedByTrapCount) {
+  const auto result = run_methodology(small_config());
+  for (const auto& entry : result.rtn) {
+    const double cap = static_cast<double>(entry.traps.size());
+    EXPECT_LE(entry.n_filled.initial_value(), cap);
+    for (double v : entry.n_filled.values()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, cap);
+    }
+  }
+}
+
+TEST(Methodology, DeterministicGivenSeed) {
+  const auto a = run_methodology(small_config());
+  const auto b = run_methodology(small_config());
+  ASSERT_EQ(a.rtn.size(), b.rtn.size());
+  for (std::size_t i = 0; i < a.rtn.size(); ++i) {
+    EXPECT_EQ(a.rtn[i].traps.size(), b.rtn[i].traps.size());
+    EXPECT_EQ(a.rtn[i].stats.accepted, b.rtn[i].stats.accepted);
+  }
+  EXPECT_EQ(a.rtn_report.any_error, b.rtn_report.any_error);
+}
+
+TEST(Methodology, SeedChangesTrapPopulations) {
+  auto config = small_config();
+  const auto a = run_methodology(config);
+  config.seed = 8;
+  const auto b = run_methodology(config);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.rtn.size(); ++i) {
+    if (a.rtn[i].traps.size() != b.rtn[i].traps.size()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Methodology, ModerateRtnDoesNotBreakWrites) {
+  auto config = small_config();
+  config.rtn_scale = 1.0;
+  const auto result = run_methodology(config);
+  EXPECT_FALSE(result.rtn_report.any_error);
+}
+
+TEST(Methodology, PassGateActivityFollowsItsGate) {
+  // The paper's Fig. 8 (b),(c) observation, tested on M5 (gate = Q): trap
+  // switching activity must concentrate in the slots where Q is high.
+  auto config = small_config();
+  config.ops = ops_from_bits({1, 1, 1, 0, 0, 0});
+  config.seed = 11;
+  const auto result = run_methodology(config);
+  const auto& m5 = result.rtn[4];
+  const double boundary = result.pattern.slot_start(3);
+  std::size_t early = 0, late = 0;
+  for (double t : m5.n_filled.times()) {
+    (t < boundary ? early : late)++;
+  }
+  // Q is high for the first three slots: at least as much activity there.
+  // (Statistical, but with ~160 traps the asymmetry is strong.)
+  EXPECT_GE(early + 2, late);
+}
+
+TEST(Methodology, ExtractBiasConventions) {
+  auto config = small_config();
+  config.ops = {Op::kWrite1};
+  const auto result = run_methodology(config);
+  // M5's gate is Q: after the write-1 completes, V_gs(M5) ~ V_dd.
+  const auto& m5 = result.rtn[4];
+  const double t_late = 0.95 * result.pattern.t_end;
+  EXPECT_NEAR(m5.v_gs.eval(t_late), config.tech.v_dd, 0.15 * config.tech.v_dd);
+  // M6's gate is QB which is low: V_gs(M6) ~ 0.
+  const auto& m6 = result.rtn[5];
+  EXPECT_LT(m6.v_gs.eval(t_late), 0.2 * config.tech.v_dd);
+  // PMOS M4 (gate = Q = high): |overdrive| ~ 0 -> extracted bias low.
+  const auto& m4 = result.rtn[3];
+  EXPECT_LT(m4.v_gs.eval(t_late), 0.2 * config.tech.v_dd);
+  // PMOS M3 (gate = QB = low, source = VDD): extracted bias ~ V_dd.
+  const auto& m3 = result.rtn[2];
+  EXPECT_GT(m3.v_gs.eval(t_late), 0.8 * config.tech.v_dd);
+}
+
+TEST(Methodology, RunNominalSharesPatternWithFullRun) {
+  const auto config = small_config();
+  const auto nominal = run_nominal(config);
+  EXPECT_DOUBLE_EQ(nominal.pattern.t_end,
+                   static_cast<double>(config.ops.size()) *
+                       config.timing.period);
+  EXPECT_GT(nominal.result.num_points(), 100u);
+}
+
+}  // namespace
+}  // namespace samurai::sram

@@ -1,0 +1,133 @@
+// Cross-cutting coverage: transient hooks and result accessors, waveform
+// edge cases, estimator option flags, and the ring-oscillator RTN
+// analysis end to end (small configuration).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "osc/ring.hpp"
+#include "signal/spectral.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace samurai {
+namespace {
+
+TEST(TransientExtras, OnStepHookSeesEveryAcceptedStep) {
+  spice::Circuit circuit;
+  const int in = circuit.node("in");
+  core::Pwl ramp;
+  ramp.append(0.0, 0.0);
+  ramp.append(1e-6, 1.0);
+  circuit.add<spice::VoltageSource>(circuit, "V1", in, spice::kGround, ramp);
+  circuit.add<spice::Resistor>("R1", in, spice::kGround, 1e3);
+  spice::TransientOptions options;
+  options.t_stop = 1e-6;
+  std::size_t calls = 0;
+  double last_t = 0.0;
+  bool monotone = true;
+  options.on_step = [&](double t, std::span<const double>) {
+    if (t <= last_t) monotone = false;
+    last_t = t;
+    ++calls;
+  };
+  const auto result = spice::transient(circuit, options);
+  EXPECT_EQ(calls + 1, result.num_points());  // +1 for the t=0 record
+  EXPECT_TRUE(monotone);
+  EXPECT_NEAR(last_t, 1e-6, 1e-12);
+}
+
+TEST(TransientExtras, VoltageBetweenAndPwlExport) {
+  spice::Circuit circuit;
+  const int a = circuit.node("a");
+  const int b = circuit.node("b");
+  spice::VoltageSource::dc(circuit, "Va", a, spice::kGround, 3.0);
+  spice::VoltageSource::dc(circuit, "Vb", b, spice::kGround, 1.0);
+  circuit.add<spice::Resistor>("R1", a, b, 1e3);
+  spice::TransientOptions options;
+  options.t_stop = 1e-9;
+  const auto result = spice::transient(circuit, options);
+  const auto diff = result.voltage_between("a", "b");
+  EXPECT_NEAR(diff.eval(0.5e-9), 2.0, 1e-6);
+  const auto vs_ground = result.voltage_between("a", "0");
+  EXPECT_NEAR(vs_ground.eval(0.5e-9), 3.0, 1e-6);
+  const auto wave = result.voltage("a");
+  EXPECT_NEAR(wave.eval(0.9e-9), 3.0, 1e-6);
+  EXPECT_THROW(result.voltage("zzz"), std::invalid_argument);
+}
+
+TEST(TransientExtras, ExtraBreakpointsAreHonoured) {
+  spice::Circuit circuit;
+  const int a = circuit.node("a");
+  spice::VoltageSource::dc(circuit, "Va", a, spice::kGround, 1.0);
+  circuit.add<spice::Resistor>("R1", a, spice::kGround, 1e3);
+  spice::TransientOptions options;
+  options.t_stop = 1e-6;
+  options.extra_breakpoints = {3.7e-7};
+  const auto result = spice::transient(circuit, options);
+  bool found = false;
+  for (double t : result.times()) {
+    if (std::abs(t - 3.7e-7) < 1e-13) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WaveformExtras, StepTraceBeforeFirstEventAndAverages) {
+  const core::StepTrace trace(2.0, {1.0, 3.0}, {4.0, 0.0});
+  EXPECT_DOUBLE_EQ(trace.eval(-5.0), 2.0);
+  // Average over [0, 4]: 2 for 1s, 4 for 2s, 0 for 1s -> 10/4.
+  EXPECT_DOUBLE_EQ(trace.time_average(0.0, 4.0), 2.5);
+  // Window entirely before the first event.
+  EXPECT_DOUBLE_EQ(trace.time_average(0.0, 0.5), 2.0);
+}
+
+TEST(WaveformExtras, PaperArraysRespectWindow) {
+  const core::StepTrace trace(0.0, {1.0, 2.0, 3.0}, {1.0, 0.0, 1.0});
+  std::vector<double> times, states;
+  trace.to_paper_arrays(1.5, 2.5, times, states);
+  // Only the t=2 step falls inside the window.
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times.front(), 1.5);
+  EXPECT_DOUBLE_EQ(times.back(), 2.5);
+  EXPECT_DOUBLE_EQ(states[0], 1.0);
+  EXPECT_DOUBLE_EQ(states[3], 0.0);
+}
+
+TEST(SpectralExtras, BiasedAndMeanKeptModes) {
+  util::Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(3.0 + rng.normal());
+  // Without mean subtraction lag-0 is the mean square, not the variance.
+  const auto raw = signal::autocorrelation(samples, 1.0, false, false, 10);
+  EXPECT_NEAR(raw.values[0], 10.0, 0.5);
+  const auto centered = signal::autocorrelation(samples, 1.0, true, false, 10);
+  EXPECT_NEAR(centered.values[0], 1.0, 0.1);
+  // Biased (1/N) and unbiased (1/(N-k)) differ by the expected factor.
+  const auto unbiased = signal::autocorrelation(samples, 1.0, true, true, 10);
+  const double n = static_cast<double>(samples.size());
+  EXPECT_NEAR(centered.values[5] / unbiased.values[5], (n - 5.0) / n, 1e-9);
+}
+
+TEST(RingRtn, EndToEndSmallRing) {
+  osc::RingConfig config;
+  config.tech = physics::technology("90nm");
+  config.stages = 3;
+  config.t_stop = 5e-9;
+  const auto result = osc::ring_rtn_analysis(config, 2, 50.0);
+  ASSERT_GT(result.nominal.cycles, 5u);
+  ASSERT_GT(result.with_rtn.cycles, 5u);
+  EXPECT_GT(result.rtn_switches, 0u);
+  // RTN adds real period jitter above the numerical floor.
+  EXPECT_GT(result.with_rtn.stddev, 5.0 * result.nominal.stddev);
+}
+
+TEST(CliExtras, NegativeNumberValues) {
+  const char* argv[] = {"prog", "--x", "-3.5"};
+  const util::Cli cli(3, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), -3.5);
+}
+
+}  // namespace
+}  // namespace samurai

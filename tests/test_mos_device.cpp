@@ -1,0 +1,182 @@
+#include "physics/mos_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "physics/constants.hpp"
+#include "physics/technology.hpp"
+
+namespace samurai::physics {
+namespace {
+
+MosDevice nmos() {
+  return MosDevice(technology("90nm"), MosType::kNmos, {220e-9, 90e-9});
+}
+MosDevice pmos() {
+  return MosDevice(technology("90nm"), MosType::kPmos, {220e-9, 90e-9});
+}
+
+TEST(MosDevice, BadGeometryThrows) {
+  EXPECT_THROW(MosDevice(technology("90nm"), MosType::kNmos, {0.0, 90e-9}),
+               std::invalid_argument);
+  EXPECT_THROW(MosDevice(technology("90nm"), MosType::kNmos, {220e-9, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(MosDevice, CurrentIncreasesWithGateBias) {
+  const auto device = nmos();
+  double prev = device.evaluate(0.0, 1.2).i_d;
+  for (double v = 0.1; v <= 1.2; v += 0.1) {
+    const double i = device.evaluate(v, 1.2).i_d;
+    EXPECT_GT(i, prev) << "V=" << v;
+    prev = i;
+  }
+}
+
+TEST(MosDevice, SubthresholdIsExponential) {
+  const auto device = nmos();
+  const double vth = device.v_th();
+  const double i1 = device.evaluate(vth - 0.30, 1.0).i_d;
+  const double i2 = device.evaluate(vth - 0.20, 1.0).i_d;
+  const double i3 = device.evaluate(vth - 0.10, 1.0).i_d;
+  // Equal ratios per 100 mV (within 20%: the softplus transition bends the
+  // last decade slightly).
+  EXPECT_NEAR((i2 / i1) / (i3 / i2), 1.0, 0.25);
+  EXPECT_GT(i2 / i1, 5.0);  // strong subthreshold slope
+}
+
+TEST(MosDevice, SaturationCurrentNearlyFlatInVds) {
+  const auto device = nmos();
+  const double i1 = device.evaluate(1.2, 0.8).i_d;
+  const double i2 = device.evaluate(1.2, 1.2).i_d;
+  // Only CLM growth: bounded by lambda * dV.
+  const auto tech = technology("90nm");
+  EXPECT_GT(i2, i1);
+  EXPECT_LT(i2 / i1, 1.0 + tech.lambda_clm * 0.45);
+}
+
+TEST(MosDevice, LinearRegionCurrentScalesWithVds) {
+  const auto device = nmos();
+  const double i1 = device.evaluate(1.2, 0.05).i_d;
+  const double i2 = device.evaluate(1.2, 0.10).i_d;
+  EXPECT_NEAR(i2 / i1, 2.0, 0.15);  // near-ohmic for small V_ds
+}
+
+TEST(MosDevice, ZeroVdsGivesZeroCurrent) {
+  const auto device = nmos();
+  EXPECT_NEAR(device.evaluate(1.0, 0.0).i_d, 0.0, 1e-15);
+}
+
+TEST(MosDevice, NegativeVdsReversesCurrent) {
+  const auto device = nmos();
+  const double forward = device.evaluate(1.0, 0.3).i_d;
+  const double reverse = device.evaluate(1.0, -0.3).i_d;
+  EXPECT_GT(forward, 0.0);
+  EXPECT_LT(reverse, 0.0);
+}
+
+TEST(MosDevice, PmosMirrorsNmos) {
+  const auto n = nmos();
+  const auto p = pmos();
+  const double in = n.evaluate(1.0, 1.0).i_d;
+  const double ip = p.evaluate(-1.0, -1.0).i_d;
+  EXPECT_LT(ip, 0.0);
+  // PMOS current is smaller by the mobility ratio.
+  const auto tech = technology("90nm");
+  EXPECT_NEAR(-ip / in, tech.mu_p / tech.mu_n, 0.05);
+}
+
+TEST(MosDevice, TransconductanceMatchesFiniteDifference) {
+  const auto device = nmos();
+  for (double vgs : {0.3, 0.6, 0.9, 1.2}) {
+    const double h = 1e-6;
+    const double numeric = (device.evaluate(vgs + h, 1.0).i_d -
+                            device.evaluate(vgs - h, 1.0).i_d) /
+                           (2.0 * h);
+    const double analytic = device.evaluate(vgs, 1.0).g_m;
+    EXPECT_NEAR(analytic / numeric, 1.0, 1e-4) << "vgs=" << vgs;
+  }
+}
+
+TEST(MosDevice, OutputConductanceMatchesFiniteDifference) {
+  const auto device = nmos();
+  for (double vds : {0.1, 0.5, 1.0}) {
+    const double h = 1e-6;
+    const double numeric = (device.evaluate(1.0, vds + h).i_d -
+                            device.evaluate(1.0, vds - h).i_d) /
+                           (2.0 * h);
+    const double analytic = device.evaluate(1.0, vds).g_ds;
+    EXPECT_NEAR(analytic / numeric, 1.0, 1e-3) << "vds=" << vds;
+  }
+}
+
+TEST(MosDevice, BodyTransconductanceMatchesFiniteDifference) {
+  const auto device = nmos();
+  const double h = 1e-6;
+  const double numeric =
+      (device.evaluate(0.8, 1.0, h).i_d - device.evaluate(0.8, 1.0, -h).i_d) /
+      (2.0 * h);
+  const double analytic = device.evaluate(0.8, 1.0, 0.0).g_mb;
+  EXPECT_NEAR(analytic / numeric, 1.0, 1e-3);
+}
+
+TEST(MosDevice, PmosConductancesArePositive) {
+  const auto device = pmos();
+  const auto op = device.evaluate(-1.0, -1.0);
+  EXPECT_GT(op.g_m, 0.0);
+  EXPECT_GT(op.g_ds, 0.0);
+}
+
+TEST(MosDevice, PmosGmMatchesFiniteDifference) {
+  const auto device = pmos();
+  const double h = 1e-6;
+  const double numeric = (device.evaluate(-1.0 + h, -1.0).i_d -
+                          device.evaluate(-1.0 - h, -1.0).i_d) /
+                         (2.0 * h);
+  EXPECT_NEAR(device.evaluate(-1.0, -1.0).g_m / numeric, 1.0, 1e-3);
+}
+
+TEST(MosDevice, CarrierDensityMonotoneAndPositive) {
+  const auto device = nmos();
+  double prev = device.carrier_density(-0.5);
+  EXPECT_GT(prev, 0.0);  // softplus: never exactly zero
+  for (double v = -0.4; v <= 1.5; v += 0.1) {
+    const double n = device.carrier_density(v);
+    EXPECT_GT(n, prev);
+    prev = n;
+  }
+}
+
+TEST(MosDevice, CarrierDensityAboveThresholdIsChargeSheet) {
+  const auto device = nmos();
+  const auto tech = technology("90nm");
+  const double v = device.v_th() + 0.6;
+  const double expected =
+      tech.c_ox() * 0.6 / kElementaryCharge;  // Q = C_ox (Vgs - Vth)
+  EXPECT_NEAR(device.carrier_density(v) / expected, 1.0, 0.1);
+}
+
+TEST(MosDevice, CarrierCountScalesWithArea) {
+  const auto tech = technology("90nm");
+  const MosDevice small(tech, MosType::kNmos, {110e-9, 90e-9});
+  const MosDevice big(tech, MosType::kNmos, {220e-9, 90e-9});
+  EXPECT_NEAR(big.carrier_count(1.0) / small.carrier_count(1.0), 2.0, 1e-9);
+}
+
+TEST(MosDevice, VthShiftMovesCurrent) {
+  const auto tech = technology("90nm");
+  const MosDevice nominal(tech, MosType::kNmos, {220e-9, 90e-9});
+  const MosDevice shifted(tech, MosType::kNmos, {220e-9, 90e-9}, 0.05);
+  EXPECT_LT(shifted.evaluate(0.6, 1.0).i_d, nominal.evaluate(0.6, 1.0).i_d);
+  EXPECT_NEAR(shifted.v_th() - nominal.v_th(), 0.05, 1e-12);
+}
+
+TEST(MosDevice, TransconductanceHelperAgreesWithEvaluate) {
+  const auto device = nmos();
+  EXPECT_DOUBLE_EQ(device.transconductance(0.9, 1.0),
+                   device.evaluate(0.9, 1.0).g_m);
+}
+
+}  // namespace
+}  // namespace samurai::physics

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "sram/detector.hpp"
+#include "sram/pattern.hpp"
+
+namespace samurai::sram {
+namespace {
+
+TEST(Pattern, OpsFromBits) {
+  const auto ops = ops_from_bits({1, 0, 1});
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0], Op::kWrite1);
+  EXPECT_EQ(ops[1], Op::kWrite0);
+  EXPECT_EQ(op_name(ops[2]), "W1");
+  EXPECT_EQ(op_name(Op::kRead), "RD");
+  EXPECT_EQ(op_name(Op::kHold), "HD");
+}
+
+TEST(Pattern, EmptyOpsThrow) {
+  EXPECT_THROW(build_pattern({}, 1.0), std::invalid_argument);
+}
+
+TEST(Pattern, InconsistentTimingThrows) {
+  PatternTiming timing;
+  timing.wl_delay_frac = 0.6;
+  timing.wl_high_frac = 0.5;
+  EXPECT_THROW(build_pattern({Op::kWrite1}, 1.0, timing),
+               std::invalid_argument);
+}
+
+TEST(Pattern, WriteSlotDrivesBitlinesDifferentially) {
+  const double vdd = 1.2;
+  const auto wf = build_pattern({Op::kWrite0, Op::kWrite1}, vdd);
+  const double mid0 = 0.5 * wf.timing.period;
+  EXPECT_NEAR(wf.bl.eval(mid0), 0.0, 1e-9);
+  EXPECT_NEAR(wf.blb.eval(mid0), vdd, 1e-9);
+  const double mid1 = 1.5 * wf.timing.period;
+  EXPECT_NEAR(wf.bl.eval(mid1), vdd, 1e-9);
+  EXPECT_NEAR(wf.blb.eval(mid1), 0.0, 1e-9);
+}
+
+TEST(Pattern, WordlinePulsesOnlyDuringActiveOps) {
+  const auto wf = build_pattern({Op::kWrite1, Op::kHold, Op::kRead}, 1.0);
+  const double period = wf.timing.period;
+  // Mid of write slot WL high; hold slot WL low; read slot WL high.
+  EXPECT_NEAR(wf.wl.eval(0.5 * period), 1.0, 1e-9);
+  EXPECT_NEAR(wf.wl.eval(1.5 * period), 0.0, 1e-9);
+  EXPECT_NEAR(wf.wl.eval(2.5 * period), 1.0, 1e-9);
+}
+
+TEST(Pattern, ReadDrivesBothBitlinesHigh) {
+  const auto wf = build_pattern({Op::kWrite0, Op::kRead}, 1.0);
+  const double mid = 1.5 * wf.timing.period;
+  EXPECT_NEAR(wf.bl.eval(mid), 1.0, 1e-9);
+  EXPECT_NEAR(wf.blb.eval(mid), 1.0, 1e-9);
+}
+
+TEST(Pattern, SlotHelpers) {
+  const auto wf = build_pattern({Op::kWrite1, Op::kWrite0}, 1.0);
+  EXPECT_DOUBLE_EQ(wf.slot_start(1), wf.timing.period);
+  EXPECT_GT(wf.wl_off_time(0), wf.slot_start(0));
+  EXPECT_LT(wf.wl_off_time(0), wf.slot_start(1));
+  EXPECT_DOUBLE_EQ(wf.t_end, 2.0 * wf.timing.period);
+}
+
+// ------------------------------------------------------------- detector
+
+/// Make an ideal Q(t) that follows the expected bits instantly at WL rise.
+core::Pwl ideal_q(const PatternWaveforms& wf, double vdd,
+                  const std::vector<int>& bits) {
+  core::Pwl q;
+  q.append(0.0, 0.0);
+  double level = 0.0;
+  for (std::size_t k = 0; k < bits.size(); ++k) {
+    const double target = bits[k] ? vdd : 0.0;
+    if (target != level) {
+      const double t_on = wf.slot_start(k) +
+                          wf.timing.wl_delay_frac * wf.timing.period;
+      q.append(t_on, level);
+      q.append(t_on + 2.0 * wf.timing.edge, target);
+      level = target;
+    }
+  }
+  q.append(wf.t_end, level);
+  return q;
+}
+
+TEST(Detector, CleanPatternReportsOk) {
+  const double vdd = 1.2;
+  const std::vector<int> bits = {1, 1, 0, 1, 0};
+  const auto wf = build_pattern(ops_from_bits(bits), vdd);
+  DetectorOptions options;
+  options.v_dd = vdd;
+  const auto report = check_pattern(ideal_q(wf, vdd, bits), wf, options);
+  EXPECT_FALSE(report.any_error);
+  EXPECT_FALSE(report.any_slow);
+  ASSERT_EQ(report.ops.size(), 5u);
+  EXPECT_EQ(report.ops[0].expected_bit, 1);
+  EXPECT_EQ(report.ops[2].expected_bit, 0);
+  for (const auto& op : report.ops) {
+    EXPECT_EQ(op.outcome, OpOutcome::kOk);
+  }
+}
+
+TEST(Detector, WrongFinalValueIsError) {
+  const double vdd = 1.0;
+  const auto wf = build_pattern({Op::kWrite1}, vdd);
+  // Q never rises: write-1 failed.
+  const core::Pwl q({0.0, wf.t_end}, {0.0, 0.0});
+  DetectorOptions options;
+  options.v_dd = vdd;
+  const auto report = check_pattern(q, wf, options);
+  EXPECT_TRUE(report.any_error);
+  EXPECT_EQ(report.ops[0].outcome, OpOutcome::kError);
+}
+
+TEST(Detector, LateSettlingIsSlow) {
+  const double vdd = 1.0;
+  const auto wf = build_pattern({Op::kWrite1}, vdd);
+  // Q settles only at 90% of the slot, long after WL turned off.
+  core::Pwl q;
+  q.append(0.0, 0.0);
+  q.append(0.85 * wf.timing.period, 0.0);
+  q.append(0.90 * wf.timing.period, vdd);
+  q.append(wf.t_end, vdd);
+  DetectorOptions options;
+  options.v_dd = vdd;
+  const auto report = check_pattern(q, wf, options);
+  EXPECT_FALSE(report.any_error);
+  EXPECT_TRUE(report.any_slow);
+  ASSERT_TRUE(report.ops[0].settle_after_wl.has_value());
+  EXPECT_GT(*report.ops[0].settle_after_wl, 0.0);
+}
+
+TEST(Detector, HoldUpsetIsError) {
+  const double vdd = 1.0;
+  const auto wf = build_pattern({Op::kWrite1, Op::kHold}, vdd);
+  // Q written correctly, then collapses during the hold.
+  core::Pwl q;
+  q.append(0.0, 0.0);
+  q.append(0.3 * wf.timing.period, vdd);
+  q.append(1.2 * wf.timing.period, vdd);
+  q.append(1.4 * wf.timing.period, 0.0);
+  q.append(wf.t_end, 0.0);
+  DetectorOptions options;
+  options.v_dd = vdd;
+  const auto report = check_pattern(q, wf, options);
+  EXPECT_TRUE(report.any_error);
+  EXPECT_EQ(report.ops[0].outcome, OpOutcome::kOk);
+  EXPECT_EQ(report.ops[1].outcome, OpOutcome::kError);
+}
+
+TEST(Detector, LeadingHoldsHaveNothingToVerify) {
+  const auto wf = build_pattern({Op::kHold, Op::kWrite0}, 1.0);
+  const core::Pwl q({0.0, wf.t_end}, {0.0, 0.0});
+  DetectorOptions options;
+  options.v_dd = 1.0;
+  const auto report = check_pattern(q, wf, options);
+  EXPECT_FALSE(report.any_error);
+  EXPECT_EQ(report.ops[0].expected_bit, -1);
+}
+
+TEST(Detector, BadVddThrows) {
+  const auto wf = build_pattern({Op::kWrite1}, 1.0);
+  const core::Pwl q({0.0, wf.t_end}, {0.0, 0.0});
+  DetectorOptions options;
+  options.v_dd = 0.0;
+  EXPECT_THROW(check_pattern(q, wf, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace samurai::sram

@@ -1,0 +1,93 @@
+#include "core/propensity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "physics/technology.hpp"
+
+namespace samurai::core {
+namespace {
+
+TEST(ConstantPropensity, ReturnsRatesAndBound) {
+  const ConstantPropensity prop(2.0, 5.0);
+  const auto p = prop.at(123.0);
+  EXPECT_DOUBLE_EQ(p.lambda_c, 2.0);
+  EXPECT_DOUBLE_EQ(p.lambda_e, 5.0);
+  EXPECT_DOUBLE_EQ(prop.rate_bound(0.0, 1.0), 5.0);
+}
+
+TEST(ConstantPropensity, NegativeRatesThrow) {
+  EXPECT_THROW(ConstantPropensity(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ConstantPropensity(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(FunctionalPropensity, EvaluatesFunctions) {
+  const FunctionalPropensity prop([](double t) { return 1.0 + t; },
+                                  [](double t) { return 2.0 * t; }, 100.0);
+  const auto p = prop.at(3.0);
+  EXPECT_DOUBLE_EQ(p.lambda_c, 4.0);
+  EXPECT_DOUBLE_EQ(p.lambda_e, 6.0);
+  EXPECT_DOUBLE_EQ(prop.rate_bound(0.0, 10.0), 100.0);
+}
+
+TEST(FunctionalPropensity, NonPositiveBoundThrows) {
+  EXPECT_THROW(FunctionalPropensity([](double) { return 1.0; },
+                                    [](double) { return 1.0; }, 0.0),
+               std::invalid_argument);
+}
+
+class BiasPropensityTest : public ::testing::Test {
+ protected:
+  physics::Technology tech_ = physics::technology("90nm");
+  physics::SrhModel model_{tech_};
+  physics::Trap trap_{0.35 * tech_.t_ox, 0.55, physics::TrapState::kEmpty};
+};
+
+TEST_F(BiasPropensityTest, ConstantBiasMatchesDirectModel) {
+  const Pwl bias = Pwl::constant(0.8);
+  const BiasPropensity prop(model_, trap_, bias);
+  const auto direct = model_.propensities(trap_, 0.8);
+  const auto tabulated = prop.at(5.0);
+  EXPECT_NEAR(tabulated.lambda_c, direct.lambda_c,
+              1e-9 * std::max(1.0, direct.lambda_c));
+  EXPECT_NEAR(tabulated.lambda_e, direct.lambda_e,
+              1e-9 * std::max(1.0, direct.lambda_e));
+}
+
+TEST_F(BiasPropensityTest, BoundIsTheTotalRateEverywhere) {
+  const Pwl bias({0.0, 1e-9, 2e-9}, {0.0, 1.2, 0.0});
+  const BiasPropensity prop(model_, trap_, bias);
+  const double total = model_.total_rate(trap_);
+  EXPECT_DOUBLE_EQ(prop.rate_bound(0.0, 2e-9), total);
+  EXPECT_DOUBLE_EQ(prop.total_rate(), total);
+  for (double t = 0.0; t <= 2e-9; t += 1e-11) {
+    const auto p = prop.at(t);
+    EXPECT_LE(p.lambda_c, total * (1.0 + 1e-12));
+    EXPECT_LE(p.lambda_e, total * (1.0 + 1e-12));
+    EXPECT_NEAR(p.lambda_c + p.lambda_e, total, total * 1e-12);
+  }
+}
+
+TEST_F(BiasPropensityTest, RefinementTracksFastEdges) {
+  // One fast 0 -> 1.2 V edge. The tabulated λ_c(t) must agree with the
+  // direct model mid-edge to within a small relative error.
+  const Pwl bias({0.0, 1e-9, 1.1e-9, 2e-9}, {0.0, 0.0, 1.2, 1.2});
+  const BiasPropensity prop(model_, trap_, bias, 0.005);
+  for (double t : {1.02e-9, 1.05e-9, 1.08e-9}) {
+    const double v = bias.eval(t);
+    const auto direct = model_.propensities(trap_, v);
+    const auto tabulated = prop.at(t);
+    EXPECT_NEAR(tabulated.lambda_c, direct.lambda_c,
+                0.05 * prop.total_rate())
+        << "t=" << t;
+  }
+}
+
+TEST_F(BiasPropensityTest, BadBiasStepThrows) {
+  EXPECT_THROW(BiasPropensity(model_, trap_, Pwl::constant(1.0), 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace samurai::core

@@ -1,0 +1,41 @@
+#include "signal/resample.hpp"
+
+#include <gtest/gtest.h>
+
+namespace samurai::signal {
+namespace {
+
+TEST(Resample, StepTraceOnUniformGrid) {
+  const core::StepTrace trace(0.0, {1.0}, {5.0});
+  const auto record = resample(trace, 0.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(record.dt, 0.5);
+  ASSERT_EQ(record.samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(record.samples[0], 0.0);  // t=0
+  EXPECT_DOUBLE_EQ(record.samples[1], 0.0);  // t=0.5
+  EXPECT_DOUBLE_EQ(record.samples[2], 5.0);  // t=1.0
+  EXPECT_DOUBLE_EQ(record.samples[3], 5.0);  // t=1.5
+}
+
+TEST(Resample, PwlOnUniformGrid) {
+  const core::Pwl wave({0.0, 1.0}, {0.0, 1.0});
+  const auto record = resample(wave, 0.0, 1.0, 10);
+  EXPECT_DOUBLE_EQ(record.dt, 0.1);
+  EXPECT_NEAR(record.samples[5], 0.5, 1e-12);
+}
+
+TEST(Resample, TrajectoryAsBinaryRecord) {
+  const core::TrapTrajectory traj(0.0, 4.0, physics::TrapState::kEmpty, {2.0});
+  const auto record = resample(traj, 8);
+  EXPECT_DOUBLE_EQ(record.samples[0], 0.0);
+  EXPECT_DOUBLE_EQ(record.samples[4], 1.0);  // t = 2.0
+  EXPECT_DOUBLE_EQ(record.samples[7], 1.0);
+}
+
+TEST(Resample, BadParametersThrow) {
+  const core::StepTrace trace;
+  EXPECT_THROW(resample(trace, 1.0, 0.0, 8), std::invalid_argument);
+  EXPECT_THROW(resample(trace, 0.0, 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace samurai::signal

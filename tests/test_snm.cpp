@@ -1,0 +1,100 @@
+#include "sram/snm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace samurai::sram {
+namespace {
+
+SnmConfig config_90nm() {
+  SnmConfig config;
+  config.tech = physics::technology("90nm");
+  config.sweep_points = 41;
+  return config;
+}
+
+TEST(Snm, TooFewPointsThrows) {
+  SnmConfig config = config_90nm();
+  config.sweep_points = 4;
+  EXPECT_THROW(compute_snm(config), std::invalid_argument);
+}
+
+TEST(Snm, VtcsAreMonotoneRailToRail) {
+  const auto result = compute_snm(config_90nm());
+  ASSERT_EQ(result.vtc1.size(), result.input_grid.size());
+  EXPECT_NEAR(result.vtc1.front(), 1.2, 0.02);
+  EXPECT_NEAR(result.vtc1.back(), 0.0, 0.02);
+  for (std::size_t i = 1; i < result.vtc1.size(); ++i) {
+    EXPECT_LE(result.vtc1[i], result.vtc1[i - 1] + 1e-6);
+    EXPECT_LE(result.vtc2[i], result.vtc2[i - 1] + 1e-6);
+  }
+}
+
+TEST(Snm, HoldSnmInTextbookRange) {
+  const auto result = compute_snm(config_90nm());
+  // Hold SNM of a balanced cell: ~0.3-0.45 of V_dd.
+  EXPECT_GT(result.snm, 0.25 * 1.2);
+  EXPECT_LT(result.snm, 0.5 * 1.2);
+}
+
+TEST(Snm, ReadSnmSmallerThanHold) {
+  SnmConfig config = config_90nm();
+  const double hold = compute_snm(config).snm;
+  config.mode = SnmMode::kRead;
+  const double read = compute_snm(config).snm;
+  EXPECT_GT(read, 0.0);
+  EXPECT_LT(read, 0.7 * hold);
+}
+
+TEST(Snm, ReadVtcLowLevelIsLifted) {
+  SnmConfig config = config_90nm();
+  config.mode = SnmMode::kRead;
+  const auto result = compute_snm(config);
+  // The pass gate pulls the low output up to the read-disturb level.
+  EXPECT_GT(result.vtc1.back(), 0.1);
+}
+
+TEST(Snm, SnmShrinksWithSupply) {
+  SnmConfig config = config_90nm();
+  config.mode = SnmMode::kRead;
+  const double full = compute_snm(config).snm;
+  config.tech.v_dd = 0.7;
+  const double low = compute_snm(config).snm;
+  EXPECT_LT(low, full);
+  EXPECT_GT(low, 0.0);
+}
+
+TEST(Snm, TrappedChargeShiftCostsMargin) {
+  // An RTN/NBTI-style V_T shift on the read pull-down costs read SNM —
+  // the stability-axis counterpart of the paper's Fig. 2 increments.
+  SnmConfig config = config_90nm();
+  config.mode = SnmMode::kRead;
+  const double base = compute_snm(config).snm;
+  config.vth_shifts["M6"] = 0.04;
+  const double shifted = compute_snm(config).snm;
+  EXPECT_LT(shifted, base);
+  EXPECT_GT(base - shifted, 0.002);
+}
+
+TEST(Snm, StrongerPullDownsImproveReadSnm) {
+  SnmConfig weak = config_90nm();
+  weak.mode = SnmMode::kRead;
+  weak.sizing.pull_down = 1.2;
+  SnmConfig strong = weak;
+  strong.sizing.pull_down = 2.6;
+  EXPECT_GT(compute_snm(strong).snm, compute_snm(weak).snm);
+}
+
+TEST(Snm, ExtremeImbalanceKillsBistability) {
+  // Pull-down V_T pushed above the supply: that inverter can no longer
+  // pull low, the butterfly collapses and SNM -> 0.
+  SnmConfig config = config_90nm();
+  config.tech.v_dd = 0.6;
+  config.mode = SnmMode::kRead;
+  config.vth_shifts["M6"] = 0.8;
+  config.vth_shifts["M5"] = 0.8;
+  const auto result = compute_snm(config);
+  EXPECT_LT(result.snm, 0.05);
+}
+
+}  // namespace
+}  // namespace samurai::sram

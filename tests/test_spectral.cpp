@@ -1,0 +1,156 @@
+#include "signal/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "signal/analytic.hpp"
+#include "util/rng.hpp"
+
+namespace samurai::signal {
+namespace {
+
+TEST(Autocorrelation, InputValidation) {
+  EXPECT_THROW(autocorrelation({1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(autocorrelation({1.0, 2.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Autocorrelation, LagZeroIsVariance) {
+  util::Rng rng(1);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.normal(5.0, 2.0));
+  const auto acf = autocorrelation(samples, 1e-3);
+  EXPECT_NEAR(acf.values[0], 4.0, 0.15);
+  EXPECT_DOUBLE_EQ(acf.lags[0], 0.0);
+  EXPECT_DOUBLE_EQ(acf.lags[1], 1e-3);
+}
+
+TEST(Autocorrelation, WhiteNoiseDecorrelatesImmediately) {
+  util::Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.normal());
+  const auto acf = autocorrelation(samples, 1.0);
+  for (std::size_t k = 1; k < 10; ++k) {
+    EXPECT_NEAR(acf.values[k], 0.0, 0.03) << "lag " << k;
+  }
+}
+
+TEST(Autocorrelation, Ar1ProcessHasExponentialAcf) {
+  // x_{n+1} = ρ x_n + noise: R(k) = ρ^k σ².
+  util::Rng rng(3);
+  const double rho = 0.9;
+  std::vector<double> samples;
+  double x = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    x = rho * x + rng.normal() * std::sqrt(1 - rho * rho);
+    samples.push_back(x);
+  }
+  const auto acf = autocorrelation(samples, 1.0);
+  for (std::size_t k : {1u, 3u, 6u}) {
+    EXPECT_NEAR(acf.values[k] / acf.values[0], std::pow(rho, k), 0.03);
+  }
+}
+
+TEST(Autocorrelation, MaxLagsLimitsOutput) {
+  std::vector<double> samples(1000, 0.0);
+  samples[0] = 1.0;
+  const auto acf = autocorrelation(samples, 1.0, true, true, 10);
+  EXPECT_EQ(acf.lags.size(), 11u);
+}
+
+TEST(WelchPsd, InputValidation) {
+  std::vector<double> tiny(4, 0.0);
+  EXPECT_THROW(welch_psd(tiny, 1.0), std::invalid_argument);
+  std::vector<double> ok(64, 0.0);
+  EXPECT_THROW(welch_psd(ok, 1.0, 3), std::invalid_argument);   // not pow2
+  EXPECT_THROW(welch_psd(ok, 1.0, 128), std::invalid_argument); // > N
+}
+
+TEST(WelchPsd, SinusoidPeaksAtItsFrequency) {
+  const double fs = 1000.0;
+  const double f0 = 125.0;
+  std::vector<double> samples;
+  for (int i = 0; i < 8192; ++i) {
+    samples.push_back(
+        std::sin(2.0 * std::numbers::pi * f0 * static_cast<double>(i) / fs));
+  }
+  const auto spectrum = welch_psd(samples, 1.0 / fs, 512);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < spectrum.density.size(); ++k) {
+    if (spectrum.density[k] > spectrum.density[peak]) peak = k;
+  }
+  EXPECT_NEAR(spectrum.frequencies[peak], f0, fs / 512.0 * 1.5);
+}
+
+TEST(WelchPsd, IntegralEqualsVarianceForWhiteNoise) {
+  util::Rng rng(4);
+  std::vector<double> samples;
+  const double sigma = 1.5;
+  for (int i = 0; i < 65536; ++i) samples.push_back(rng.normal(0.0, sigma));
+  const double dt = 1e-4;
+  const auto spectrum = welch_psd(samples, dt, 1024);
+  double integral = 0.0;
+  const double df = spectrum.frequencies[1] - spectrum.frequencies[0];
+  for (double s : spectrum.density) integral += s * df;
+  EXPECT_NEAR(integral, sigma * sigma, 0.1 * sigma * sigma);
+}
+
+// Integration test: a stationary telegraph signal's estimated PSD must
+// match the analytic Lorentzian (the paper's Fig. 7 validation in
+// miniature).
+TEST(WelchPsd, TelegraphSignalMatchesLorentzian) {
+  util::Rng rng(5);
+  const double lambda_c = 4000.0, lambda_e = 6000.0, delta_i = 1.0;
+  const double dt = 1e-6;
+  const std::size_t n = 1 << 20;
+  std::vector<double> samples;
+  samples.reserve(n);
+  // Exact dwell-time telegraph generation.
+  int state = 0;
+  double t_next = rng.exponential(lambda_c);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    while (t >= t_next) {
+      state ^= 1;
+      t_next += rng.exponential(state ? lambda_e : lambda_c);
+    }
+    samples.push_back(state ? delta_i : 0.0);
+  }
+  const auto spectrum = welch_psd(samples, dt, 8192);
+  const RtsParams params{lambda_c, lambda_e, delta_i};
+  // Compare in the Lorentzian's meaty band (below and around the corner).
+  for (std::size_t k = 0; k < spectrum.frequencies.size(); ++k) {
+    const double f = spectrum.frequencies[k];
+    if (f < 200.0 || f > 2e4) continue;
+    const double expected = rts_psd(params, f);
+    EXPECT_NEAR(spectrum.density[k] / expected, 1.0, 0.5) << "f=" << f;
+  }
+}
+
+TEST(PsdFromAutocorrelation, RecoversLorentzianFromAnalyticAcf) {
+  // Feed the analytic R(τ) and check S(f) comes back (Wiener-Khinchin).
+  const RtsParams params{3000.0, 3000.0, 2.0};
+  Autocorrelation acf;
+  const double dt = 1e-6;
+  for (int k = 0; k < 20000; ++k) {
+    acf.lags.push_back(k * dt);
+    acf.values.push_back(rts_autocovariance(params, k * dt));
+  }
+  const std::vector<double> freqs = {100.0, 500.0, 1000.0, 3000.0};
+  const auto psd = psd_from_autocorrelation(acf, freqs);
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    EXPECT_NEAR(psd[i] / rts_psd(params, freqs[i]), 1.0, 0.05)
+        << "f=" << freqs[i];
+  }
+}
+
+TEST(PsdFromAutocorrelation, TooFewLagsThrow) {
+  Autocorrelation acf;
+  acf.lags = {0.0};
+  acf.values = {1.0};
+  EXPECT_THROW(psd_from_autocorrelation(acf, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace samurai::signal

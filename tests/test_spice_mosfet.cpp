@@ -1,0 +1,166 @@
+// Nonlinear (MOSFET) circuit validation: inverter transfer curves, diode-
+// connected device currents against the DC model, and switching
+// transients.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "physics/technology.hpp"
+#include "spice/analysis.hpp"
+#include "spice/devices.hpp"
+
+namespace samurai::spice {
+namespace {
+
+struct InverterFixture {
+  Circuit circuit;
+  physics::Technology tech = physics::technology("90nm");
+  int in = kGround, out = kGround, vdd = kGround;
+
+  InverterFixture() {
+    in = circuit.node("in");
+    out = circuit.node("out");
+    vdd = circuit.node("vdd");
+    VoltageSource::dc(circuit, "Vdd", vdd, kGround, tech.v_dd);
+    physics::MosDevice nmos(tech, physics::MosType::kNmos,
+                            {2.0 * tech.w_min, tech.l_min});
+    physics::MosDevice pmos(tech, physics::MosType::kPmos,
+                            {4.0 * tech.w_min, tech.l_min});
+    circuit.add<Mosfet>("MN", out, in, kGround, kGround, std::move(nmos));
+    circuit.add<Mosfet>("MP", out, in, vdd, vdd, std::move(pmos));
+  }
+};
+
+TEST(SpiceMosfet, DiodeConnectedCurrentMatchesModel) {
+  Circuit circuit;
+  const auto tech = physics::technology("90nm");
+  const int d = circuit.node("d");
+  auto& source = VoltageSource::dc(circuit, "V1", d, kGround, 1.0);
+  physics::MosDevice model(tech, physics::MosType::kNmos,
+                           {220e-9, 90e-9});
+  const double expected = model.evaluate(1.0, 1.0).i_d;
+  circuit.add<Mosfet>("M1", d, d, kGround, kGround, std::move(model));
+  const auto result = dc_operating_point(circuit);
+  ASSERT_TRUE(result.converged);
+  // The source supplies the drain current: branch current = -I_d.
+  EXPECT_NEAR(-result.x[static_cast<std::size_t>(source.branch_index())],
+              expected, expected * 1e-6);
+}
+
+TEST(SpiceMosfet, InverterRailsAreCorrect) {
+  InverterFixture fixture;
+  VoltageSource::dc(fixture.circuit, "Vin", fixture.in, kGround, 0.0);
+  auto low_in = dc_operating_point(fixture.circuit);
+  ASSERT_TRUE(low_in.converged);
+  EXPECT_NEAR(low_in.x[static_cast<std::size_t>(fixture.out)],
+              fixture.tech.v_dd, 0.01);
+}
+
+TEST(SpiceMosfet, InverterTransferCurveIsMonotoneAndSwitches) {
+  InverterFixture fixture;
+  // Sweep via a PWL source over a slow transient (quasi-static).
+  core::Pwl ramp;
+  ramp.append(0.0, 0.0);
+  ramp.append(1e-3, fixture.tech.v_dd);  // 1 ms ramp: quasi-static
+  fixture.circuit.add<VoltageSource>(fixture.circuit, "Vin", fixture.in,
+                                     kGround, ramp);
+  TransientOptions options;
+  options.t_stop = 1e-3;
+  options.dt_max = 1e-5;
+  const auto result = transient(fixture.circuit, options);
+  const auto& vout = result.voltage_samples("out");
+  // Monotone non-increasing.
+  for (std::size_t i = 1; i < vout.size(); ++i) {
+    EXPECT_LE(vout[i], vout[i - 1] + 1e-3);
+  }
+  EXPECT_NEAR(vout.front(), fixture.tech.v_dd, 0.02);
+  EXPECT_NEAR(vout.back(), 0.0, 0.02);
+  // The switching threshold sits somewhere mid-rail.
+  const double v_mid = result.voltage_at(
+      "out", 1e-3 * 0.5);  // input at v_dd/2
+  EXPECT_GT(v_mid, 0.05 * fixture.tech.v_dd);
+  EXPECT_LT(v_mid, 0.95 * fixture.tech.v_dd);
+}
+
+TEST(SpiceMosfet, InverterSwitchingTransient) {
+  InverterFixture fixture;
+  core::Pwl pulse;
+  pulse.append(0.0, 0.0);
+  pulse.append(1e-9, 0.0);
+  pulse.append(1.05e-9, fixture.tech.v_dd);
+  pulse.append(5e-9, fixture.tech.v_dd);
+  fixture.circuit.add<VoltageSource>(fixture.circuit, "Vin", fixture.in,
+                                     kGround, pulse);
+  fixture.circuit.add<Capacitor>("CL", fixture.out, kGround, 1e-15);
+  TransientOptions options;
+  options.t_stop = 5e-9;
+  const auto result = transient(fixture.circuit, options);
+  EXPECT_NEAR(result.voltage_at("out", 0.9e-9), fixture.tech.v_dd, 0.02);
+  EXPECT_NEAR(result.voltage_at("out", 4.9e-9), 0.0, 0.02);
+  // Output must cross mid-rail after the input does (causality + delay).
+  double cross = 0.0;
+  const auto& ts = result.times();
+  const auto& vo = result.voltage_samples("out");
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    if (vo[i - 1] > 0.5 * fixture.tech.v_dd &&
+        vo[i] <= 0.5 * fixture.tech.v_dd) {
+      cross = ts[i];
+      break;
+    }
+  }
+  EXPECT_GT(cross, 1.0e-9);
+  EXPECT_LT(cross, 2.0e-9);
+}
+
+TEST(SpiceMosfet, PassTransistorConductsBothWays) {
+  // NMOS pass gate charging a capacitor: conducts with terminals swapped.
+  Circuit circuit;
+  const auto tech = physics::technology("90nm");
+  const int src = circuit.node("src");
+  const int dst = circuit.node("dst");
+  const int gate = circuit.node("gate");
+  VoltageSource::dc(circuit, "Vs", src, kGround, 0.0);
+  VoltageSource::dc(circuit, "Vg", gate, kGround, tech.v_dd);
+  physics::MosDevice model(tech, physics::MosType::kNmos,
+                           {220e-9, 90e-9});
+  circuit.add<Mosfet>("M1", dst, gate, src, kGround, std::move(model));
+  circuit.add<Capacitor>("C1", dst, kGround, 1e-15);
+  TransientOptions options;
+  options.t_stop = 2e-9;
+  options.dc.nodeset["dst"] = tech.v_dd;  // cap starts "high"
+  const auto result = transient(circuit, options);
+  // DC already discharges dst through the pass gate; the whole run must
+  // keep it at ground.
+  EXPECT_NEAR(result.voltage_at("dst", 1.9e-9), 0.0, 0.02);
+}
+
+TEST(SpiceMosfet, GminLadderRescuesColdStart) {
+  // A high-gain two-inverter chain from a zero initial guess exercises
+  // the gmin-stepping fallback path.
+  Circuit circuit;
+  const auto tech = physics::technology("90nm");
+  const int vdd = circuit.node("vdd");
+  VoltageSource::dc(circuit, "Vdd", vdd, kGround, tech.v_dd);
+  const int a = circuit.node("a");
+  const int b = circuit.node("b");
+  const int c = circuit.node("c");
+  VoltageSource::dc(circuit, "Vin", a, kGround, 0.3 * tech.v_dd);
+  auto add_inverter = [&](const std::string& name, int in, int out) {
+    physics::MosDevice nmos(tech, physics::MosType::kNmos,
+                            {2.0 * tech.w_min, tech.l_min});
+    physics::MosDevice pmos(tech, physics::MosType::kPmos,
+                            {4.0 * tech.w_min, tech.l_min});
+    circuit.add<Mosfet>(name + "n", out, in, kGround, kGround, std::move(nmos));
+    circuit.add<Mosfet>(name + "p", out, in, vdd, vdd, std::move(pmos));
+  };
+  add_inverter("inv1", a, b);
+  add_inverter("inv2", b, c);
+  const auto result = dc_operating_point(circuit);
+  ASSERT_TRUE(result.converged);
+  // 0.3 Vdd input is below the switching threshold -> b high, c low.
+  EXPECT_GT(result.x[static_cast<std::size_t>(b)], 0.7 * tech.v_dd);
+  EXPECT_LT(result.x[static_cast<std::size_t>(c)], 0.3 * tech.v_dd);
+}
+
+}  // namespace
+}  // namespace samurai::spice

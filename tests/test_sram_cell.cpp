@@ -1,0 +1,109 @@
+#include "sram/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/analysis.hpp"
+#include "spice/devices.hpp"
+
+namespace samurai::sram {
+namespace {
+
+TEST(SramCell, TransistorTyping) {
+  EXPECT_TRUE(is_nmos(1));
+  EXPECT_TRUE(is_nmos(2));
+  EXPECT_FALSE(is_nmos(3));
+  EXPECT_FALSE(is_nmos(4));
+  EXPECT_TRUE(is_nmos(5));
+  EXPECT_TRUE(is_nmos(6));
+  EXPECT_THROW(is_nmos(0), std::invalid_argument);
+  EXPECT_THROW(is_nmos(7), std::invalid_argument);
+}
+
+TEST(SramCell, GeometryFollowsSizing) {
+  const auto tech = physics::technology("90nm");
+  CellSizing sizing;
+  sizing.pull_down = 2.0;
+  sizing.pass_gate = 1.2;
+  sizing.pull_up = 1.0;
+  EXPECT_DOUBLE_EQ(transistor_geometry(tech, sizing, 5).width,
+                   2.0 * tech.w_min);
+  EXPECT_DOUBLE_EQ(transistor_geometry(tech, sizing, 1).width,
+                   1.2 * tech.w_min);
+  EXPECT_DOUBLE_EQ(transistor_geometry(tech, sizing, 3).width,
+                   1.0 * tech.w_min);
+  EXPECT_DOUBLE_EQ(transistor_geometry(tech, sizing, 4).length, tech.l_min);
+}
+
+TEST(SramCell, BuildWiresPaperTopology) {
+  spice::Circuit circuit;
+  const auto tech = physics::technology("90nm");
+  const auto handles = build_6t_cell(circuit, tech, {}, "x_");
+  // Six transistors present and connected per the paper's naming.
+  for (int m = 1; m <= 6; ++m) {
+    ASSERT_NE(handles.mosfet(m), nullptr) << "M" << m;
+  }
+  const int q = circuit.find_node("x_q");
+  const int qb = circuit.find_node("x_qb");
+  const int wl = circuit.find_node("x_wl");
+  // M5's gate is Q (paper §IV-B), M6's gate is QB.
+  EXPECT_EQ(handles.mosfet(5)->gate(), q);
+  EXPECT_EQ(handles.mosfet(6)->gate(), qb);
+  // Pass gates on the wordline.
+  EXPECT_EQ(handles.mosfet(1)->gate(), wl);
+  EXPECT_EQ(handles.mosfet(2)->gate(), wl);
+  // Cross-coupling: M3 pulls up Q with gate QB.
+  EXPECT_EQ(handles.mosfet(3)->drain(), q);
+  EXPECT_EQ(handles.mosfet(3)->gate(), qb);
+}
+
+TEST(SramCell, HoldStateIsBistable) {
+  const auto tech = physics::technology("90nm");
+  for (const double q_init : {0.0, tech.v_dd}) {
+    spice::Circuit circuit;
+    const auto handles = build_6t_cell(circuit, tech, {}, "");
+    spice::VoltageSource::dc(circuit, "Vdd", circuit.find_node(handles.vdd),
+                             spice::kGround, tech.v_dd);
+    spice::VoltageSource::dc(circuit, "Vwl", circuit.find_node(handles.wl),
+                             spice::kGround, 0.0);
+    spice::VoltageSource::dc(circuit, "Vbl", circuit.find_node(handles.bl),
+                             spice::kGround, tech.v_dd);
+    spice::VoltageSource::dc(circuit, "Vblb", circuit.find_node(handles.blb),
+                             spice::kGround, tech.v_dd);
+    spice::DcOptions options;
+    options.nodeset[handles.q] = q_init;
+    options.nodeset[handles.qb] = tech.v_dd - q_init;
+    const auto result = spice::dc_operating_point(circuit, options);
+    ASSERT_TRUE(result.converged) << "q_init=" << q_init;
+    const double q = result.x[static_cast<std::size_t>(circuit.find_node(handles.q))];
+    const double qb = result.x[static_cast<std::size_t>(circuit.find_node(handles.qb))];
+    if (q_init == 0.0) {
+      EXPECT_LT(q, 0.1 * tech.v_dd);
+      EXPECT_GT(qb, 0.9 * tech.v_dd);
+    } else {
+      EXPECT_GT(q, 0.9 * tech.v_dd);
+      EXPECT_LT(qb, 0.1 * tech.v_dd);
+    }
+  }
+}
+
+TEST(SramCell, VthShiftsAreApplied) {
+  spice::Circuit circuit;
+  const auto tech = physics::technology("90nm");
+  VthShifts shifts;
+  shifts["M5"] = 0.07;
+  const auto handles = build_6t_cell(circuit, tech, {}, "", shifts);
+  const double base = handles.mosfet(6)->model().v_th();
+  EXPECT_NEAR(handles.mosfet(5)->model().v_th() - base, 0.07, 1e-12);
+}
+
+TEST(SramCell, PrefixIsolatesCells) {
+  spice::Circuit circuit;
+  const auto tech = physics::technology("90nm");
+  const auto a = build_6t_cell(circuit, tech, {}, "c0_");
+  const auto b = build_6t_cell(circuit, tech, {}, "c1_");
+  EXPECT_NE(circuit.find_node(a.q), circuit.find_node(b.q));
+  EXPECT_EQ(circuit.num_nodes(), 12u);  // 6 named nodes per cell
+}
+
+}  // namespace
+}  // namespace samurai::sram

@@ -1,0 +1,153 @@
+#include "physics/srh_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "physics/constants.hpp"
+#include "physics/technology.hpp"
+
+namespace samurai::physics {
+namespace {
+
+Trap make_trap(double depth_frac, double e_tr) {
+  const auto tech = technology("90nm");
+  return Trap{depth_frac * tech.t_ox, e_tr, TrapState::kEmpty};
+}
+
+TEST(SrhModel, TotalRateMatchesPaperEq1) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  const Trap trap = make_trap(0.3, 0.5);
+  const double expected =
+      1.0 / (tech.tau0 * std::exp(tech.gamma_tunnel * trap.y_tr));
+  EXPECT_NEAR(model.total_rate(trap), expected, expected * 1e-12);
+}
+
+TEST(SrhModel, TotalRateDecaysExponentiallyWithDepth) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  const double r1 = model.total_rate(make_trap(0.2, 0.5));
+  const double r2 = model.total_rate(make_trap(0.4, 0.5));
+  const double expected_ratio =
+      std::exp(tech.gamma_tunnel * (0.4 - 0.2) * tech.t_ox);
+  EXPECT_NEAR(r1 / r2, expected_ratio, expected_ratio * 1e-9);
+}
+
+TEST(SrhModel, TrapOutsideOxideThrows) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  EXPECT_THROW(model.total_rate(Trap{-1e-10, 0.5}), std::invalid_argument);
+  EXPECT_THROW(model.total_rate(Trap{2.0 * tech.t_ox, 0.5}),
+               std::invalid_argument);
+}
+
+// The paper's Eq. 1 invariant: λ_c(t) + λ_e(t) is constant over bias.
+TEST(SrhModel, PropensitySumIsBiasIndependent) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  const Trap trap = make_trap(0.35, 0.6);
+  const double total = model.total_rate(trap);
+  for (double v = -0.2; v <= 1.5; v += 0.1) {
+    const auto p = model.propensities(trap, v);
+    EXPECT_NEAR(p.lambda_c + p.lambda_e, total, total * 1e-9) << "V=" << v;
+    EXPECT_GE(p.lambda_c, 0.0);
+    EXPECT_GE(p.lambda_e, 0.0);
+  }
+}
+
+// Eq. 2: β = g exp((E_T - E_F)/kT).
+TEST(SrhModel, BetaFollowsBoltzmannFactorOfGap) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  const Trap trap = make_trap(0.3, 0.55);
+  const double kt = kBoltzmannEv * tech.temperature;
+  for (double v : {0.1, 0.4, 0.8, 1.2}) {
+    const double gap = model.trap_fermi_gap(trap, v);
+    const double expected = tech.trap_degeneracy * std::exp(gap / kt);
+    EXPECT_NEAR(model.beta(trap, v) / expected, 1.0, 1e-9) << "V=" << v;
+  }
+}
+
+TEST(SrhModel, BetaDecreasesWithGateBias) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  const Trap trap = make_trap(0.4, 0.6);
+  double prev = model.beta(trap, -0.2);
+  for (double v = -0.1; v <= 1.5; v += 0.1) {
+    const double b = model.beta(trap, v);
+    EXPECT_LE(b, prev * (1.0 + 1e-9)) << "V=" << v;
+    prev = b;
+  }
+}
+
+TEST(SrhModel, DeeperTrapsFeelStrongerFieldLeverArm) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  const Trap shallow = make_trap(0.1, 0.6);
+  const Trap deep = make_trap(0.8, 0.6);
+  const double swing_shallow = model.trap_fermi_gap(shallow, 0.0) -
+                               model.trap_fermi_gap(shallow, tech.v_dd);
+  const double swing_deep =
+      model.trap_fermi_gap(deep, 0.0) - model.trap_fermi_gap(deep, tech.v_dd);
+  EXPECT_GT(swing_deep, swing_shallow);
+}
+
+TEST(SrhModel, StationaryFillIsOneOverOnePlusBeta) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  const Trap trap = make_trap(0.25, 0.5);
+  for (double v : {0.2, 0.6, 1.0}) {
+    const double beta = model.beta(trap, v);
+    EXPECT_NEAR(model.stationary_fill(trap, v), 1.0 / (1.0 + beta), 1e-12);
+  }
+}
+
+TEST(SrhModel, FillProbabilityRisesWithBias) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  const Trap trap = make_trap(0.3, 0.7);
+  EXPECT_LT(model.stationary_fill(trap, 0.0), 0.5);
+  EXPECT_GT(model.stationary_fill(trap, 1.5 * tech.v_dd),
+            model.stationary_fill(trap, 0.0));
+}
+
+TEST(SrhModel, ExtremeGapsDoNotOverflow) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  const Trap cold = make_trap(0.9, 1.05);   // far above E_F at V=0
+  const auto p_cold = model.propensities(cold, -0.5);
+  EXPECT_TRUE(std::isfinite(p_cold.lambda_c));
+  EXPECT_TRUE(std::isfinite(p_cold.lambda_e));
+  const Trap hot = make_trap(0.9, 0.25);
+  const auto p_hot = model.propensities(hot, 2.0);
+  EXPECT_TRUE(std::isfinite(p_hot.lambda_c));
+  EXPECT_TRUE(std::isfinite(p_hot.lambda_e));
+}
+
+// A trap with mid-window energy must pass through resonance (β crossing 1)
+// somewhere inside the extended gate swing — the mechanism behind the
+// bias-dependent activity of paper Fig. 8 (b),(c).
+TEST(SrhModel, MidWindowTrapCrossesResonanceInsideSwing) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  const Trap trap = make_trap(0.4, 0.6);
+  const double beta_low = model.beta(trap, 0.0);
+  const double beta_high = model.beta(trap, 1.5 * tech.v_dd);
+  EXPECT_GT(beta_low, 1.0);
+  EXPECT_LT(beta_high, 1.0);
+}
+
+TEST(SrhModel, TabulatedSurfaceMatchesDirectSolveOutsideTable) {
+  // Biases outside [-1, 2 v_dd + 1] fall back to the direct solver; the
+  // gap must remain continuous across the table edge.
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  const Trap trap = make_trap(0.3, 0.6);
+  const double inside = model.trap_fermi_gap(trap, -0.999);
+  const double outside = model.trap_fermi_gap(trap, -1.001);
+  EXPECT_NEAR(inside, outside, 5e-3);
+}
+
+}  // namespace
+}  // namespace samurai::physics

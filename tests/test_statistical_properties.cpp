@@ -1,0 +1,177 @@
+// Distribution-level property tests: Kolmogorov-Smirnov checks that the
+// samplers produce *exactly* the right laws (not just matching moments),
+// and cross-validation between independent estimators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "baseline/gillespie.hpp"
+#include "core/uniformisation.hpp"
+#include "signal/analytic.hpp"
+#include "signal/resample.hpp"
+#include "signal/spectral.hpp"
+#include "util/rng.hpp"
+
+namespace samurai {
+namespace {
+
+using physics::TrapState;
+
+/// One-sample KS statistic against an exponential CDF with given rate.
+double ks_exponential(std::vector<double> samples, double rate) {
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double cdf = 1.0 - std::exp(-rate * samples[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(cdf - lo), std::abs(cdf - hi)});
+  }
+  return d;
+}
+
+/// Two-sample KS statistic.
+double ks_two_sample(std::vector<double> a, std::vector<double> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] <= b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+    const double fa = static_cast<double>(i) / static_cast<double>(a.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(b.size());
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+struct RatePair {
+  double lambda_c;
+  double lambda_e;
+};
+
+class DwellLawTest : public ::testing::TestWithParam<RatePair> {};
+
+TEST_P(DwellLawTest, UniformisationDwellsAreExactlyExponential) {
+  const auto param = GetParam();
+  const core::ConstantPropensity prop(param.lambda_c, param.lambda_e);
+  util::Rng rng(1234);
+  const double total = param.lambda_c + param.lambda_e;
+  const auto traj = core::simulate_trap(prop, 0.0, 30000.0 / total * 2.0,
+                                        TrapState::kEmpty, rng);
+  const auto dwells = traj.dwell_times(true);
+  ASSERT_GT(dwells.empty.size(), 2000u);
+  ASSERT_GT(dwells.filled.size(), 2000u);
+  // KS 1% critical value ~ 1.63/sqrt(n).
+  const double crit_e =
+      1.63 / std::sqrt(static_cast<double>(dwells.empty.size()));
+  const double crit_f =
+      1.63 / std::sqrt(static_cast<double>(dwells.filled.size()));
+  EXPECT_LT(ks_exponential(dwells.empty, param.lambda_c), crit_e);
+  EXPECT_LT(ks_exponential(dwells.filled, param.lambda_e), crit_f);
+}
+
+TEST_P(DwellLawTest, UniformisationAndGillespieAgreeInDistribution) {
+  const auto param = GetParam();
+  const core::ConstantPropensity prop(param.lambda_c, param.lambda_e);
+  util::Rng rng_u(77), rng_g(88);
+  const double total = param.lambda_c + param.lambda_e;
+  const double horizon = 20000.0 / total * 2.0;
+  const auto u = core::simulate_trap(prop, 0.0, horizon, TrapState::kEmpty,
+                                     rng_u);
+  const auto g = baseline::gillespie_stationary(
+      param.lambda_c, param.lambda_e, 0.0, horizon, TrapState::kEmpty, rng_g);
+  const auto du = u.dwell_times(true);
+  const auto dg = g.dwell_times(true);
+  ASSERT_GT(du.empty.size(), 1000u);
+  ASSERT_GT(dg.empty.size(), 1000u);
+  const double n_eff =
+      1.0 / (1.0 / static_cast<double>(du.empty.size()) +
+             1.0 / static_cast<double>(dg.empty.size()));
+  EXPECT_LT(ks_two_sample(du.empty, dg.empty), 1.63 / std::sqrt(n_eff));
+  const double n_eff_f =
+      1.0 / (1.0 / static_cast<double>(du.filled.size()) +
+             1.0 / static_cast<double>(dg.filled.size()));
+  EXPECT_LT(ks_two_sample(du.filled, dg.filled), 1.63 / std::sqrt(n_eff_f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DwellLawTest,
+                         ::testing::Values(RatePair{1.0, 1.0},
+                                           RatePair{3.0, 0.7},
+                                           RatePair{0.4, 2.5}));
+
+TEST(StatisticalProperties, RngExponentialPassesKs) {
+  util::Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.exponential(2.5));
+  EXPECT_LT(ks_exponential(samples, 2.5), 1.63 / std::sqrt(20000.0));
+}
+
+TEST(StatisticalProperties, RngUniformPassesKs) {
+  util::Rng rng(6);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    // map U(0,1) through -log to an exponential(1) for reuse of the helper
+    samples.push_back(-std::log(1.0 - rng.uniform()));
+  }
+  EXPECT_LT(ks_exponential(samples, 1.0), 1.63 / std::sqrt(20000.0));
+}
+
+TEST(StatisticalProperties, WelchAndWienerKhinchinAgree) {
+  // Two independent PSD estimators on the same telegraph record must give
+  // the same density in the resolved band.
+  const core::ConstantPropensity prop(5000.0, 5000.0);
+  util::Rng rng(9);
+  const auto traj =
+      core::simulate_trap(prop, 0.0, 4.0, TrapState::kEmpty, rng);
+  const auto record = signal::resample(traj, 1 << 19);
+  const auto welch = signal::welch_psd(record.samples, record.dt, 8192);
+  const auto acf = signal::autocorrelation(record.samples, record.dt, true,
+                                           false, 40000);
+  const std::vector<double> freqs = {400.0, 1000.0, 2500.0};
+  const auto wk = signal::psd_from_autocorrelation(acf, freqs);
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    const double welch_value = [&] {
+      // nearest Welch bin
+      std::size_t best = 0;
+      for (std::size_t k = 1; k < welch.frequencies.size(); ++k) {
+        if (std::abs(welch.frequencies[k] - freqs[i]) <
+            std::abs(welch.frequencies[best] - freqs[i])) {
+          best = k;
+        }
+      }
+      return welch.density[best];
+    }();
+    EXPECT_NEAR(wk[i] / welch_value, 1.0, 0.35) << "f=" << freqs[i];
+  }
+}
+
+TEST(StatisticalProperties, OccupancyVarianceMatchesBernoulli) {
+  // Var of the stationary telegraph value is p(1-p): check the sampled
+  // record's variance against it.
+  const double lc = 300.0, le = 700.0;
+  const core::ConstantPropensity prop(lc, le);
+  util::Rng rng(10);
+  const auto traj =
+      core::simulate_trap(prop, 0.0, 200.0, TrapState::kEmpty, rng);
+  const auto record = signal::resample(traj, 1 << 18);
+  double mean = 0.0;
+  for (double v : record.samples) mean += v;
+  mean /= static_cast<double>(record.samples.size());
+  double var = 0.0;
+  for (double v : record.samples) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(record.samples.size());
+  const double p = lc / (lc + le);
+  EXPECT_NEAR(mean, p, 0.02);
+  EXPECT_NEAR(var, p * (1.0 - p), 0.02);
+}
+
+}  // namespace
+}  // namespace samurai

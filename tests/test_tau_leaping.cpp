@@ -1,0 +1,104 @@
+#include "baseline/tau_leaping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/uniformisation.hpp"
+
+namespace samurai::baseline {
+namespace {
+
+using physics::TrapState;
+
+TEST(TauLeaping, TransitionKernelLimits) {
+  // tau -> 0: stays put; tau -> inf: stationary probability.
+  EXPECT_NEAR(two_state_transition_probability(2.0, 3.0, 0.0, true), 1.0,
+              1e-12);
+  EXPECT_NEAR(two_state_transition_probability(2.0, 3.0, 0.0, false), 0.0,
+              1e-12);
+  EXPECT_NEAR(two_state_transition_probability(2.0, 3.0, 100.0, true),
+              2.0 / 5.0, 1e-9);
+  EXPECT_NEAR(two_state_transition_probability(2.0, 3.0, 100.0, false),
+              2.0 / 5.0, 1e-9);
+}
+
+TEST(TauLeaping, FrozenChainStaysPut) {
+  EXPECT_DOUBLE_EQ(two_state_transition_probability(0.0, 0.0, 1.0, true), 1.0);
+  EXPECT_DOUBLE_EQ(two_state_transition_probability(0.0, 0.0, 1.0, false), 0.0);
+}
+
+TEST(TauLeaping, BadArgumentsThrow) {
+  const core::ConstantPropensity prop(1.0, 1.0);
+  util::Rng rng(1);
+  EXPECT_THROW(tau_leaping(prop, 0.0, 1.0, TrapState::kEmpty, rng, {0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(tau_leaping(prop, 1.0, 0.0, TrapState::kEmpty, rng, {1e-3}),
+               std::invalid_argument);
+}
+
+TEST(TauLeaping, OccupancyMatchesStationaryLaw) {
+  // Endpoint sampling is exact for constant rates: the occupancy fraction
+  // measured on the leap grid must match λc/(λc+λe).
+  const double lc = 40.0, le = 10.0;
+  const core::ConstantPropensity prop(lc, le);
+  util::Rng rng(2);
+  std::uint64_t leaps = 0;
+  const auto traj = tau_leaping(prop, 0.0, 2000.0, TrapState::kEmpty, rng,
+                                {0.05}, &leaps);
+  EXPECT_GE(leaps, 40000u);  // +-1 from floating-point time accumulation
+  EXPECT_LE(leaps, 40001u);
+  EXPECT_NEAR(traj.filled_fraction(), lc / (lc + le), 0.02);
+}
+
+TEST(TauLeaping, UndercountsSwitchesAtCoarseTau) {
+  // The known bias: intra-leap toggles vanish, so the recorded switch
+  // count falls far below the exact method's at λ·τ >> 1.
+  const double lc = 100.0, le = 100.0;
+  const core::ConstantPropensity prop(lc, le);
+  util::Rng rng_a(3), rng_b(4);
+  const auto leap = tau_leaping(prop, 0.0, 100.0, TrapState::kEmpty, rng_a,
+                                {0.1});
+  const auto exact =
+      core::simulate_trap(prop, 0.0, 100.0, TrapState::kEmpty, rng_b);
+  EXPECT_LT(leap.num_switches(), exact.num_switches() / 5);
+}
+
+TEST(TauLeaping, FineTauApproachesExactSwitchCounts) {
+  const double lc = 5.0, le = 5.0;
+  const core::ConstantPropensity prop(lc, le);
+  util::Rng rng_a(5), rng_b(6);
+  const auto leap = tau_leaping(prop, 0.0, 2000.0, TrapState::kEmpty, rng_a,
+                                {2e-3});  // λ·τ = 0.01
+  const auto exact =
+      core::simulate_trap(prop, 0.0, 2000.0, TrapState::kEmpty, rng_b);
+  const double ratio = static_cast<double>(leap.num_switches()) /
+                       static_cast<double>(exact.num_switches());
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST(TauLeaping, TracksNonStationaryOccupancy) {
+  // Slow modulation: leaping with τ far below the modulation period must
+  // track the master equation.
+  auto lambda_c = [](double t) { return 5.0 + 4.0 * std::sin(0.5 * t); };
+  auto lambda_e = [](double t) { return 5.0 - 4.0 * std::sin(0.5 * t); };
+  const core::FunctionalPropensity prop(lambda_c, lambda_e, 9.0);
+  const double t_end = 20.0;
+  const int runs = 2000;
+  util::Rng rng(7);
+  double filled = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    util::Rng run_rng = rng.split(static_cast<std::uint64_t>(r) + 1);
+    const auto traj = tau_leaping(prop, 0.0, t_end, TrapState::kEmpty,
+                                  run_rng, {0.02});
+    if (traj.state_at(0.9 * t_end) == TrapState::kFilled) filled += 1.0;
+  }
+  const auto reference = core::master_equation_fill_probability(
+      prop, 0.0, t_end, 0.0, 4000);
+  const double expected = reference[static_cast<std::size_t>(0.9 * 4000)];
+  EXPECT_NEAR(filled / runs, expected, 0.05);
+}
+
+}  // namespace
+}  // namespace samurai::baseline

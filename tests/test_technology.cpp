@@ -1,0 +1,77 @@
+#include "physics/technology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "physics/constants.hpp"
+
+namespace samurai::physics {
+namespace {
+
+TEST(Technology, AllPredefinedNodesResolve) {
+  for (const auto& name : technology_nodes()) {
+    const auto tech = technology(name);
+    EXPECT_EQ(tech.name, name);
+    EXPECT_GT(tech.l_min, 0.0);
+    EXPECT_GT(tech.w_min, tech.l_min);
+    EXPECT_GT(tech.t_ox, 0.0);
+    EXPECT_GT(tech.v_dd, 0.0);
+    EXPECT_GT(tech.trap_density, 0.0);
+    EXPECT_LT(tech.trap_e_min, tech.trap_e_max);
+  }
+}
+
+TEST(Technology, UnknownNodeThrows) {
+  EXPECT_THROW(technology("7nm"), std::invalid_argument);
+}
+
+TEST(Technology, NodesOrderedLargestToSmallest) {
+  const auto& names = technology_nodes();
+  ASSERT_GE(names.size(), 2u);
+  double prev = technology(names.front()).l_min;
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    const double l = technology(names[i]).l_min;
+    EXPECT_LT(l, prev);
+    prev = l;
+  }
+}
+
+TEST(Technology, ScalingTrends) {
+  const auto old_node = technology("130nm");
+  const auto new_node = technology("22nm");
+  EXPECT_GT(old_node.v_dd, new_node.v_dd);
+  EXPECT_GT(old_node.t_ox, new_node.t_ox);
+  EXPECT_LT(old_node.trap_density, new_node.trap_density);
+  EXPECT_LT(old_node.n_a, new_node.n_a);
+}
+
+TEST(Technology, DerivedQuantitiesArePhysical) {
+  const auto tech = technology("90nm");
+  // C_ox = eps_ox / t_ox.
+  EXPECT_NEAR(tech.c_ox(), kEpsOxRel * kEps0 / tech.t_ox, 1e-9);
+  // Thermal voltage ~25.9 mV at 300K.
+  EXPECT_NEAR(tech.phi_t(), 0.02585, 1e-4);
+  // Fermi potential in the 0.3-0.6 V range for 1e17-1e18 cm^-3 doping.
+  EXPECT_GT(tech.phi_f(), 0.3);
+  EXPECT_LT(tech.phi_f(), 0.6);
+  // Threshold voltage sensible relative to supply.
+  EXPECT_GT(tech.v_th0(), 0.15);
+  EXPECT_LT(tech.v_th0(), 0.6 * tech.v_dd);
+}
+
+TEST(Technology, ThermalVoltageScalesWithTemperature) {
+  EXPECT_NEAR(thermal_voltage(300.0), 0.02585, 1e-4);
+  EXPECT_NEAR(thermal_voltage(600.0) / thermal_voltage(300.0), 2.0, 1e-12);
+}
+
+TEST(Technology, TrapWindowCoversResonanceSweep) {
+  // The trap energy window must straddle the Fermi-level excursion so some
+  // traps pass through resonance within the gate swing (see DESIGN.md).
+  for (const auto& name : technology_nodes()) {
+    const auto tech = technology(name);
+    EXPECT_LT(tech.trap_e_min, 0.45);
+    EXPECT_GT(tech.trap_e_max, 0.7);
+  }
+}
+
+}  // namespace
+}  // namespace samurai::physics

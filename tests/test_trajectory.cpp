@@ -1,0 +1,110 @@
+#include "core/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace samurai::core {
+namespace {
+
+using physics::TrapState;
+
+TEST(TrapTrajectory, StateAlternatesAtSwitches) {
+  const TrapTrajectory traj(0.0, 10.0, TrapState::kEmpty, {2.0, 5.0, 7.0});
+  EXPECT_EQ(traj.state_at(1.0), TrapState::kEmpty);
+  EXPECT_EQ(traj.state_at(2.0), TrapState::kFilled);  // right-continuous
+  EXPECT_EQ(traj.state_at(4.9), TrapState::kFilled);
+  EXPECT_EQ(traj.state_at(5.0), TrapState::kEmpty);
+  EXPECT_EQ(traj.state_at(9.0), TrapState::kFilled);
+}
+
+TEST(TrapTrajectory, InvalidSwitchTimesThrow) {
+  EXPECT_THROW(TrapTrajectory(0.0, 1.0, TrapState::kEmpty, {0.0}),
+               std::invalid_argument);  // must be > t0
+  EXPECT_THROW(TrapTrajectory(0.0, 1.0, TrapState::kEmpty, {0.5, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(TrapTrajectory(0.0, 1.0, TrapState::kEmpty, {1.5}),
+               std::invalid_argument);  // beyond tf
+  EXPECT_THROW(TrapTrajectory(1.0, 0.0, TrapState::kEmpty, {}),
+               std::invalid_argument);
+}
+
+TEST(TrapTrajectory, FilledFractionCountsFilledTime) {
+  // Empty on [0,2), filled on [2,5), empty on [5,10): filled 3/10.
+  const TrapTrajectory traj(0.0, 10.0, TrapState::kEmpty, {2.0, 5.0});
+  EXPECT_DOUBLE_EQ(traj.filled_fraction(), 0.3);
+}
+
+TEST(TrapTrajectory, FilledFractionOfConstantTrajectories) {
+  EXPECT_DOUBLE_EQ(
+      TrapTrajectory(0.0, 4.0, TrapState::kFilled, {}).filled_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      TrapTrajectory(0.0, 4.0, TrapState::kEmpty, {}).filled_fraction(), 0.0);
+}
+
+TEST(TrapTrajectory, DwellTimesSplitByState) {
+  const TrapTrajectory traj(0.0, 10.0, TrapState::kEmpty, {2.0, 5.0, 7.0});
+  const auto censored_excluded = traj.dwell_times(true);
+  // First dwell (empty, censored-left) excluded; filled [2,5), empty [5,7).
+  ASSERT_EQ(censored_excluded.filled.size(), 1u);
+  EXPECT_DOUBLE_EQ(censored_excluded.filled[0], 3.0);
+  ASSERT_EQ(censored_excluded.empty.size(), 1u);
+  EXPECT_DOUBLE_EQ(censored_excluded.empty[0], 2.0);
+
+  const auto all = traj.dwell_times(false);
+  ASSERT_EQ(all.empty.size(), 2u);
+  ASSERT_EQ(all.filled.size(), 2u);
+  EXPECT_DOUBLE_EQ(all.filled[1], 3.0);  // censored-right dwell [7,10)
+}
+
+TEST(TrapTrajectory, ToStepTraceMatchesStates) {
+  const TrapTrajectory traj(0.0, 10.0, TrapState::kFilled, {3.0});
+  const auto trace = traj.to_step_trace();
+  EXPECT_DOUBLE_EQ(trace.eval(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(trace.eval(4.0), 0.0);
+}
+
+TEST(AggregateFilledCount, SumsIndependentTraps) {
+  const TrapTrajectory a(0.0, 10.0, TrapState::kEmpty, {1.0, 6.0});
+  const TrapTrajectory b(0.0, 10.0, TrapState::kFilled, {4.0});
+  const auto count = aggregate_filled_count({a, b});
+  EXPECT_DOUBLE_EQ(count.eval(0.5), 1.0);  // only b filled
+  EXPECT_DOUBLE_EQ(count.eval(2.0), 2.0);  // both filled
+  EXPECT_DOUBLE_EQ(count.eval(5.0), 1.0);  // only a
+  EXPECT_DOUBLE_EQ(count.eval(7.0), 0.0);  // none
+}
+
+TEST(AggregateFilledCount, CoincidentSwitchesCollapse) {
+  const TrapTrajectory a(0.0, 10.0, TrapState::kEmpty, {2.0});
+  const TrapTrajectory b(0.0, 10.0, TrapState::kEmpty, {2.0});
+  const auto count = aggregate_filled_count({a, b});
+  EXPECT_EQ(count.num_steps(), 1u);
+  EXPECT_DOUBLE_EQ(count.eval(2.0), 2.0);
+}
+
+TEST(AggregateFilledCount, EmptyInput) {
+  const auto count = aggregate_filled_count({});
+  EXPECT_DOUBLE_EQ(count.eval(0.0), 0.0);
+  EXPECT_EQ(count.num_steps(), 0u);
+}
+
+TEST(AggregateFilledCount, NeverNegativeNeverAboveTrapCount) {
+  std::vector<TrapTrajectory> trajectories;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<double> switches;
+    for (int k = 1; k <= 20; ++k) {
+      switches.push_back(static_cast<double>(k) + 0.01 * i);
+    }
+    trajectories.emplace_back(0.0, 25.0,
+                              i % 2 ? physics::TrapState::kFilled
+                                    : physics::TrapState::kEmpty,
+                              switches);
+  }
+  const auto count = aggregate_filled_count(trajectories);
+  for (double t = 0.0; t < 25.0; t += 0.05) {
+    const double v = count.eval(t);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace samurai::core

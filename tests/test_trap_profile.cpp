@@ -1,0 +1,121 @@
+#include "physics/trap_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "physics/technology.hpp"
+
+namespace samurai::physics {
+namespace {
+
+TEST(TrapProfile, ExpectedCountScalesWithVolume) {
+  const auto tech = technology("90nm");
+  const MosGeometry small{100e-9, 90e-9};
+  const MosGeometry big{200e-9, 90e-9};
+  EXPECT_NEAR(expected_trap_count(tech, big) / expected_trap_count(tech, small),
+              2.0, 1e-12);
+}
+
+TEST(TrapProfile, ScaledNodesHaveFewTraps) {
+  // Paper §I-B: ~5-10 active traps in deeply scaled nodes, many more in
+  // older ones — the regime split behind Fig. 3.
+  const auto old_tech = technology("130nm");
+  const auto new_tech = technology("22nm");
+  const double old_count = expected_trap_count(
+      old_tech, {old_tech.w_min, old_tech.l_min});
+  const double new_count = expected_trap_count(
+      new_tech, {2.0 * new_tech.w_min, new_tech.l_min});
+  EXPECT_GT(old_count, 50.0);
+  EXPECT_LT(new_count, 30.0);
+  EXPECT_GT(new_count, 2.0);
+}
+
+TEST(TrapProfile, PoissonSampledCountHasRightMean) {
+  const auto tech = technology("90nm");
+  const MosGeometry geom{tech.w_min, tech.l_min};
+  const double expected = expected_trap_count(tech, geom);
+  util::Rng rng(100);
+  double sum = 0.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    util::Rng device_rng = rng.split(static_cast<std::uint64_t>(i) + 1);
+    sum += static_cast<double>(
+        sample_trap_profile(tech, geom, device_rng).size());
+  }
+  EXPECT_NEAR(sum / n, expected, 0.15 * expected);
+}
+
+TEST(TrapProfile, FixedCountOverridesPoisson) {
+  const auto tech = technology("90nm");
+  util::Rng rng(7);
+  TrapProfileOptions options;
+  options.fixed_count = 5;
+  const auto traps =
+      sample_trap_profile(tech, {tech.w_min, tech.l_min}, rng, options);
+  EXPECT_EQ(traps.size(), 5u);
+}
+
+TEST(TrapProfile, TrapParametersWithinBounds) {
+  const auto tech = technology("90nm");
+  util::Rng rng(8);
+  TrapProfileOptions options;
+  options.fixed_count = 500;
+  const auto traps =
+      sample_trap_profile(tech, {tech.w_min, tech.l_min}, rng, options);
+  for (const auto& trap : traps) {
+    EXPECT_GT(trap.y_tr, 0.0);
+    EXPECT_LE(trap.y_tr, tech.t_ox);
+    EXPECT_GE(trap.e_tr, tech.trap_e_min);
+    EXPECT_LE(trap.e_tr, tech.trap_e_max);
+    EXPECT_EQ(trap.init_state, TrapState::kEmpty);
+  }
+}
+
+TEST(TrapProfile, EquilibriumInitialisationMatchesStationaryFill) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  util::Rng rng(9);
+  TrapProfileOptions options;
+  options.fixed_count = 4000;
+  options.equilibrium_bias = tech.v_dd;
+  const auto traps =
+      sample_trap_profile(tech, {tech.w_min, tech.l_min}, rng, options);
+  double filled = 0.0;
+  double expected = 0.0;
+  for (const auto& trap : traps) {
+    if (trap.init_state == TrapState::kFilled) filled += 1.0;
+    expected += model.stationary_fill(trap, tech.v_dd);
+  }
+  EXPECT_NEAR(filled, expected, 3.0 * std::sqrt(expected) + 5.0);
+  EXPECT_GT(filled, 0.0);  // at V_dd a sizeable fraction must be filled
+}
+
+TEST(TrapProfile, DeterministicGivenSeed) {
+  const auto tech = technology("90nm");
+  util::Rng rng1(42), rng2(42);
+  const auto a = sample_trap_profile(tech, {tech.w_min, tech.l_min}, rng1);
+  const auto b = sample_trap_profile(tech, {tech.w_min, tech.l_min}, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].y_tr, b[i].y_tr);
+    EXPECT_DOUBLE_EQ(a[i].e_tr, b[i].e_tr);
+  }
+}
+
+TEST(TrapProfile, ActiveCountIsSubsetAndBiasDependent) {
+  const auto tech = technology("90nm");
+  const SrhModel model(tech);
+  util::Rng rng(11);
+  TrapProfileOptions options;
+  options.fixed_count = 300;
+  const auto traps =
+      sample_trap_profile(tech, {tech.w_min, tech.l_min}, rng, options);
+  const auto active_low = active_trap_count(model, traps, 0.0);
+  const auto active_high = active_trap_count(model, traps, tech.v_dd);
+  EXPECT_LE(active_low, traps.size());
+  EXPECT_LE(active_high, traps.size());
+  // A wider resonance window can only include more traps.
+  EXPECT_GE(active_trap_count(model, traps, tech.v_dd, 10.0), active_high);
+}
+
+}  // namespace
+}  // namespace samurai::physics

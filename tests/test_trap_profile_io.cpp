@@ -1,0 +1,83 @@
+#include "physics/trap_profile_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "physics/technology.hpp"
+#include "physics/trap_profile.hpp"
+#include "util/rng.hpp"
+
+namespace samurai::physics {
+namespace {
+
+TEST(TrapProfileIo, RoundTripPreservesTraps) {
+  const auto tech = technology("90nm");
+  util::Rng rng(13);
+  TrapProfileOptions options;
+  options.fixed_count = 25;
+  options.equilibrium_bias = tech.v_dd;
+  const auto traps =
+      sample_trap_profile(tech, {tech.w_min, tech.l_min}, rng, options);
+
+  std::stringstream stream;
+  write_trap_profile(stream, traps);
+  const auto parsed = read_trap_profile(stream);
+  ASSERT_EQ(parsed.size(), traps.size());
+  for (std::size_t i = 0; i < traps.size(); ++i) {
+    // ~9 significant digits survive the text round trip.
+    EXPECT_NEAR(parsed[i].y_tr, traps[i].y_tr, 1e-8 * traps[i].y_tr + 1e-20);
+    EXPECT_NEAR(parsed[i].e_tr, traps[i].e_tr, 1e-8);
+    EXPECT_EQ(parsed[i].init_state, traps[i].init_state);
+  }
+}
+
+TEST(TrapProfileIo, ParsesCommentsAndOptionalInit) {
+  std::istringstream is(
+      "# measured profile\n"
+      "\n"
+      "0.5 0.6  # trailing comment\n"
+      "1.2 0.7 1\n");
+  const auto traps = read_trap_profile(is);
+  ASSERT_EQ(traps.size(), 2u);
+  EXPECT_NEAR(traps[0].y_tr, 0.5e-9, 1e-18);
+  EXPECT_EQ(traps[0].init_state, TrapState::kEmpty);
+  EXPECT_EQ(traps[1].init_state, TrapState::kFilled);
+}
+
+TEST(TrapProfileIo, RejectsMalformedLines) {
+  {
+    std::istringstream is("0.5\n");
+    EXPECT_THROW(read_trap_profile(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("0.5 0.6 2\n");  // bad init
+    EXPECT_THROW(read_trap_profile(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("0.5 0.6 1 extra\n");
+    EXPECT_THROW(read_trap_profile(is), std::runtime_error);
+  }
+  {
+    std::istringstream is("-0.5 0.6\n");  // negative depth
+    EXPECT_THROW(read_trap_profile(is), std::runtime_error);
+  }
+}
+
+TEST(TrapProfileIo, MissingFileThrows) {
+  EXPECT_THROW(read_trap_profile_file("/nonexistent/profile.txt"),
+               std::runtime_error);
+}
+
+TEST(TrapProfileIo, FileRoundTrip) {
+  const std::string path = "/tmp/samurai_test_profile.txt";
+  std::vector<Trap> traps = {{0.4e-9, 0.55, TrapState::kEmpty},
+                             {1.0e-9, 0.72, TrapState::kFilled}};
+  write_trap_profile_file(path, traps);
+  const auto parsed = read_trap_profile_file(path);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_NEAR(parsed[1].e_tr, 0.72, 1e-12);
+}
+
+}  // namespace
+}  // namespace samurai::physics

@@ -1,0 +1,78 @@
+#include "sram/vmin.hpp"
+
+#include <gtest/gtest.h>
+
+namespace samurai::sram {
+namespace {
+
+VminConfig fast_config() {
+  VminConfig config;
+  config.cell.tech = physics::technology("90nm");
+  config.cell.sizing.extra_node_cap = 40e-15;
+  config.cell.timing.period = 1e-9;
+  config.cell.ops = ops_from_bits({1, 0});
+  config.cell.rtn_scale = 30.0;
+  config.cell.seed = 3;
+  config.v_lo = 0.7;
+  config.v_hi = 1.1;
+  config.resolution = 0.1;
+  config.rtn_seeds = 2;
+  return config;
+}
+
+TEST(Vmin, BadRangeThrows) {
+  VminConfig config = fast_config();
+  config.v_lo = 1.2;
+  config.v_hi = 1.0;
+  EXPECT_THROW(find_vmin(config), std::invalid_argument);
+  config = fast_config();
+  config.resolution = 0.0;
+  EXPECT_THROW(find_vmin(config), std::invalid_argument);
+}
+
+TEST(Vmin, SweepCoversRangeAscending) {
+  const auto result = find_vmin(fast_config());
+  ASSERT_GE(result.sweep.size(), 4u);
+  EXPECT_NEAR(result.sweep.front().v_dd, 0.7, 1e-9);
+  for (std::size_t i = 1; i < result.sweep.size(); ++i) {
+    EXPECT_GT(result.sweep[i].v_dd, result.sweep[i - 1].v_dd);
+  }
+}
+
+TEST(Vmin, NominalPassesAtFullSupplyFailsFarBelow) {
+  const auto result = find_vmin(fast_config());
+  EXPECT_TRUE(result.sweep.back().nominal_pass);
+  EXPECT_GT(result.vmin_nominal, 0.0);
+  EXPECT_LE(result.vmin_nominal, 1.1);
+}
+
+TEST(Vmin, RtnVminIsAtLeastNominalVmin) {
+  const auto result = find_vmin(fast_config());
+  if (result.vmin_rtn > 0.0 && result.vmin_nominal > 0.0) {
+    EXPECT_GE(result.vmin_rtn, result.vmin_nominal - 1e-9);
+    EXPECT_NEAR(result.rtn_margin, result.vmin_rtn - result.vmin_nominal,
+                1e-12);
+  }
+}
+
+TEST(Vmin, NominalFailureImpliesAllSeedsFail) {
+  const auto result = find_vmin(fast_config());
+  for (const auto& point : result.sweep) {
+    if (!point.nominal_pass) {
+      EXPECT_EQ(point.rtn_failures, 2u) << "v=" << point.v_dd;
+    }
+  }
+}
+
+TEST(Vmin, CountSlowAsFailRaisesVmin) {
+  VminConfig strict = fast_config();
+  strict.count_slow_as_fail = true;
+  const auto lenient = find_vmin(fast_config());
+  const auto hard = find_vmin(strict);
+  if (lenient.vmin_rtn > 0.0 && hard.vmin_rtn > 0.0) {
+    EXPECT_GE(hard.vmin_rtn, lenient.vmin_rtn - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace samurai::sram

@@ -1,0 +1,125 @@
+#include "core/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace samurai::core {
+namespace {
+
+// -------------------------------------------------------------------- Pwl
+
+TEST(Pwl, EvalInterpolatesAndClamps) {
+  const Pwl wave({0.0, 1.0, 2.0}, {0.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(wave.eval(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(wave.eval(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(wave.eval(1.5), 10.0);
+  EXPECT_DOUBLE_EQ(wave.eval(99.0), 10.0);
+}
+
+TEST(Pwl, ForwardSweepHintIsTransparent) {
+  std::vector<double> ts, vs;
+  for (int i = 0; i <= 1000; ++i) {
+    ts.push_back(i * 0.001);
+    vs.push_back(i % 2 ? 1.0 : 0.0);
+  }
+  const Pwl wave(ts, vs);
+  // Sweep forward then jump backwards; results must match fresh lookups.
+  EXPECT_NEAR(wave.eval(0.123456), wave.eval(0.123456), 0.0);
+  double forward_sum = 0.0;
+  for (double t = 0.0; t < 1.0; t += 0.0003) forward_sum += wave.eval(t);
+  const double back = wave.eval(0.0005);
+  EXPECT_NEAR(back, 0.5, 1e-12);
+  (void)forward_sum;
+}
+
+TEST(Pwl, ConstantWaveform) {
+  const Pwl wave = Pwl::constant(3.3);
+  EXPECT_TRUE(wave.is_constant());
+  EXPECT_DOUBLE_EQ(wave.eval(-5.0), 3.3);
+  EXPECT_DOUBLE_EQ(wave.eval(1e9), 3.3);
+}
+
+TEST(Pwl, NonIncreasingTimesThrow) {
+  EXPECT_THROW(Pwl({0.0, 0.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(Pwl({1.0, 0.5}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(Pwl({0.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Pwl, AppendEnforcesOrder) {
+  Pwl wave;
+  wave.append(0.0, 1.0);
+  wave.append(1.0, 2.0);
+  EXPECT_THROW(wave.append(1.0, 3.0), std::invalid_argument);
+  EXPECT_THROW(wave.append(0.5, 3.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(wave.eval(0.5), 1.5);
+}
+
+TEST(Pwl, ScaledMultipliesValues) {
+  const Pwl wave({0.0, 1.0}, {1.0, -2.0});
+  const Pwl scaled = wave.scaled(-3.0);
+  EXPECT_DOUBLE_EQ(scaled.eval(0.0), -3.0);
+  EXPECT_DOUBLE_EQ(scaled.eval(1.0), 6.0);
+}
+
+TEST(Pwl, SampleOnGrid) {
+  const Pwl wave({0.0, 2.0}, {0.0, 2.0});
+  const std::vector<double> grid = {0.0, 0.5, 1.0, 1.5, 2.0};
+  const auto samples = wave.sample(grid);
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_DOUBLE_EQ(samples[2], 1.0);
+}
+
+TEST(Pwl, EmptyWaveformEvaluatesToZero) {
+  const Pwl wave;
+  EXPECT_DOUBLE_EQ(wave.eval(1.0), 0.0);
+}
+
+// -------------------------------------------------------------- StepTrace
+
+TEST(StepTrace, RightContinuousEvaluation) {
+  const StepTrace trace(0.0, {1.0, 2.0}, {5.0, 3.0});
+  EXPECT_DOUBLE_EQ(trace.eval(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(trace.eval(1.0), 5.0);  // right-continuous at the step
+  EXPECT_DOUBLE_EQ(trace.eval(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(trace.eval(2.0), 3.0);
+  EXPECT_DOUBLE_EQ(trace.eval(9.0), 3.0);
+}
+
+TEST(StepTrace, MismatchedArraysThrow) {
+  EXPECT_THROW(StepTrace(0.0, {1.0, 2.0}, {5.0}), std::invalid_argument);
+  EXPECT_THROW(StepTrace(0.0, {2.0, 1.0}, {5.0, 3.0}), std::invalid_argument);
+}
+
+TEST(StepTrace, TimeAverageWeightsDurations) {
+  const StepTrace trace(0.0, {1.0}, {4.0});
+  // On [0, 2]: value 0 for 1s, 4 for 1s -> mean 2.
+  EXPECT_DOUBLE_EQ(trace.time_average(0.0, 2.0), 2.0);
+  // Entirely after the step.
+  EXPECT_DOUBLE_EQ(trace.time_average(1.5, 2.5), 4.0);
+  EXPECT_THROW(trace.time_average(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(StepTrace, PaperArraysDuplicateStepPoints) {
+  const StepTrace trace(0.0, {1.0}, {1.0});
+  std::vector<double> times, states;
+  trace.to_paper_arrays(0.0, 2.0, times, states);
+  // [t0, t_switch, t_switch, t1] with states [0, 0, 1, 1].
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[1], 1.0);
+  EXPECT_DOUBLE_EQ(times[2], 1.0);
+  EXPECT_DOUBLE_EQ(states[1], 0.0);
+  EXPECT_DOUBLE_EQ(states[2], 1.0);
+}
+
+TEST(StepTrace, SampleMatchesEval) {
+  const StepTrace trace(1.0, {0.5, 1.5}, {2.0, 0.0});
+  const std::vector<double> grid = {0.0, 0.6, 1.6};
+  const auto samples = trace.sample(grid);
+  EXPECT_DOUBLE_EQ(samples[0], 1.0);
+  EXPECT_DOUBLE_EQ(samples[1], 2.0);
+  EXPECT_DOUBLE_EQ(samples[2], 0.0);
+}
+
+}  // namespace
+}  // namespace samurai::core
