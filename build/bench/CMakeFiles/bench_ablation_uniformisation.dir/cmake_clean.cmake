@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_uniformisation.dir/bench_ablation_uniformisation.cpp.o"
+  "CMakeFiles/bench_ablation_uniformisation.dir/bench_ablation_uniformisation.cpp.o.d"
+  "bench_ablation_uniformisation"
+  "bench_ablation_uniformisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_uniformisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

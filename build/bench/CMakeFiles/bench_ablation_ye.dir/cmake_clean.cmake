@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ye.dir/bench_ablation_ye.cpp.o"
+  "CMakeFiles/bench_ablation_ye.dir/bench_ablation_ye.cpp.o.d"
+  "bench_ablation_ye"
+  "bench_ablation_ye.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ye.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

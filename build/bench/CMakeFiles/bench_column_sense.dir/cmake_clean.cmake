@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_column_sense.dir/bench_column_sense.cpp.o"
+  "CMakeFiles/bench_column_sense.dir/bench_column_sense.cpp.o.d"
+  "bench_column_sense"
+  "bench_column_sense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_column_sense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

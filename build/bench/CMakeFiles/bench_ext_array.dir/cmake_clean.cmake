@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_array.dir/bench_ext_array.cpp.o"
+  "CMakeFiles/bench_ext_array.dir/bench_ext_array.cpp.o.d"
+  "bench_ext_array"
+  "bench_ext_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_coupled.dir/bench_ext_coupled.cpp.o"
+  "CMakeFiles/bench_ext_coupled.dir/bench_ext_coupled.cpp.o.d"
+  "bench_ext_coupled"
+  "bench_ext_coupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_coupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

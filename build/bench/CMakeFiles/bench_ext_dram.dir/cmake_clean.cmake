@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dram.dir/bench_ext_dram.cpp.o"
+  "CMakeFiles/bench_ext_dram.dir/bench_ext_dram.cpp.o.d"
+  "bench_ext_dram"
+  "bench_ext_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

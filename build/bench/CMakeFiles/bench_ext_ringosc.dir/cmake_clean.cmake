@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ringosc.dir/bench_ext_ringosc.cpp.o"
+  "CMakeFiles/bench_ext_ringosc.dir/bench_ext_ringosc.cpp.o.d"
+  "bench_ext_ringosc"
+  "bench_ext_ringosc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ringosc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

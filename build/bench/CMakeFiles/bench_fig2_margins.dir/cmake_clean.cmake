@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_margins.dir/bench_fig2_margins.cpp.o"
+  "CMakeFiles/bench_fig2_margins.dir/bench_fig2_margins.cpp.o.d"
+  "bench_fig2_margins"
+  "bench_fig2_margins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_margins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_glitch.dir/bench_fig5_glitch.cpp.o"
+  "CMakeFiles/bench_fig5_glitch.dir/bench_fig5_glitch.cpp.o.d"
+  "bench_fig5_glitch"
+  "bench_fig5_glitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_glitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

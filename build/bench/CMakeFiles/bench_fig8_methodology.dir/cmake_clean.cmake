@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_methodology.dir/bench_fig8_methodology.cpp.o"
+  "CMakeFiles/bench_fig8_methodology.dir/bench_fig8_methodology.cpp.o.d"
+  "bench_fig8_methodology"
+  "bench_fig8_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nbti_correlation.dir/bench_nbti_correlation.cpp.o"
+  "CMakeFiles/bench_nbti_correlation.dir/bench_nbti_correlation.cpp.o.d"
+  "bench_nbti_correlation"
+  "bench_nbti_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nbti_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snm.dir/bench_snm.cpp.o"
+  "CMakeFiles/bench_snm.dir/bench_snm.cpp.o.d"
+  "bench_snm"
+  "bench_snm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

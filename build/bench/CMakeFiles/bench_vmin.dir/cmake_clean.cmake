@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vmin.dir/bench_vmin.cpp.o"
+  "CMakeFiles/bench_vmin.dir/bench_vmin.cpp.o.d"
+  "bench_vmin"
+  "bench_vmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

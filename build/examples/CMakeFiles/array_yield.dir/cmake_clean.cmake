@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_yield.dir/array_yield.cpp.o"
+  "CMakeFiles/array_yield.dir/array_yield.cpp.o.d"
+  "array_yield"
+  "array_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_retention.dir/dram_retention.cpp.o"
+  "CMakeFiles/dram_retention.dir/dram_retention.cpp.o.d"
+  "dram_retention"
+  "dram_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

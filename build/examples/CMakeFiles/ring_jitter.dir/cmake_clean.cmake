@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_jitter.dir/ring_jitter.cpp.o"
+  "CMakeFiles/ring_jitter.dir/ring_jitter.cpp.o.d"
+  "ring_jitter"
+  "ring_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trap_spectroscopy.dir/trap_spectroscopy.cpp.o"
+  "CMakeFiles/trap_spectroscopy.dir/trap_spectroscopy.cpp.o.d"
+  "trap_spectroscopy"
+  "trap_spectroscopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trap_spectroscopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

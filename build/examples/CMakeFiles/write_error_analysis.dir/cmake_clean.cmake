@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_error_analysis.dir/write_error_analysis.cpp.o"
+  "CMakeFiles/write_error_analysis.dir/write_error_analysis.cpp.o.d"
+  "write_error_analysis"
+  "write_error_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_error_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

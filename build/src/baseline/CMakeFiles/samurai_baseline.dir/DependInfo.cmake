@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/gillespie.cpp" "src/baseline/CMakeFiles/samurai_baseline.dir/gillespie.cpp.o" "gcc" "src/baseline/CMakeFiles/samurai_baseline.dir/gillespie.cpp.o.d"
+  "/root/repo/src/baseline/tau_leaping.cpp" "src/baseline/CMakeFiles/samurai_baseline.dir/tau_leaping.cpp.o" "gcc" "src/baseline/CMakeFiles/samurai_baseline.dir/tau_leaping.cpp.o.d"
+  "/root/repo/src/baseline/ye_two_stage.cpp" "src/baseline/CMakeFiles/samurai_baseline.dir/ye_two_stage.cpp.o" "gcc" "src/baseline/CMakeFiles/samurai_baseline.dir/ye_two_stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/samurai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/samurai_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/samurai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

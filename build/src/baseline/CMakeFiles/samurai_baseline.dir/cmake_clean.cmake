@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samurai_baseline.dir/gillespie.cpp.o"
+  "CMakeFiles/samurai_baseline.dir/gillespie.cpp.o.d"
+  "CMakeFiles/samurai_baseline.dir/tau_leaping.cpp.o"
+  "CMakeFiles/samurai_baseline.dir/tau_leaping.cpp.o.d"
+  "CMakeFiles/samurai_baseline.dir/ye_two_stage.cpp.o"
+  "CMakeFiles/samurai_baseline.dir/ye_two_stage.cpp.o.d"
+  "libsamurai_baseline.a"
+  "libsamurai_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samurai_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/propensity.cpp" "src/core/CMakeFiles/samurai_core.dir/propensity.cpp.o" "gcc" "src/core/CMakeFiles/samurai_core.dir/propensity.cpp.o.d"
+  "/root/repo/src/core/rtn_generator.cpp" "src/core/CMakeFiles/samurai_core.dir/rtn_generator.cpp.o" "gcc" "src/core/CMakeFiles/samurai_core.dir/rtn_generator.cpp.o.d"
+  "/root/repo/src/core/trajectory.cpp" "src/core/CMakeFiles/samurai_core.dir/trajectory.cpp.o" "gcc" "src/core/CMakeFiles/samurai_core.dir/trajectory.cpp.o.d"
+  "/root/repo/src/core/uniformisation.cpp" "src/core/CMakeFiles/samurai_core.dir/uniformisation.cpp.o" "gcc" "src/core/CMakeFiles/samurai_core.dir/uniformisation.cpp.o.d"
+  "/root/repo/src/core/waveform.cpp" "src/core/CMakeFiles/samurai_core.dir/waveform.cpp.o" "gcc" "src/core/CMakeFiles/samurai_core.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physics/CMakeFiles/samurai_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/samurai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

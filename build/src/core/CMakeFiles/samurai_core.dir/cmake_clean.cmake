@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samurai_core.dir/propensity.cpp.o"
+  "CMakeFiles/samurai_core.dir/propensity.cpp.o.d"
+  "CMakeFiles/samurai_core.dir/rtn_generator.cpp.o"
+  "CMakeFiles/samurai_core.dir/rtn_generator.cpp.o.d"
+  "CMakeFiles/samurai_core.dir/trajectory.cpp.o"
+  "CMakeFiles/samurai_core.dir/trajectory.cpp.o.d"
+  "CMakeFiles/samurai_core.dir/uniformisation.cpp.o"
+  "CMakeFiles/samurai_core.dir/uniformisation.cpp.o.d"
+  "CMakeFiles/samurai_core.dir/waveform.cpp.o"
+  "CMakeFiles/samurai_core.dir/waveform.cpp.o.d"
+  "libsamurai_core.a"
+  "libsamurai_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samurai_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/vrt.cpp" "src/dram/CMakeFiles/samurai_dram.dir/vrt.cpp.o" "gcc" "src/dram/CMakeFiles/samurai_dram.dir/vrt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/samurai_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/samurai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/samurai_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/samurai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samurai_dram.dir/vrt.cpp.o"
+  "CMakeFiles/samurai_dram.dir/vrt.cpp.o.d"
+  "libsamurai_dram.a"
+  "libsamurai_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samurai_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

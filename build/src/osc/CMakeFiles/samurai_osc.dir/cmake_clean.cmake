@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samurai_osc.dir/ring.cpp.o"
+  "CMakeFiles/samurai_osc.dir/ring.cpp.o.d"
+  "libsamurai_osc.a"
+  "libsamurai_osc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samurai_osc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

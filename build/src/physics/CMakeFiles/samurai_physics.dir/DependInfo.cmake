@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physics/mos_device.cpp" "src/physics/CMakeFiles/samurai_physics.dir/mos_device.cpp.o" "gcc" "src/physics/CMakeFiles/samurai_physics.dir/mos_device.cpp.o.d"
+  "/root/repo/src/physics/srh_model.cpp" "src/physics/CMakeFiles/samurai_physics.dir/srh_model.cpp.o" "gcc" "src/physics/CMakeFiles/samurai_physics.dir/srh_model.cpp.o.d"
+  "/root/repo/src/physics/surface_potential.cpp" "src/physics/CMakeFiles/samurai_physics.dir/surface_potential.cpp.o" "gcc" "src/physics/CMakeFiles/samurai_physics.dir/surface_potential.cpp.o.d"
+  "/root/repo/src/physics/technology.cpp" "src/physics/CMakeFiles/samurai_physics.dir/technology.cpp.o" "gcc" "src/physics/CMakeFiles/samurai_physics.dir/technology.cpp.o.d"
+  "/root/repo/src/physics/trap_profile.cpp" "src/physics/CMakeFiles/samurai_physics.dir/trap_profile.cpp.o" "gcc" "src/physics/CMakeFiles/samurai_physics.dir/trap_profile.cpp.o.d"
+  "/root/repo/src/physics/trap_profile_io.cpp" "src/physics/CMakeFiles/samurai_physics.dir/trap_profile_io.cpp.o" "gcc" "src/physics/CMakeFiles/samurai_physics.dir/trap_profile_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/samurai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

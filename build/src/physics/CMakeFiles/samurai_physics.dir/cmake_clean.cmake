@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samurai_physics.dir/mos_device.cpp.o"
+  "CMakeFiles/samurai_physics.dir/mos_device.cpp.o.d"
+  "CMakeFiles/samurai_physics.dir/srh_model.cpp.o"
+  "CMakeFiles/samurai_physics.dir/srh_model.cpp.o.d"
+  "CMakeFiles/samurai_physics.dir/surface_potential.cpp.o"
+  "CMakeFiles/samurai_physics.dir/surface_potential.cpp.o.d"
+  "CMakeFiles/samurai_physics.dir/technology.cpp.o"
+  "CMakeFiles/samurai_physics.dir/technology.cpp.o.d"
+  "CMakeFiles/samurai_physics.dir/trap_profile.cpp.o"
+  "CMakeFiles/samurai_physics.dir/trap_profile.cpp.o.d"
+  "CMakeFiles/samurai_physics.dir/trap_profile_io.cpp.o"
+  "CMakeFiles/samurai_physics.dir/trap_profile_io.cpp.o.d"
+  "libsamurai_physics.a"
+  "libsamurai_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samurai_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

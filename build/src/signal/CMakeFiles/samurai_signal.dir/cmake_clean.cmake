@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samurai_signal.dir/analytic.cpp.o"
+  "CMakeFiles/samurai_signal.dir/analytic.cpp.o.d"
+  "CMakeFiles/samurai_signal.dir/fft.cpp.o"
+  "CMakeFiles/samurai_signal.dir/fft.cpp.o.d"
+  "CMakeFiles/samurai_signal.dir/resample.cpp.o"
+  "CMakeFiles/samurai_signal.dir/resample.cpp.o.d"
+  "CMakeFiles/samurai_signal.dir/spectral.cpp.o"
+  "CMakeFiles/samurai_signal.dir/spectral.cpp.o.d"
+  "libsamurai_signal.a"
+  "libsamurai_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samurai_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsamurai_signal.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/analysis.cpp" "src/spice/CMakeFiles/samurai_spice.dir/analysis.cpp.o" "gcc" "src/spice/CMakeFiles/samurai_spice.dir/analysis.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "src/spice/CMakeFiles/samurai_spice.dir/circuit.cpp.o" "gcc" "src/spice/CMakeFiles/samurai_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/spice/devices.cpp" "src/spice/CMakeFiles/samurai_spice.dir/devices.cpp.o" "gcc" "src/spice/CMakeFiles/samurai_spice.dir/devices.cpp.o.d"
+  "/root/repo/src/spice/matrix.cpp" "src/spice/CMakeFiles/samurai_spice.dir/matrix.cpp.o" "gcc" "src/spice/CMakeFiles/samurai_spice.dir/matrix.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/spice/CMakeFiles/samurai_spice.dir/parser.cpp.o" "gcc" "src/spice/CMakeFiles/samurai_spice.dir/parser.cpp.o.d"
+  "/root/repo/src/spice/rtn_integration.cpp" "src/spice/CMakeFiles/samurai_spice.dir/rtn_integration.cpp.o" "gcc" "src/spice/CMakeFiles/samurai_spice.dir/rtn_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/samurai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/samurai_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/samurai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

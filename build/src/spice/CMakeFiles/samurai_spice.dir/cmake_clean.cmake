@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samurai_spice.dir/analysis.cpp.o"
+  "CMakeFiles/samurai_spice.dir/analysis.cpp.o.d"
+  "CMakeFiles/samurai_spice.dir/circuit.cpp.o"
+  "CMakeFiles/samurai_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/samurai_spice.dir/devices.cpp.o"
+  "CMakeFiles/samurai_spice.dir/devices.cpp.o.d"
+  "CMakeFiles/samurai_spice.dir/matrix.cpp.o"
+  "CMakeFiles/samurai_spice.dir/matrix.cpp.o.d"
+  "CMakeFiles/samurai_spice.dir/parser.cpp.o"
+  "CMakeFiles/samurai_spice.dir/parser.cpp.o.d"
+  "CMakeFiles/samurai_spice.dir/rtn_integration.cpp.o"
+  "CMakeFiles/samurai_spice.dir/rtn_integration.cpp.o.d"
+  "libsamurai_spice.a"
+  "libsamurai_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samurai_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sram/array.cpp" "src/sram/CMakeFiles/samurai_sram.dir/array.cpp.o" "gcc" "src/sram/CMakeFiles/samurai_sram.dir/array.cpp.o.d"
+  "/root/repo/src/sram/cell.cpp" "src/sram/CMakeFiles/samurai_sram.dir/cell.cpp.o" "gcc" "src/sram/CMakeFiles/samurai_sram.dir/cell.cpp.o.d"
+  "/root/repo/src/sram/column.cpp" "src/sram/CMakeFiles/samurai_sram.dir/column.cpp.o" "gcc" "src/sram/CMakeFiles/samurai_sram.dir/column.cpp.o.d"
+  "/root/repo/src/sram/coupled.cpp" "src/sram/CMakeFiles/samurai_sram.dir/coupled.cpp.o" "gcc" "src/sram/CMakeFiles/samurai_sram.dir/coupled.cpp.o.d"
+  "/root/repo/src/sram/detector.cpp" "src/sram/CMakeFiles/samurai_sram.dir/detector.cpp.o" "gcc" "src/sram/CMakeFiles/samurai_sram.dir/detector.cpp.o.d"
+  "/root/repo/src/sram/importance.cpp" "src/sram/CMakeFiles/samurai_sram.dir/importance.cpp.o" "gcc" "src/sram/CMakeFiles/samurai_sram.dir/importance.cpp.o.d"
+  "/root/repo/src/sram/methodology.cpp" "src/sram/CMakeFiles/samurai_sram.dir/methodology.cpp.o" "gcc" "src/sram/CMakeFiles/samurai_sram.dir/methodology.cpp.o.d"
+  "/root/repo/src/sram/pattern.cpp" "src/sram/CMakeFiles/samurai_sram.dir/pattern.cpp.o" "gcc" "src/sram/CMakeFiles/samurai_sram.dir/pattern.cpp.o.d"
+  "/root/repo/src/sram/snm.cpp" "src/sram/CMakeFiles/samurai_sram.dir/snm.cpp.o" "gcc" "src/sram/CMakeFiles/samurai_sram.dir/snm.cpp.o.d"
+  "/root/repo/src/sram/vmin.cpp" "src/sram/CMakeFiles/samurai_sram.dir/vmin.cpp.o" "gcc" "src/sram/CMakeFiles/samurai_sram.dir/vmin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/samurai_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/samurai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/samurai_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/samurai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

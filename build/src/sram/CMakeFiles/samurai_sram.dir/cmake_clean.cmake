@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samurai_sram.dir/array.cpp.o"
+  "CMakeFiles/samurai_sram.dir/array.cpp.o.d"
+  "CMakeFiles/samurai_sram.dir/cell.cpp.o"
+  "CMakeFiles/samurai_sram.dir/cell.cpp.o.d"
+  "CMakeFiles/samurai_sram.dir/column.cpp.o"
+  "CMakeFiles/samurai_sram.dir/column.cpp.o.d"
+  "CMakeFiles/samurai_sram.dir/coupled.cpp.o"
+  "CMakeFiles/samurai_sram.dir/coupled.cpp.o.d"
+  "CMakeFiles/samurai_sram.dir/detector.cpp.o"
+  "CMakeFiles/samurai_sram.dir/detector.cpp.o.d"
+  "CMakeFiles/samurai_sram.dir/importance.cpp.o"
+  "CMakeFiles/samurai_sram.dir/importance.cpp.o.d"
+  "CMakeFiles/samurai_sram.dir/methodology.cpp.o"
+  "CMakeFiles/samurai_sram.dir/methodology.cpp.o.d"
+  "CMakeFiles/samurai_sram.dir/pattern.cpp.o"
+  "CMakeFiles/samurai_sram.dir/pattern.cpp.o.d"
+  "CMakeFiles/samurai_sram.dir/snm.cpp.o"
+  "CMakeFiles/samurai_sram.dir/snm.cpp.o.d"
+  "CMakeFiles/samurai_sram.dir/vmin.cpp.o"
+  "CMakeFiles/samurai_sram.dir/vmin.cpp.o.d"
+  "libsamurai_sram.a"
+  "libsamurai_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samurai_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

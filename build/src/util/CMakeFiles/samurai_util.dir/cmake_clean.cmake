@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samurai_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/samurai_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/samurai_util.dir/cli.cpp.o"
+  "CMakeFiles/samurai_util.dir/cli.cpp.o.d"
+  "CMakeFiles/samurai_util.dir/grid.cpp.o"
+  "CMakeFiles/samurai_util.dir/grid.cpp.o.d"
+  "CMakeFiles/samurai_util.dir/table.cpp.o"
+  "CMakeFiles/samurai_util.dir/table.cpp.o.d"
+  "libsamurai_util.a"
+  "libsamurai_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samurai_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

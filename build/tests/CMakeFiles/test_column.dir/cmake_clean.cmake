@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_column.dir/test_column.cpp.o"
+  "CMakeFiles/test_column.dir/test_column.cpp.o.d"
+  "test_column"
+  "test_column.pdb"
+  "test_column[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_column.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

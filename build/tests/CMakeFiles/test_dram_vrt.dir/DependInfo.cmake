@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dram_vrt.cpp" "tests/CMakeFiles/test_dram_vrt.dir/test_dram_vrt.cpp.o" "gcc" "tests/CMakeFiles/test_dram_vrt.dir/test_dram_vrt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sram/CMakeFiles/samurai_sram.dir/DependInfo.cmake"
+  "/root/repo/build/src/osc/CMakeFiles/samurai_osc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/samurai_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/samurai_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/samurai_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/samurai_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/samurai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/samurai_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/samurai_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram_vrt.dir/test_dram_vrt.cpp.o"
+  "CMakeFiles/test_dram_vrt.dir/test_dram_vrt.cpp.o.d"
+  "test_dram_vrt"
+  "test_dram_vrt.pdb"
+  "test_dram_vrt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram_vrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mos_device.dir/test_mos_device.cpp.o"
+  "CMakeFiles/test_mos_device.dir/test_mos_device.cpp.o.d"
+  "test_mos_device"
+  "test_mos_device.pdb"
+  "test_mos_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mos_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

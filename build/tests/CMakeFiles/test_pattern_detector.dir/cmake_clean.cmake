@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pattern_detector.dir/test_pattern_detector.cpp.o"
+  "CMakeFiles/test_pattern_detector.dir/test_pattern_detector.cpp.o.d"
+  "test_pattern_detector"
+  "test_pattern_detector.pdb"
+  "test_pattern_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pattern_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_propensity.dir/test_propensity.cpp.o"
+  "CMakeFiles/test_propensity.dir/test_propensity.cpp.o.d"
+  "test_propensity"
+  "test_propensity.pdb"
+  "test_propensity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_propensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtn_generator.dir/test_rtn_generator.cpp.o"
+  "CMakeFiles/test_rtn_generator.dir/test_rtn_generator.cpp.o.d"
+  "test_rtn_generator"
+  "test_rtn_generator.pdb"
+  "test_rtn_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtn_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

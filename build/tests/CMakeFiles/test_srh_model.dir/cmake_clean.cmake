@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srh_model.dir/test_srh_model.cpp.o"
+  "CMakeFiles/test_srh_model.dir/test_srh_model.cpp.o.d"
+  "test_srh_model"
+  "test_srh_model.pdb"
+  "test_srh_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srh_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statistical_properties.dir/test_statistical_properties.cpp.o"
+  "CMakeFiles/test_statistical_properties.dir/test_statistical_properties.cpp.o.d"
+  "test_statistical_properties"
+  "test_statistical_properties.pdb"
+  "test_statistical_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statistical_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

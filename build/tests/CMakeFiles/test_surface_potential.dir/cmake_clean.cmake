@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surface_potential.dir/test_surface_potential.cpp.o"
+  "CMakeFiles/test_surface_potential.dir/test_surface_potential.cpp.o.d"
+  "test_surface_potential"
+  "test_surface_potential.pdb"
+  "test_surface_potential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surface_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tau_leaping.dir/test_tau_leaping.cpp.o"
+  "CMakeFiles/test_tau_leaping.dir/test_tau_leaping.cpp.o.d"
+  "test_tau_leaping"
+  "test_tau_leaping.pdb"
+  "test_tau_leaping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tau_leaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trap_profile_io.dir/test_trap_profile_io.cpp.o"
+  "CMakeFiles/test_trap_profile_io.dir/test_trap_profile_io.cpp.o.d"
+  "test_trap_profile_io"
+  "test_trap_profile_io.pdb"
+  "test_trap_profile_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trap_profile_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_trap_profile_io.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uniformisation.dir/test_uniformisation.cpp.o"
+  "CMakeFiles/test_uniformisation.dir/test_uniformisation.cpp.o.d"
+  "test_uniformisation"
+  "test_uniformisation.pdb"
+  "test_uniformisation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uniformisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
