@@ -4,6 +4,7 @@
 // sits far in the variation distribution's tail: naive sampling at
 // affordable counts sees nothing, while the biased estimator resolves the
 // probability with tight relative error from the same budget.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
@@ -13,6 +14,18 @@
 #include "util/table.hpp"
 
 using namespace samurai;
+
+namespace {
+
+double time_estimate(const sram::ImportanceConfig& config,
+                     sram::ImportanceResult& result) {
+  const auto start = std::chrono::steady_clock::now();
+  result = estimate_failure_probability(config);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
@@ -27,6 +40,7 @@ int main(int argc, char** argv) {
   config.samples = static_cast<std::size_t>(cli.get_int("samples", 120));
   config.seed = cli.get_seed("seed", 31);
   config.with_rtn = !cli.has("nominal-only");
+  config.threads = static_cast<std::size_t>(cli.get_int("threads", 8));
 
   std::printf("=== Rare write-failure estimation: naive MC vs importance "
               "sampling ===\n");
@@ -56,6 +70,36 @@ int main(int argc, char** argv) {
                    result.effective_sample_size});
   }
   table.print(std::cout);
+
+  // --- Parallel scaling: serial vs executor-backed estimation. -------------
+  // The estimator maps samples on the shared work-stealing executor and
+  // reduces in index order, so the parallel run must be bit-identical;
+  // the JSON line lets tooling track the serial-vs-parallel throughput.
+  {
+    sram::ImportanceConfig probe = config;
+    probe.samples = static_cast<std::size_t>(cli.get_int("scaling-samples", 64));
+    if (probe.samples == 0) probe.samples = 1;  // estimator rejects 0
+    sram::ImportanceResult serial, parallel;
+    probe.threads = 1;
+    const double serial_s = time_estimate(probe, serial);
+    probe.threads = config.threads;
+    const double parallel_s = time_estimate(probe, parallel);
+    const bool identical =
+        serial.failure_probability == parallel.failure_probability &&
+        serial.standard_error == parallel.standard_error &&
+        serial.effective_sample_size == parallel.effective_sample_size &&
+        serial.failures_observed == parallel.failures_observed;
+    std::printf("\n--- parallel scaling (%zu samples) ---\n", probe.samples);
+    std::printf(
+        "{\"bench\": \"importance_scaling\", \"samples\": %zu, "
+        "\"threads\": %zu, \"serial_seconds\": %.6f, "
+        "\"parallel_seconds\": %.6f, \"serial_samples_per_s\": %.3f, "
+        "\"parallel_samples_per_s\": %.3f, \"speedup\": %.3f, "
+        "\"bit_identical\": %s}\n",
+        probe.samples, config.threads, serial_s, parallel_s,
+        probe.samples / serial_s, probe.samples / parallel_s,
+        serial_s / parallel_s, identical ? "true" : "false");
+  }
 
   std::printf("\nExpected shape: the naive estimator sees zero failures\n"
               "(its estimate collapses to 0 with no error information); the\n"

@@ -16,6 +16,8 @@
 #include "physics/trap_profile.hpp"
 #include "signal/fft.hpp"
 #include "signal/spectral.hpp"
+#include "sram/array.hpp"
+#include "sram/importance.hpp"
 #include "sram/methodology.hpp"
 #include "spice/analysis.hpp"
 #include "spice/devices.hpp"
@@ -185,6 +187,48 @@ void BM_FullMethodologySingleWrite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullMethodologySingleWrite);
+
+// Serial-vs-parallel throughput of the Monte-Carlo paths on the shared
+// executor (the thread count is the benchmark argument, so the JSON output
+// carries the scaling curve). Results are bit-identical across arguments.
+void BM_RunArrayThreads(benchmark::State& state) {
+  sram::ArrayConfig config;
+  config.cell.tech = physics::technology("90nm");
+  config.cell.ops = sram::ops_from_bits({1, 0});
+  config.cell.seed = 3;
+  config.num_cells = 8;
+  config.sigma_vt = 0.02;
+  config.seed = 11;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sram::run_array(config));
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(config.num_cells));
+  }
+}
+BENCHMARK(BM_RunArrayThreads)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ImportanceEstimateThreads(benchmark::State& state) {
+  sram::ImportanceConfig config;
+  config.cell.tech = physics::technology("90nm");
+  config.cell.tech.v_dd = 1.05;
+  config.cell.sizing.extra_node_cap = 40e-15;
+  config.cell.timing.period = 1e-9;
+  config.cell.ops = sram::ops_from_bits({1, 0});
+  config.sigma_vt = 0.04;
+  config.samples = 16;
+  config.seed = 6;
+  config.with_rtn = false;  // nominal-only: one transient per sample
+  config.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sram::estimate_failure_probability(config));
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(config.samples));
+  }
+}
+BENCHMARK(BM_ImportanceEstimateThreads)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DeviceRtnGeneration(benchmark::State& state) {
   const auto tech = physics::technology("90nm");

@@ -8,12 +8,14 @@
 // zero across all draws. (Write errors are rare events — the paper's
 // wording — so the margin is a statistical quantity; this bench is also
 // the "accelerated testing" alternative to amplitude scaling, ref. [14].)
+#include <atomic>
 #include <cstdio>
 #include <iostream>
 
 #include "sram/methodology.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace samurai;
 
@@ -35,16 +37,23 @@ bool nominal_passes(sram::MethodologyConfig config, double v_dd) {
   return !sram::run_methodology(config).nominal_report.any_error;
 }
 
+std::size_t g_threads = 1;
+
 std::size_t rtn_failures(const sram::MethodologyConfig& base, double v_dd,
                          std::size_t seeds) {
-  std::size_t failures = 0;
-  for (std::size_t s = 0; s < seeds; ++s) {
-    sram::MethodologyConfig run = base;
-    run.tech.v_dd = v_dd;
-    run.seed = 1000 + s;
-    if (sram::run_methodology(run).rtn_report.any_error) ++failures;
-  }
-  return failures;
+  // Seeds are independent trap draws; the failure count is a simple sum,
+  // so the fan-out is order-invariant.
+  std::atomic<std::size_t> failures{0};
+  samurai::util::parallel_for_indexed(
+      seeds,
+      [&](std::size_t s) {
+        sram::MethodologyConfig run = base;
+        run.tech.v_dd = v_dd;
+        run.seed = 1000 + s;
+        if (sram::run_methodology(run).rtn_report.any_error) ++failures;
+      },
+      g_threads);
+  return failures.load();
 }
 
 }  // namespace
@@ -54,6 +63,7 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 120.0);
   const auto seeds = static_cast<std::size_t>(cli.get_int("rtn-seeds", 16));
   const double fine_step = cli.get_double("resolution", 0.01);
+  g_threads = static_cast<std::size_t>(cli.get_int("threads", 8));
 
   std::printf("=== V_min characterisation: the RTN V_dd margin (cf. paper "
               "Fig. 2) ===\n");

@@ -6,6 +6,7 @@
 
 #include "physics/constants.hpp"
 #include "util/grid.hpp"
+#include "util/thread_pool.hpp"
 
 namespace samurai::core {
 
@@ -21,6 +22,26 @@ double rtn_amplitude(const physics::MosDevice& device, double v_gs, double i_d) 
   return std::min(std::abs(i_d) / std::max(carriers, 1.0), cap);
 }
 
+std::vector<double> build_rtn_grid(double t0, double tf,
+                                   std::size_t envelope_samples,
+                                   const std::vector<double>& switch_times) {
+  const std::size_t env_n = std::max<std::size_t>(envelope_samples, 2);
+  std::vector<double> grid = util::linspace(t0, tf, env_n);
+  for (double t_switch : switch_times) {
+    if (t_switch <= t0 || t_switch >= tf) continue;
+    // The twin is the closest representable time before the switch, so it
+    // can never land at or before an earlier grid/switch point (closer
+    // switches are not representable); a twin that still fails to be
+    // interior — a switch adjacent to t0 — is dropped.
+    const double twin = std::nextafter(t_switch, t0);
+    if (twin > t0) grid.push_back(twin);
+    grid.push_back(t_switch);
+  }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
 DeviceRtnResult generate_device_rtn(const physics::SrhModel& model,
                                     const physics::MosDevice& device,
                                     const std::vector<physics::Trap>& traps,
@@ -31,14 +52,25 @@ DeviceRtnResult generate_device_rtn(const physics::SrhModel& model,
     throw std::invalid_argument("generate_device_rtn: tf <= t0");
   }
   DeviceRtnResult result;
-  result.trajectories.reserve(traps.size());
-  for (std::size_t i = 0; i < traps.size(); ++i) {
-    util::Rng trap_rng = rng.split(i + 1);
-    const BiasPropensity propensity(model, traps[i], v_gs,
-                                    options.max_bias_step);
-    result.trajectories.push_back(
-        simulate_trap(propensity, options.t0, options.tf, traps[i].init_state,
-                      trap_rng, options.uniformisation, &result.stats));
+  result.trajectories.resize(traps.size());
+  // Per-trap fan-out: trap i draws only from rng.split(i + 1) and writes
+  // only slot i, so the result is bit-identical for any thread count; the
+  // sampler stats are reduced in index order afterwards.
+  std::vector<UniformisationStats> trap_stats(traps.size());
+  util::parallel_for_indexed(
+      traps.size(),
+      [&](std::size_t i) {
+        util::Rng trap_rng = rng.split(i + 1);
+        const BiasPropensity propensity(model, traps[i], v_gs,
+                                        options.max_bias_step);
+        result.trajectories[i] = simulate_trap(
+            propensity, options.t0, options.tf, traps[i].init_state, trap_rng,
+            options.uniformisation, &trap_stats[i]);
+      },
+      options.threads);
+  for (const auto& stats : trap_stats) {
+    result.stats.candidates += stats.candidates;
+    result.stats.accepted += stats.accepted;
   }
   result.n_filled = aggregate_filled_count(result.trajectories);
 
@@ -46,16 +78,8 @@ DeviceRtnResult generate_device_rtn(const physics::SrhModel& model,
   // uniform grid and insert every occupancy switch exactly (with a twin
   // point just before it so the step stays a step after PWL
   // interpolation).
-  const std::size_t env_n = std::max<std::size_t>(options.envelope_samples, 2);
-  std::vector<double> grid = util::linspace(options.t0, options.tf, env_n);
-  const double eps = (options.tf - options.t0) * 1e-9;
-  for (double t_switch : result.n_filled.times()) {
-    if (t_switch <= options.t0 || t_switch >= options.tf) continue;
-    grid.push_back(t_switch - eps);
-    grid.push_back(t_switch);
-  }
-  std::sort(grid.begin(), grid.end());
-  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  const std::vector<double> grid = build_rtn_grid(
+      options.t0, options.tf, options.envelope_samples, result.n_filled.times());
 
   Pwl trace;
   double prev_t = options.t0 - 1.0;

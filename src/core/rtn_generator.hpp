@@ -35,6 +35,10 @@ struct RtnGeneratorOptions {
   /// make the rare write error observable).
   double amplitude_scale = 1.0;
   UniformisationOptions uniformisation;
+  /// Worker threads for the per-trap fan-out. Each trap draws from its own
+  /// `rng.split(i + 1)` stream, so any thread count is bit-identical to
+  /// the serial run.
+  std::size_t threads = 1;
 };
 
 struct DeviceRtnResult {
@@ -56,5 +60,14 @@ DeviceRtnResult generate_device_rtn(const physics::SrhModel& model,
 
 /// The smooth per-trap amplitude envelope ΔI(t) = I_d(t)/(W·L·N(t)), amps.
 double rtn_amplitude(const physics::MosDevice& device, double v_gs, double i_d);
+
+/// The strictly increasing sample grid used to render I_RTN: a uniform
+/// envelope grid over [t0, tf] plus, for every interior switch time, the
+/// switch itself and a twin at `std::nextafter(t_switch, t0)` so the
+/// occupancy step survives PWL interpolation even when switches are
+/// arbitrarily close together. Exposed for testing.
+std::vector<double> build_rtn_grid(double t0, double tf,
+                                   std::size_t envelope_samples,
+                                   const std::vector<double>& switch_times);
 
 }  // namespace samurai::core

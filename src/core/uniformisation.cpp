@@ -22,6 +22,16 @@ physics::TrapState run_window(const PropensityFunction& propensity, double t0,
 
   double curr_time = t0;
   std::uint64_t candidates = 0;
+  // Flush the candidate count on *every* exit — including the budget and
+  // bound-violation throws below — so diagnostics reflect the work
+  // actually done before the abort.
+  struct FlushStats {
+    UniformisationStats* stats;
+    const std::uint64_t* candidates;
+    ~FlushStats() {
+      if (stats) stats->candidates += *candidates;
+    }
+  } flush{stats, &candidates};
   for (;;) {
     curr_time += rng.exponential(lambda_star);  // next candidate (line 7)
     if (curr_time > tf) break;                  // horizon reached (line 9)
@@ -43,7 +53,6 @@ physics::TrapState run_window(const PropensityFunction& propensity, double t0,
       if (stats) ++stats->accepted;
     }
   }
-  if (stats) stats->candidates += candidates;
   return state;
 }
 

@@ -17,6 +17,36 @@ Pwl::Pwl(std::vector<double> times, std::vector<double> values)
   }
 }
 
+Pwl::Pwl(const Pwl& other)
+    : hint_(other.hint_.load(std::memory_order_relaxed)),
+      times_(other.times_),
+      values_(other.values_) {}
+
+Pwl::Pwl(Pwl&& other) noexcept
+    : hint_(other.hint_.load(std::memory_order_relaxed)),
+      times_(std::move(other.times_)),
+      values_(std::move(other.values_)) {}
+
+Pwl& Pwl::operator=(const Pwl& other) {
+  if (this != &other) {
+    times_ = other.times_;
+    values_ = other.values_;
+    hint_.store(other.hint_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Pwl& Pwl::operator=(Pwl&& other) noexcept {
+  if (this != &other) {
+    times_ = std::move(other.times_);
+    values_ = std::move(other.values_);
+    hint_.store(other.hint_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 Pwl Pwl::constant(double value) { return Pwl({0.0}, {value}); }
 
 void Pwl::append(double t, double v) {
@@ -32,8 +62,10 @@ double Pwl::eval(double t) const {
   if (t <= times_.front()) return values_.front();
   if (t >= times_.back()) return values_.back();
   // Forward-sweep hint: transient loops evaluate at increasing t, so the
-  // containing segment is almost always hint_ or hint_+1.
-  std::size_t i = hint_;
+  // containing segment is almost always hint_ or hint_+1. Relaxed atomic
+  // access: any value in [0, size) gives the same answer, so concurrent
+  // readers can race on the cursor without racing on the result.
+  std::size_t i = hint_.load(std::memory_order_relaxed);
   if (i >= times_.size() - 1 || times_[i] > t) i = 0;
   if (t >= times_[i] && i + 1 < times_.size() && t <= times_[i + 1]) {
     // fall through with current i
@@ -43,7 +75,7 @@ double Pwl::eval(double t) const {
     const auto it = std::upper_bound(times_.begin(), times_.end(), t);
     i = static_cast<std::size_t>(it - times_.begin()) - 1;
   }
-  hint_ = i;
+  hint_.store(i, std::memory_order_relaxed);
   const double span = times_[i + 1] - times_[i];
   const double alpha = (t - times_[i]) / span;
   return values_[i] + alpha * (values_[i + 1] - values_[i]);

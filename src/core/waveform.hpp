@@ -6,6 +6,7 @@
 //                  occupancy counts, telegraph signals).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -17,6 +18,12 @@ class Pwl {
  public:
   Pwl() = default;
   Pwl(std::vector<double> times, std::vector<double> values);
+  // The hint cursor is atomic (it may be updated from concurrent const
+  // eval calls), which forfeits the compiler-generated copy/move.
+  Pwl(const Pwl& other);
+  Pwl(Pwl&& other) noexcept;
+  Pwl& operator=(const Pwl& other);
+  Pwl& operator=(Pwl&& other) noexcept;
 
   /// A constant waveform (evaluates to `value` everywhere).
   static Pwl constant(double value);
@@ -40,9 +47,15 @@ class Pwl {
   Pwl scaled(double factor) const;
 
  private:
+  /// Last-segment cache for forward sweeps. `eval` is const but updates
+  /// the cursor, and one waveform may be evaluated from many threads (the
+  /// Monte-Carlo paths share extracted bias waveforms), so the cursor is a
+  /// relaxed atomic: a stale or torn-free concurrent value only changes
+  /// where the segment search starts, never the result.
+  mutable std::atomic<std::size_t> hint_{0};
+
   std::vector<double> times_;
   std::vector<double> values_;
-  mutable std::size_t hint_ = 0;  ///< last-segment cache for forward sweeps
 };
 
 /// Right-continuous step function: value(i) holds on [time(i), time(i+1)),

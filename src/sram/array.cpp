@@ -1,8 +1,7 @@
 #include "sram/array.hpp"
 
-#include <thread>
-
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace samurai::sram {
 
@@ -39,26 +38,14 @@ ArrayResult run_array(const ArrayConfig& config) {
   ArrayResult result;
   result.cells.resize(config.num_cells);
 
-  const std::size_t workers =
-      std::max<std::size_t>(1, std::min(config.threads, config.num_cells));
-  if (workers == 1) {
-    for (std::size_t i = 0; i < config.num_cells; ++i) {
-      result.cells[i] = simulate_cell(config, i);
-    }
-  } else {
-    // Static stride partition: each cell's result depends only on
-    // (config, index), so scheduling cannot change the outcome.
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&config, &result, w, workers] {
-        for (std::size_t i = w; i < config.num_cells; i += workers) {
-          result.cells[i] = simulate_cell(config, i);
-        }
-      });
-    }
-    for (auto& worker : pool) worker.join();
-  }
+  // Each cell's outcome depends only on (config, index), so any schedule
+  // on the shared executor produces the serial result; a worker exception
+  // (e.g. a tripped uniformisation budget) cancels the remaining cells and
+  // rethrows here instead of terminating the process.
+  util::parallel_for_indexed(
+      config.num_cells,
+      [&](std::size_t i) { result.cells[i] = simulate_cell(config, i); },
+      config.threads);
 
   for (const auto& outcome : result.cells) {
     if (outcome.nominal_error) ++result.nominal_errors;

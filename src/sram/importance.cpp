@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace samurai::sram {
 
@@ -14,42 +16,57 @@ ImportanceResult estimate_failure_probability(const ImportanceConfig& config) {
   util::Rng rng(config.seed);
   const double inv_two_var = 1.0 / (2.0 * config.sigma_vt * config.sigma_vt);
 
+  // Parallel map: sample n depends only on (config, n) through its
+  // rng.split(n + 1) stream and writes only its own slot.
+  struct SampleOutcome {
+    double weight = 0.0;
+    bool failed = false;
+  };
+  std::vector<SampleOutcome> outcomes(config.samples);
+  util::parallel_for_indexed(
+      config.samples,
+      [&](std::size_t n) {
+        util::Rng sample_rng = rng.split(n + 1);
+        MethodologyConfig cell = config.cell;
+        cell.seed = sample_rng.next_u64();
+
+        // Draw V_T offsets from the *biased* distribution N(shift_d, σ²)
+        // and accumulate the log likelihood ratio
+        //   log w = Σ_d [ φ(x; 0, σ) / φ(x; s_d, σ) ]
+        //         = Σ_d (s_d² - 2 s_d x_d) / 2σ².
+        double log_weight = 0.0;
+        for (int m = 1; m <= 6; ++m) {
+          const std::string name = "M" + std::to_string(m);
+          const auto it = config.shift.find(name);
+          const double shift = it == config.shift.end() ? 0.0 : it->second;
+          const double x = sample_rng.normal(shift, config.sigma_vt);
+          cell.vth_shifts[name] = x;
+          log_weight += (shift * shift - 2.0 * shift * x) * inv_two_var;
+        }
+
+        const auto run = run_methodology(cell);
+        const auto& report =
+            config.with_rtn ? run.rtn_report : run.nominal_report;
+        outcomes[n].weight = std::exp(log_weight);
+        outcomes[n].failed = report.any_error ||
+                             (config.count_slow_as_fail && report.any_slow);
+      },
+      config.threads);
+
+  // Serial reduction in index order: floating-point accumulation stays
+  // bit-identical no matter how the map phase was scheduled.
   double weight_sum = 0.0;
   double weight_sq_sum = 0.0;
   double fail_weight_sum = 0.0;
   double fail_weight_sq_sum = 0.0;
   std::size_t failures = 0;
-
-  for (std::size_t n = 0; n < config.samples; ++n) {
-    util::Rng sample_rng = rng.split(n + 1);
-    MethodologyConfig cell = config.cell;
-    cell.seed = sample_rng.next_u64();
-
-    // Draw V_T offsets from the *biased* distribution N(shift_d, σ²) and
-    // accumulate the log likelihood ratio
-    //   log w = Σ_d [ φ(x; 0, σ) / φ(x; s_d, σ) ] = Σ_d (s_d² - 2 s_d x_d) / 2σ².
-    double log_weight = 0.0;
-    for (int m = 1; m <= 6; ++m) {
-      const std::string name = "M" + std::to_string(m);
-      const auto it = config.shift.find(name);
-      const double shift = it == config.shift.end() ? 0.0 : it->second;
-      const double x = sample_rng.normal(shift, config.sigma_vt);
-      cell.vth_shifts[name] = x;
-      log_weight += (shift * shift - 2.0 * shift * x) * inv_two_var;
-    }
-    const double weight = std::exp(log_weight);
-
-    const auto run = run_methodology(cell);
-    const auto& report = config.with_rtn ? run.rtn_report : run.nominal_report;
-    const bool failed = report.any_error ||
-                        (config.count_slow_as_fail && report.any_slow);
-
-    weight_sum += weight;
-    weight_sq_sum += weight * weight;
-    if (failed) {
+  for (const auto& outcome : outcomes) {
+    weight_sum += outcome.weight;
+    weight_sq_sum += outcome.weight * outcome.weight;
+    if (outcome.failed) {
       ++failures;
-      fail_weight_sum += weight;
-      fail_weight_sq_sum += weight * weight;
+      fail_weight_sum += outcome.weight;
+      fail_weight_sq_sum += outcome.weight * outcome.weight;
     }
   }
 

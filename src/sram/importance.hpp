@@ -28,6 +28,10 @@ struct ImportanceConfig {
   std::uint64_t seed = 1;
   bool count_slow_as_fail = false;
   bool with_rtn = true;     ///< judge the RTN run (false: nominal run)
+  /// Worker threads. Every sample derives its randomness from
+  /// `rng.split(n + 1)` and the estimator reduces per-sample terms in
+  /// index order, so any thread count is bit-identical to the serial run.
+  std::size_t threads = 1;
 };
 
 struct ImportanceResult {

@@ -117,6 +117,7 @@ MethodologyResult run_methodology(const MethodologyConfig& config) {
     gen.t0 = 0.0;
     gen.tf = result.pattern.t_end;
     gen.amplitude_scale = config.rtn_scale;
+    gen.uniformisation = config.uniformisation;
     util::Rng trap_rng = rng.split(static_cast<std::uint64_t>(m) * 977 + 13);
     auto device_rtn = core::generate_device_rtn(srh, equivalent, entry.traps,
                                                 entry.v_gs, entry.i_d,

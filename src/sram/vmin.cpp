@@ -2,10 +2,59 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace samurai::sram {
+
+namespace {
+
+/// One supply point of the sweep. Depends only on (config, v): the RTN
+/// seeds are re-derived from Rng(cell.seed).split(s + 1) identically at
+/// every point, so points can run in any order / on any thread.
+VminPoint evaluate_supply_point(const VminConfig& config, double v) {
+  const util::Rng seed_rng(config.cell.seed);
+  auto fails = [&](const PatternReport& report) {
+    return report.any_error ||
+           (config.count_slow_as_fail && report.any_slow);
+  };
+
+  VminPoint point;
+  point.v_dd = v;
+  MethodologyConfig cell = config.cell;
+  cell.tech.v_dd = v;
+  // Nominal pass/fail is seed-independent but cheapest obtained from the
+  // same pipeline (phase 1 + detector only would save the RTN phases;
+  // the run below is reused for the first RTN seed).
+  bool nominal_known = false;
+  for (std::size_t s = 0; s < config.rtn_seeds; ++s) {
+    cell.seed = seed_rng.split(s + 1).next_u64();
+    MethodologyResult run;
+    try {
+      run = run_methodology(cell);
+    } catch (const std::exception&) {
+      // Non-convergence at very low supply counts as failure everywhere.
+      point.nominal_pass = false;
+      point.rtn_failures = config.rtn_seeds;
+      break;
+    }
+    if (!nominal_known) {
+      point.nominal_pass = !fails(run.nominal_report);
+      nominal_known = true;
+      if (!point.nominal_pass) {
+        // A nominally broken supply fails with RTN too; skip the seeds.
+        point.rtn_failures = config.rtn_seeds;
+        break;
+      }
+    }
+    if (fails(run.rtn_report)) ++point.rtn_failures;
+  }
+  return point;
+}
+
+}  // namespace
 
 VminResult find_vmin(const VminConfig& config) {
   const double v_hi = config.v_hi > 0.0 ? config.v_hi : config.cell.tech.v_dd;
@@ -13,47 +62,20 @@ VminResult find_vmin(const VminConfig& config) {
     throw std::invalid_argument("find_vmin: bad sweep range");
   }
   VminResult result;
-  util::Rng seed_rng(config.cell.seed);
 
-  auto fails = [&](const PatternReport& report) {
-    return report.any_error ||
-           (config.count_slow_as_fail && report.any_slow);
-  };
-
+  // Materialise the sweep grid with the same accumulation the serial loop
+  // used (bit-identical supply values), then fan the points out.
+  std::vector<double> supplies;
   for (double v = config.v_lo; v <= v_hi + 1e-12; v += config.resolution) {
-    VminPoint point;
-    point.v_dd = v;
-    MethodologyConfig cell = config.cell;
-    cell.tech.v_dd = v;
-    // Nominal pass/fail is seed-independent but cheapest obtained from the
-    // same pipeline (phase 1 + detector only would save the RTN phases;
-    // the run below is reused for the first RTN seed).
-    bool nominal_known = false;
-    for (std::size_t s = 0; s < config.rtn_seeds; ++s) {
-      cell.seed = seed_rng.split(s + 1).next_u64();
-      MethodologyResult run;
-      try {
-        run = run_methodology(cell);
-      } catch (const std::exception&) {
-        // Non-convergence at very low supply counts as failure everywhere.
-        point.nominal_pass = false;
-        point.rtn_failures = config.rtn_seeds;
-        nominal_known = true;
-        break;
-      }
-      if (!nominal_known) {
-        point.nominal_pass = !fails(run.nominal_report);
-        nominal_known = true;
-        if (!point.nominal_pass) {
-          // A nominally broken supply fails with RTN too; skip the seeds.
-          point.rtn_failures = config.rtn_seeds;
-          break;
-        }
-      }
-      if (fails(run.rtn_report)) ++point.rtn_failures;
-    }
-    result.sweep.push_back(point);
+    supplies.push_back(v);
   }
+  result.sweep.resize(supplies.size());
+  util::parallel_for_indexed(
+      supplies.size(),
+      [&](std::size_t i) {
+        result.sweep[i] = evaluate_supply_point(config, supplies[i]);
+      },
+      config.threads);
 
   // V_min = the lowest supply from which everything above also passes.
   auto lowest_all_above = [&](auto&& passes) {

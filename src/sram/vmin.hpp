@@ -25,6 +25,10 @@ struct VminConfig {
   double resolution = 0.025;///< sweep step, V
   std::size_t rtn_seeds = 4;///< worst-case over this many trap draws
   bool count_slow_as_fail = false;
+  /// Worker threads across sweep points. Every point derives its RTN
+  /// seeds from `Rng(cell.seed).split(s + 1)` independently of the other
+  /// points, so any thread count is bit-identical to the serial sweep.
+  std::size_t threads = 1;
 };
 
 struct VminPoint {

@@ -2,6 +2,8 @@
 // simulation (ext. 1) and array Monte-Carlo statistics (ext. 3).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "sram/array.hpp"
 #include "sram/coupled.hpp"
 
@@ -107,6 +109,48 @@ TEST(Array, ParallelRunIsBitIdenticalToSerial) {
   }
   EXPECT_EQ(serial.rtn_errors, parallel.rtn_errors);
   EXPECT_EQ(serial.rtn_rescued, parallel.rtn_rescued);
+}
+
+TEST(Array, ParallelRunIsIdenticalAcrossThreadCounts) {
+  ArrayConfig config;
+  config.cell = tiny_config();
+  config.num_cells = 8;
+  config.sigma_vt = 0.02;
+  config.seed = 21;
+  config.threads = 1;
+  const auto serial = run_array(config);
+  for (std::size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    const auto parallel = run_array(config);
+    ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+    for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+      EXPECT_EQ(serial.cells[i].total_traps, parallel.cells[i].total_traps);
+      EXPECT_EQ(serial.cells[i].rtn_switches, parallel.cells[i].rtn_switches);
+      EXPECT_EQ(serial.cells[i].rtn_error, parallel.cells[i].rtn_error);
+      EXPECT_EQ(serial.cells[i].nominal_error, parallel.cells[i].nominal_error);
+      EXPECT_EQ(serial.cells[i].rtn_slow, parallel.cells[i].rtn_slow);
+    }
+    EXPECT_EQ(serial.nominal_errors, parallel.nominal_errors);
+    EXPECT_EQ(serial.rtn_errors, parallel.rtn_errors);
+    EXPECT_EQ(serial.rtn_only_errors, parallel.rtn_only_errors);
+    EXPECT_EQ(serial.rtn_rescued, parallel.rtn_rescued);
+    EXPECT_EQ(serial.slow_cells, parallel.slow_cells);
+  }
+}
+
+TEST(Array, WorkerExceptionSurfacesOnCallingThread) {
+  // Regression: a uniformisation budget tripped inside a worker thread
+  // used to escape the thread and call std::terminate. The executor must
+  // capture it and rethrow on the caller for every thread count.
+  ArrayConfig config;
+  config.cell = tiny_config();
+  config.cell.uniformisation.max_candidates = 1;  // trips on any real trap
+  config.num_cells = 4;
+  config.seed = 5;
+  config.threads = 4;
+  EXPECT_THROW(run_array(config), std::runtime_error);
+  config.threads = 1;
+  EXPECT_THROW(run_array(config), std::runtime_error);
 }
 
 TEST(Array, CellsDifferFromEachOther) {

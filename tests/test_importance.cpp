@@ -48,6 +48,33 @@ TEST(Importance, DeterministicGivenSeed) {
   EXPECT_EQ(a.failures_observed, b.failures_observed);
 }
 
+TEST(Importance, ParallelRunIsBitIdenticalToSerial) {
+  // The estimator maps samples in parallel but reduces the weights in
+  // index order, so every statistic must match the serial run to the bit
+  // for any thread count — including the biased (non-trivial weight) mode.
+  ImportanceConfig config = fast_config();
+  config.samples = 24;
+  config.shift = {{"M1", 0.06}, {"M2", 0.06}};
+  config.threads = 1;
+  const auto serial = estimate_failure_probability(config);
+  for (std::size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    const auto parallel = estimate_failure_probability(config);
+    EXPECT_EQ(serial.failure_probability, parallel.failure_probability)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.standard_error, parallel.standard_error)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.effective_sample_size, parallel.effective_sample_size)
+        << "threads=" << threads;
+    EXPECT_EQ(serial.failures_observed, parallel.failures_observed);
+    EXPECT_EQ(serial.samples, parallel.samples);
+  }
+  // Repeated parallel runs with the same seed are stable too.
+  const auto again = estimate_failure_probability(config);
+  EXPECT_EQ(serial.failure_probability, again.failure_probability);
+  EXPECT_EQ(serial.standard_error, again.standard_error);
+}
+
 TEST(Importance, BiasingFindsFailuresNaiveMisses) {
   // Pass-gate V_T pushed toward the failure region: the biased run must
   // observe failures; the naive run at this tiny sample count does not

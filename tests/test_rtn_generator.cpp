@@ -53,6 +53,61 @@ TEST_F(RtnGeneratorTest, NoTrapsGiveZeroTrace) {
   for (double v : result.i_rtn.values()) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
+TEST(RtnGrid, TwinPointsAreAdjacentRepresentableTimes) {
+  // Each interior switch gets a twin at nextafter(t, t0): the closest
+  // representable instant before the step, so interpolation between twin
+  // and switch renders an exact step.
+  const std::vector<double> switches = {0.25, 0.5, 0.75};
+  const auto grid = build_rtn_grid(0.0, 1.0, 2, switches);
+  for (double t : switches) {
+    EXPECT_TRUE(std::binary_search(grid.begin(), grid.end(), t));
+    EXPECT_TRUE(
+        std::binary_search(grid.begin(), grid.end(), std::nextafter(t, 0.0)));
+  }
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  EXPECT_EQ(std::adjacent_find(grid.begin(), grid.end()), grid.end());
+}
+
+TEST(RtnGrid, CloseSwitchesKeepDistinctSteps) {
+  // Regression: the old fixed offset eps = (tf-t0)*1e-9 let the twin of a
+  // switch land at or before the *previous* switch whenever two switches
+  // were closer than eps, smearing the step after dedup. With nextafter
+  // twins, switches one ULP-spaced gap apart still render as two steps.
+  const double t1 = 0.5;
+  const double t2 = 0.5 + 1e-12;  // far closer than the old eps of 1e-9
+  const auto grid = build_rtn_grid(0.0, 1.0, 2, {t1, t2});
+  ASSERT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  EXPECT_EQ(std::adjacent_find(grid.begin(), grid.end()), grid.end());
+  // Both switches and both twins present, in strict order.
+  const double twin1 = std::nextafter(t1, 0.0);
+  const double twin2 = std::nextafter(t2, 0.0);
+  EXPECT_TRUE(std::binary_search(grid.begin(), grid.end(), twin1));
+  EXPECT_TRUE(std::binary_search(grid.begin(), grid.end(), t1));
+  EXPECT_TRUE(std::binary_search(grid.begin(), grid.end(), twin2));
+  EXPECT_TRUE(std::binary_search(grid.begin(), grid.end(), t2));
+  EXPECT_LT(twin1, t1);
+  EXPECT_LT(t1, twin2);
+  EXPECT_LT(twin2, t2);
+}
+
+TEST(RtnGrid, BoundaryAndDegenerateSwitchesAreHandled) {
+  // Switches at/outside the horizon are skipped; a switch one ULP above
+  // t0 keeps only points inside (t0, tf); duplicated switches dedup.
+  const double t0 = 1.0;
+  const double tf = 2.0;
+  const double first_interior = std::nextafter(t0, tf);
+  const auto grid =
+      build_rtn_grid(t0, tf, 4, {t0, first_interior, 1.5, 1.5, tf, 3.0});
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  EXPECT_EQ(std::adjacent_find(grid.begin(), grid.end()), grid.end());
+  EXPECT_EQ(grid.front(), t0);
+  EXPECT_EQ(grid.back(), tf);
+  // The twin of first_interior would be t0 itself: dropped as a twin but
+  // t0 stays as the envelope start, and the switch itself survives.
+  EXPECT_TRUE(
+      std::binary_search(grid.begin(), grid.end(), first_interior));
+}
+
 TEST_F(RtnGeneratorTest, TraceEqualsAmplitudeTimesOccupancy) {
   util::Rng rng(3);
   std::vector<physics::Trap> traps = {
@@ -113,6 +168,41 @@ TEST_F(RtnGeneratorTest, DeterministicAndOrderIndependentStreams) {
   for (std::size_t i = 0; i < a.trajectories.size(); ++i) {
     EXPECT_EQ(a.trajectories[i].num_switches(), b.trajectories[i].num_switches());
   }
+}
+
+TEST_F(RtnGeneratorTest, ParallelTrapFanOutIsBitIdenticalToSerial) {
+  // Each trap draws only from rng.split(i + 1), so the per-trap fan-out
+  // must reproduce the serial run exactly — switch times, occupancy
+  // breakpoints, rendered trace and sampler stats.
+  std::vector<physics::Trap> traps;
+  for (int i = 0; i < 12; ++i) {
+    traps.push_back({(0.08 + 0.04 * i) * tech_.t_ox, 0.48 + 0.02 * i,
+                     physics::TrapState::kEmpty});
+  }
+  // A switching bias so the shared Pwl is evaluated concurrently.
+  Pwl bias;
+  for (int i = 0; i <= 40; ++i) bias.append(i * 2.5e-8, i % 2 ? 1.0 : 0.2);
+  RtnGeneratorOptions options;
+  options.tf = 1e-6;
+  util::Rng rng_serial(9), rng_parallel(9);
+  const auto serial = generate_device_rtn(srh_, device_, traps, bias,
+                                          Pwl::constant(1e-4), rng_serial,
+                                          options);
+  options.threads = 8;
+  const auto parallel = generate_device_rtn(srh_, device_, traps, bias,
+                                            Pwl::constant(1e-4), rng_parallel,
+                                            options);
+  ASSERT_EQ(serial.trajectories.size(), parallel.trajectories.size());
+  for (std::size_t i = 0; i < serial.trajectories.size(); ++i) {
+    ASSERT_EQ(serial.trajectories[i].switch_times(),
+              parallel.trajectories[i].switch_times());
+  }
+  EXPECT_EQ(serial.n_filled.times(), parallel.n_filled.times());
+  EXPECT_EQ(serial.n_filled.values(), parallel.n_filled.values());
+  EXPECT_EQ(serial.i_rtn.times(), parallel.i_rtn.times());
+  EXPECT_EQ(serial.i_rtn.values(), parallel.i_rtn.values());
+  EXPECT_EQ(serial.stats.candidates, parallel.stats.candidates);
+  EXPECT_EQ(serial.stats.accepted, parallel.stats.accepted);
 }
 
 TEST_F(RtnGeneratorTest, OccupancyBoundedByTrapCount) {

@@ -51,6 +51,37 @@ TEST(Uniformisation, CandidateBudgetGuards) {
       std::runtime_error);
 }
 
+TEST(Uniformisation, StatsSurviveBudgetAbort) {
+  // Regression: the candidate count accumulated before the budget (or
+  // bound-violation) throw used to be discarded, so diagnostics reported
+  // zero work. The count must be flushed before the exception unwinds.
+  const ConstantPropensity prop(1e6, 1e6);
+  util::Rng rng(3);
+  UniformisationOptions options;
+  options.max_candidates = 10;
+  UniformisationStats stats;
+  EXPECT_THROW(
+      simulate_trap(prop, 0.0, 1.0, TrapState::kEmpty, rng, options, &stats),
+      std::runtime_error);
+  // The throw fires when the count first exceeds the budget.
+  EXPECT_EQ(stats.candidates, options.max_candidates + 1);
+}
+
+TEST(Uniformisation, StatsSurviveBoundViolationAbort) {
+  // Propensity exceeds the declared bound midway: candidates drawn up to
+  // the violation must still be reported.
+  const FunctionalPropensity prop([](double t) { return t < 0.5 ? 1.0 : 10.0; },
+                                  [](double) { return 1.0; }, 1.0);
+  util::Rng rng(7);
+  UniformisationOptions options;
+  options.rate_bound = 1.0;
+  UniformisationStats stats;
+  EXPECT_THROW(
+      simulate_trap(prop, 0.0, 100.0, TrapState::kEmpty, rng, options, &stats),
+      std::runtime_error);
+  EXPECT_GT(stats.candidates, 0u);
+}
+
 TEST(Uniformisation, CandidateCountMatchesPoissonRate) {
   const ConstantPropensity prop(3.0, 7.0);  // bound = 7
   util::Rng rng(4);

@@ -64,6 +64,25 @@ TEST(Vmin, NominalFailureImpliesAllSeedsFail) {
   }
 }
 
+TEST(Vmin, ParallelSweepIsBitIdenticalToSerial) {
+  // Every supply point derives its seeds independently of the others, so
+  // the parallel sweep must reproduce the serial one exactly.
+  VminConfig config = fast_config();
+  config.threads = 1;
+  const auto serial = find_vmin(config);
+  config.threads = 8;
+  const auto parallel = find_vmin(config);
+  ASSERT_EQ(serial.sweep.size(), parallel.sweep.size());
+  for (std::size_t i = 0; i < serial.sweep.size(); ++i) {
+    EXPECT_EQ(serial.sweep[i].v_dd, parallel.sweep[i].v_dd);
+    EXPECT_EQ(serial.sweep[i].nominal_pass, parallel.sweep[i].nominal_pass);
+    EXPECT_EQ(serial.sweep[i].rtn_failures, parallel.sweep[i].rtn_failures);
+  }
+  EXPECT_EQ(serial.vmin_nominal, parallel.vmin_nominal);
+  EXPECT_EQ(serial.vmin_rtn, parallel.vmin_rtn);
+  EXPECT_EQ(serial.rtn_margin, parallel.rtn_margin);
+}
+
 TEST(Vmin, CountSlowAsFailRaisesVmin) {
   VminConfig strict = fast_config();
   strict.count_slow_as_fail = true;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace samurai::core {
@@ -31,6 +33,53 @@ TEST(Pwl, ForwardSweepHintIsTransparent) {
   const double back = wave.eval(0.0005);
   EXPECT_NEAR(back, 0.5, 1e-12);
   (void)forward_sum;
+}
+
+TEST(Pwl, ConcurrentConstEvalIsSafeAndExact) {
+  // One waveform shared by several threads, each mixing forward sweeps
+  // with backward jumps: the mutable hint cursor must not produce a data
+  // race (run under -fsanitize=thread via SAMURAI_SANITIZE) and every
+  // lookup must match a fresh single-threaded evaluation.
+  std::vector<double> ts, vs;
+  for (int i = 0; i <= 2000; ++i) {
+    ts.push_back(i * 0.001);
+    vs.push_back(i % 3 ? double(i) : -double(i));
+  }
+  const Pwl wave(ts, vs);
+  const Pwl reference(ts, vs);
+
+  std::vector<double> probes;
+  for (int i = 0; i < 4000; ++i) {
+    probes.push_back((i % 7) * 0.2871 + (i % 11) * 0.001);
+  }
+  std::vector<double> expected;
+  for (double t : probes) expected.push_back(reference.eval(t));
+
+  std::vector<int> mismatches(4, 0);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      // Stagger the start so the threads interleave differently.
+      for (std::size_t i = static_cast<std::size_t>(w); i < probes.size(); ++i) {
+        if (wave.eval(probes[i]) != expected[i]) ++mismatches[w];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(mismatches[w], 0) << "thread " << w;
+}
+
+TEST(Pwl, CopyAndMovePreserveShape) {
+  Pwl original({0.0, 1.0, 2.0}, {1.0, 3.0, 5.0});
+  (void)original.eval(1.5);  // advance the hint cursor
+  const Pwl copy = original;
+  EXPECT_DOUBLE_EQ(copy.eval(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(copy.eval(1.5), 4.0);
+  Pwl assigned;
+  assigned = copy;
+  const Pwl moved = std::move(assigned);
+  EXPECT_DOUBLE_EQ(moved.eval(0.5), 2.0);
+  EXPECT_EQ(moved.size(), 3u);
 }
 
 TEST(Pwl, ConstantWaveform) {
