@@ -7,6 +7,7 @@
 // with Algorithm 1; the measured autocorrelation R(τ) and PSD S(f) are
 // compared against the analytic exponential / Lorentzian laws, and the
 // thermal-noise floor S_th = (8/3) k T g_m is printed for context.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
@@ -73,12 +74,25 @@ Measurement measure(const physics::Technology& tech,
   return m;
 }
 
-void run_sweep(const char* title, const char* plot_tag_acf,
-               const char* plot_tag_psd, const physics::Technology& tech,
-               const physics::SrhModel& srh,
-               const physics::MosDevice& device,
-               const std::vector<Config>& configs, util::Rng& rng,
-               bool make_plots) {
+/// Worst-case deviation of the simulated/analytic ratios from 1 across a
+/// sweep — the one-line health number for the JSON summary.
+struct SweepSummary {
+  std::string name;
+  double max_r0_dev = 0.0;
+  double max_r1_dev = 0.0;
+  double max_s_low_dev = 0.0;
+  double max_s_corner_dev = 0.0;
+};
+
+SweepSummary run_sweep(const char* name, const char* title,
+                       const char* plot_tag_acf, const char* plot_tag_psd,
+                       const physics::Technology& tech,
+                       const physics::SrhModel& srh,
+                       const physics::MosDevice& device,
+                       const std::vector<Config>& configs, util::Rng& rng,
+                       bool make_plots) {
+  SweepSummary summary;
+  summary.name = name;
   util::Table table({"config", "corner f (Hz)", "R(0) sim/ana",
                      "R(1/L) sim/ana", "S(fc/4) sim/ana", "S(fc) sim/ana",
                      "S_thermal (A^2/Hz)"});
@@ -106,6 +120,12 @@ void run_sweep(const char* title, const char* plot_tag_acf,
         psd_at(corner) / signal::rts_psd(m.analytic, corner);
     table.add_row({config.label, corner, r0_ratio, r1_ratio, s_low_ratio,
                    s_corner_ratio, m.thermal_floor});
+    summary.max_r0_dev = std::max(summary.max_r0_dev, std::abs(r0_ratio - 1.0));
+    summary.max_r1_dev = std::max(summary.max_r1_dev, std::abs(r1_ratio - 1.0));
+    summary.max_s_low_dev =
+        std::max(summary.max_s_low_dev, std::abs(s_low_ratio - 1.0));
+    summary.max_s_corner_dev =
+        std::max(summary.max_s_corner_dev, std::abs(s_corner_ratio - 1.0));
 
     // Normalised overlay series for the figure plots.
     util::Series acf_sim;
@@ -162,6 +182,7 @@ void run_sweep(const char* title, const char* plot_tag_acf,
     util::plot(std::cout, psd_series, psd_options);
     std::printf("\n");
   }
+  return summary;
 }
 
 }  // namespace
@@ -190,8 +211,11 @@ int main(int argc, char** argv) {
     std::snprintf(label, sizeof label, "Vgs=%.2fV", v);
     v_sweep.push_back({label, {y_mid, e_mid, physics::TrapState::kEmpty}, v});
   }
-  run_sweep("--- sweep V_gs (paper plots (a) and (d)) ---", "(a)", "(d)",
-            tech, srh, device, v_sweep, rng, plots);
+  std::vector<SweepSummary> summaries;
+  summaries.push_back(run_sweep("vgs",
+                                "--- sweep V_gs (paper plots (a) and (d)) ---",
+                                "(a)", "(d)", tech, srh, device, v_sweep, rng,
+                                plots));
 
   // (b)/(e): sweep E_tr.
   std::vector<Config> e_sweep;
@@ -201,8 +225,10 @@ int main(int argc, char** argv) {
     e_sweep.push_back(
         {label, {y_mid, e, physics::TrapState::kEmpty}, 0.75 * tech.v_dd});
   }
-  run_sweep("--- sweep E_tr (paper plots (b) and (e)) ---", "(b)", "(e)",
-            tech, srh, device, e_sweep, rng, plots);
+  summaries.push_back(run_sweep("etr",
+                                "--- sweep E_tr (paper plots (b) and (e)) ---",
+                                "(b)", "(e)", tech, srh, device, e_sweep, rng,
+                                plots));
 
   // (c)/(f): sweep y_tr.
   std::vector<Config> y_sweep;
@@ -213,8 +239,24 @@ int main(int argc, char** argv) {
                        {frac * tech.t_ox, e_mid, physics::TrapState::kEmpty},
                        0.75 * tech.v_dd});
   }
-  run_sweep("--- sweep y_tr (paper plots (c) and (f)) ---", "(c)", "(f)",
-            tech, srh, device, y_sweep, rng, plots);
+  summaries.push_back(run_sweep("ytr",
+                                "--- sweep y_tr (paper plots (c) and (f)) ---",
+                                "(c)", "(f)", tech, srh, device, y_sweep, rng,
+                                plots));
+
+  // Machine-readable trajectory line (scripted against BENCH_*.json):
+  // worst |simulated/analytic - 1| per sweep, per statistic.
+  std::printf("{\"bench\": \"fig7_validation\", \"node\": \"%s\", "
+              "\"sweeps\": [", tech.name.c_str());
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const auto& s = summaries[i];
+    std::printf("%s{\"sweep\": \"%s\", \"max_r0_dev\": %.4f, "
+                "\"max_r1_dev\": %.4f, \"max_s_low_dev\": %.4f, "
+                "\"max_s_corner_dev\": %.4f}",
+                i == 0 ? "" : ", ", s.name.c_str(), s.max_r0_dev,
+                s.max_r1_dev, s.max_s_low_dev, s.max_s_corner_dev);
+  }
+  std::printf("]}\n\n");
 
   std::printf("Expected shape (paper): simulated R(τ) and S(f) overlay the\n"
               "analytic exponentials/Lorentzians across all three sweeps;\n"

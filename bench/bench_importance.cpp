@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "campaign/runner.hpp"
+#include "campaign/shard.hpp"
 #include "sram/importance.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -99,6 +101,57 @@ int main(int argc, char** argv) {
         probe.samples, config.threads, serial_s, parallel_s,
         probe.samples / serial_s, probe.samples / parallel_s,
         serial_s / parallel_s, identical ? "true" : "false");
+  }
+
+  // --- Campaign runtime: sequential early stopping. -----------------------
+  // The same estimator driven as a sharded campaign: shards fold through
+  // the streaming weighted-failure accumulator and the run ends as soon as
+  // the relative CI half-width meets the target — the budget the paper's
+  // rare-event sweeps would otherwise burn after the answer has settled.
+  {
+    campaign::Manifest manifest;
+    manifest.kind = campaign::CampaignKind::kImportance;
+    manifest.name = "bench_importance";
+    manifest.node = config.cell.tech.name;
+    manifest.v_dd = config.cell.tech.v_dd;
+    manifest.bits = "10";
+    manifest.rtn_scale = config.cell.rtn_scale;
+    // Wider variation than the rare-event sweep above: the CI must be able
+    // to tighten within the demo budget for the stopping rule to fire.
+    manifest.sigma_vt = cli.get_double("campaign-sigma", 0.2);
+    manifest.shift[0] = manifest.shift[1] =
+        cli.get_double("campaign-shift", 0.09);
+    manifest.seed = config.seed;
+    manifest.with_rtn = config.with_rtn;
+    manifest.threads = config.threads;
+    manifest.budget =
+        static_cast<std::uint64_t>(cli.get_int("campaign-budget", 120));
+    manifest.shard_size =
+        static_cast<std::uint64_t>(cli.get_int("campaign-shard", 12));
+    manifest.min_samples = manifest.shard_size * 2;
+
+    campaign::Manifest full = manifest;  // exhaust the budget
+    full.target_rel_half_width = 0.0;
+    const auto full_run = campaign::run_campaign(full);
+
+    manifest.target_rel_half_width = cli.get_double("target-rhw", 0.5);
+    const auto early = campaign::run_campaign(manifest);
+
+    const bool agrees = full_run.estimate >= early.ci.lo &&
+                        full_run.estimate <= early.ci.hi;
+    std::printf("\n--- campaign early stopping (target rel CI half-width "
+                "%.2f) ---\n", manifest.target_rel_half_width);
+    std::printf(
+        "{\"bench\": \"importance_campaign\", \"budget\": %llu, "
+        "\"budget_used\": %llu, \"budget_saved\": %llu, "
+        "\"stopped_early\": %s, \"estimate\": %.6g, \"ci_lo\": %.6g, "
+        "\"ci_hi\": %.6g, \"full_budget_estimate\": %.6g, "
+        "\"agrees_within_ci\": %s}\n",
+        static_cast<unsigned long long>(manifest.budget),
+        static_cast<unsigned long long>(early.samples_done),
+        static_cast<unsigned long long>(early.budget_saved),
+        early.stopped_early ? "true" : "false", early.estimate, early.ci.lo,
+        early.ci.hi, full_run.estimate, agrees ? "true" : "false");
   }
 
   std::printf("\nExpected shape: the naive estimator sees zero failures\n"

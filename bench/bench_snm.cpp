@@ -6,6 +6,8 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "physics/constants.hpp"
 #include "physics/srh_model.hpp"
@@ -25,6 +27,11 @@ int main(int argc, char** argv) {
   util::Table table({"node", "V_dd (V)", "hold SNM (mV)", "read SNM (mV)",
                      "dVth/charge (mV)", "read SNM loss, 1 charge (mV)",
                      "loss at E[active traps] (mV)"});
+  struct NodeRow {
+    std::string node;
+    double v_dd, hold, read, q_step, read_one, read_active;
+  };
+  std::vector<NodeRow> rows;
   for (const auto& node : physics::technology_nodes()) {
     sram::SnmConfig config;
     config.tech = physics::technology(node);
@@ -58,8 +65,24 @@ int main(int argc, char** argv) {
     table.add_row({node, config.tech.v_dd, hold * 1e3, read * 1e3,
                    q_step * 1e3, (read - read_one) * 1e3,
                    (read - read_active) * 1e3});
+    rows.push_back({node, config.tech.v_dd, hold, read, q_step, read_one,
+                    read_active});
   }
   table.print(std::cout);
+
+  // Machine-readable trajectory line (scripted against BENCH_*.json).
+  std::printf("\n{\"bench\": \"snm\", \"nodes\": [");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::printf("%s{\"node\": \"%s\", \"v_dd\": %.3f, \"hold_snm_mv\": %.3f, "
+                "\"read_snm_mv\": %.3f, \"dvth_per_charge_mv\": %.3f, "
+                "\"read_loss_1charge_mv\": %.3f, "
+                "\"read_loss_active_mv\": %.3f}",
+                i == 0 ? "" : ", ", r.node.c_str(), r.v_dd, r.hold * 1e3,
+                r.read * 1e3, r.q_step * 1e3, (r.read - r.read_one) * 1e3,
+                (r.read - r.read_active) * 1e3);
+  }
+  std::printf("]}\n");
 
   std::printf("\nExpected shape: SNM shrinks with V_dd scaling while the\n"
               "per-charge V_T step q/(C_ox W L) grows as the device area\n"

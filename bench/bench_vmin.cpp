@@ -11,6 +11,8 @@
 #include <atomic>
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "sram/methodology.hpp"
 #include "util/cli.hpp"
@@ -70,9 +72,13 @@ int main(int argc, char** argv) {
   std::printf("write pattern 101, RTN x%.0f, %zu trap draws per supply "
               "point\n\n", scale, seeds);
 
-  util::Table summary({"node", "V_dd (V)", "Vmin nominal (V)",
-                       "Vmin with RTN (V)", "RTN margin (mV)",
-                       "margin left at Vdd (V)"});
+  struct NodeSummary {
+    std::string node;
+    double v_dd = 0.0;
+    bool nominal_found = false, rtn_found = false;
+    double vmin_nominal = 0.0, vmin_rtn = 0.0;
+  };
+  std::vector<NodeSummary> summaries;
   for (const char* node : {"130nm", "90nm", "65nm", "45nm"}) {
     auto config = base_config(node, scale);
     const double v_dd_nom = config.tech.v_dd;
@@ -90,7 +96,9 @@ int main(int argc, char** argv) {
       v_top += 0.02;
     }
     util::Table detail({"V_dd (V)", "nominal", "RTN failures"});
-    double vmin_nominal = 0.0, vmin_rtn = 0.0;
+    NodeSummary node_summary;
+    node_summary.node = node;
+    node_summary.v_dd = v_dd_nom;
     bool rtn_broken = false;  // failures seen at some higher supply
     for (double v = v_top; v >= coarse - 0.05 - 1e-9; v -= fine_step) {
       const bool nominal_ok = nominal_passes(config, v);
@@ -101,20 +109,64 @@ int main(int argc, char** argv) {
       detail.add_row({v, std::string(nominal_ok ? "pass" : "FAIL"),
                       std::string(rate)});
       // Descending sweep: V_min is the lowest supply contiguous with the
-      // passing region at the top.
-      if (nominal_ok) vmin_nominal = v;
+      // passing region at the top. "Never passed" stays an explicit flag —
+      // an all-fail sweep must not be reported as a 0 V V_min.
+      if (nominal_ok) {
+        node_summary.vmin_nominal = v;
+        node_summary.nominal_found = true;
+      }
       if (failures > 0) rtn_broken = true;
-      if (nominal_ok && !rtn_broken) vmin_rtn = v;
+      if (nominal_ok && !rtn_broken) {
+        node_summary.vmin_rtn = v;
+        node_summary.rtn_found = true;
+      }
       if (!nominal_ok) break;  // everything below fails nominally
     }
     std::printf("--- %s (fine sweep) ---\n", node);
     detail.print(std::cout);
     std::printf("\n");
-    summary.add_row({std::string(node), v_dd_nom, vmin_nominal, vmin_rtn,
-                     (vmin_rtn - vmin_nominal) * 1e3, v_dd_nom - vmin_rtn});
+    summaries.push_back(node_summary);
   }
   std::printf("--- summary ---\n");
+  util::Table summary({"node", "V_dd (V)", "Vmin nominal (V)",
+                       "Vmin with RTN (V)", "RTN margin (mV)",
+                       "margin left at Vdd (V)"});
+  for (const auto& s : summaries) {
+    const bool both = s.nominal_found && s.rtn_found;
+    if (both) {
+      summary.add_row({s.node, s.v_dd, s.vmin_nominal, s.vmin_rtn,
+                       (s.vmin_rtn - s.vmin_nominal) * 1e3,
+                       s.v_dd - s.vmin_rtn});
+    } else {
+      summary.add_row({s.node, s.v_dd,
+                       std::string(s.nominal_found ? "" : "n/a"),
+                       std::string(s.rtn_found ? "" : "n/a"),
+                       std::string("n/a"), std::string("n/a")});
+    }
+  }
   summary.print(std::cout);
+
+  // Machine-readable trajectory line (scripted against BENCH_*.json).
+  std::printf("\n{\"bench\": \"vmin\", \"scale\": %.1f, \"rtn_seeds\": %zu, "
+              "\"nodes\": [", scale, seeds);
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const auto& s = summaries[i];
+    std::printf("%s{\"node\": \"%s\", \"v_dd\": %.3f, "
+                "\"nominal_found\": %s, \"rtn_found\": %s, "
+                "\"vmin_nominal\": %s, \"vmin_rtn\": %s, "
+                "\"rtn_margin_mv\": %s}",
+                i == 0 ? "" : ", ", s.node.c_str(), s.v_dd,
+                s.nominal_found ? "true" : "false",
+                s.rtn_found ? "true" : "false",
+                s.nominal_found
+                    ? std::to_string(s.vmin_nominal).c_str() : "null",
+                s.rtn_found ? std::to_string(s.vmin_rtn).c_str() : "null",
+                (s.nominal_found && s.rtn_found)
+                    ? std::to_string((s.vmin_rtn - s.vmin_nominal) * 1e3)
+                          .c_str()
+                    : "null");
+  }
+  std::printf("]}\n");
 
   std::printf("\nExpected shape (paper Fig. 2): V_min rises toward scaled\n"
               "nodes while V_dd falls, so the 'margin left' column shrinks;\n"

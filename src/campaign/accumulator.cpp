@@ -1,0 +1,116 @@
+#include "campaign/accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace samurai::campaign {
+
+void Welford::add(double x) noexcept {
+  ++count;
+  const double delta = x - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (x - mean);
+}
+
+void Welford::merge(const Welford& other) noexcept {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  const double n_a = static_cast<double>(count);
+  const double n_b = static_cast<double>(other.count);
+  const double delta = other.mean - mean;
+  const double total = n_a + n_b;
+  mean += delta * (n_b / total);
+  m2 += other.m2 + delta * delta * (n_a * n_b / total);
+  count += other.count;
+}
+
+double Welford::variance() const noexcept {
+  return count > 1 ? m2 / static_cast<double>(count - 1) : 0.0;
+}
+
+double Welford::standard_error() const noexcept {
+  return count > 0 ? std::sqrt(variance() / static_cast<double>(count)) : 0.0;
+}
+
+Interval Welford::normal_interval(double z) const noexcept {
+  const double half = z * standard_error();
+  return {mean - half, mean + half};
+}
+
+void WeightedFailure::add(double weight, bool failed) noexcept {
+  ++count;
+  weight_sum += weight;
+  weight_sq_sum += weight * weight;
+  if (failed) {
+    ++failures;
+    fail_weight_sum += weight;
+    fail_weight_sq_sum += weight * weight;
+  }
+}
+
+void WeightedFailure::merge(const WeightedFailure& other) noexcept {
+  count += other.count;
+  failures += other.failures;
+  weight_sum += other.weight_sum;
+  weight_sq_sum += other.weight_sq_sum;
+  fail_weight_sum += other.fail_weight_sum;
+  fail_weight_sq_sum += other.fail_weight_sq_sum;
+}
+
+double WeightedFailure::probability() const noexcept {
+  return count > 0 ? fail_weight_sum / static_cast<double>(count) : 0.0;
+}
+
+double WeightedFailure::standard_error() const noexcept {
+  if (count == 0) return 0.0;
+  // Var(p̂) = (E[w² 1_fail] - p²) / n — the estimator of importance.cpp.
+  const double n = static_cast<double>(count);
+  const double p = probability();
+  const double second_moment = fail_weight_sq_sum / n;
+  const double variance = second_moment - p * p;
+  return std::sqrt(variance > 0.0 ? variance / n : 0.0);
+}
+
+double WeightedFailure::effective_sample_size() const noexcept {
+  return weight_sq_sum > 0.0 ? weight_sum * weight_sum / weight_sq_sum : 0.0;
+}
+
+Interval WeightedFailure::normal_interval(double z) const noexcept {
+  const double p = probability();
+  const double half = z * standard_error();
+  return {p - half, p + half};
+}
+
+void Binomial::add(bool success) noexcept {
+  ++count;
+  if (success) ++successes;
+}
+
+void Binomial::merge(const Binomial& other) noexcept {
+  count += other.count;
+  successes += other.successes;
+}
+
+double Binomial::rate() const noexcept {
+  return count > 0 ? static_cast<double>(successes) / static_cast<double>(count)
+                   : 0.0;
+}
+
+Interval Binomial::wilson_interval(double z) const noexcept {
+  if (count == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(count);
+  const double p = rate();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  // Clamp: analytically the bounds are inside [0, 1], but at p ∈ {0, 1}
+  // rounding can push them out by ~1 ulp.
+  return {std::max(0.0, centre - half), std::min(1.0, centre + half)};
+}
+
+}  // namespace samurai::campaign

@@ -1,0 +1,74 @@
+// Streaming statistics for Monte-Carlo campaigns.
+//
+// A campaign folds per-shard results into these accumulators one shard at
+// a time, so memory stays O(1) in the sample budget and a checkpoint only
+// has to persist a handful of doubles per shard. All three accumulators
+// obey the same contract: `add` consumes one sample, `merge` folds a
+// completed sub-accumulator (a shard) in, and both paths give the exact
+// same result as long as the add/merge *order* is the same — which the
+// runner guarantees by always folding shards in index order.
+#pragma once
+
+#include <cstdint>
+
+namespace samurai::campaign {
+
+/// A two-sided confidence interval on an estimate.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width() const noexcept { return 0.5 * (hi - lo); }
+};
+
+/// Welford's online mean/variance. Numerically stable where the naive
+/// sum-of-squares estimator cancels catastrophically (mean >> stddev, the
+/// regime of e.g. V_min values clustered near 0.8 V with mV spread).
+struct Welford {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  ///< sum of squared deviations from the running mean
+
+  void add(double x) noexcept;
+  /// Chan's parallel update: fold a finished sub-accumulator in.
+  void merge(const Welford& other) noexcept;
+
+  double variance() const noexcept;        ///< sample variance (n-1)
+  double standard_error() const noexcept;  ///< sqrt(variance / n)
+  Interval normal_interval(double z) const noexcept;
+};
+
+/// Likelihood-ratio-weighted failure estimator. With unit weights this is
+/// the plain Monte-Carlo failure fraction; with importance-sampling
+/// weights it reproduces `sram::ImportanceResult` exactly (same moment
+/// formulas, accumulated in sample order).
+struct WeightedFailure {
+  std::uint64_t count = 0;
+  std::uint64_t failures = 0;
+  double weight_sum = 0.0;
+  double weight_sq_sum = 0.0;
+  double fail_weight_sum = 0.0;
+  double fail_weight_sq_sum = 0.0;
+
+  void add(double weight, bool failed) noexcept;
+  void merge(const WeightedFailure& other) noexcept;
+
+  double probability() const noexcept;  ///< Σ(w·1_fail) / n, unbiased
+  double standard_error() const noexcept;
+  double effective_sample_size() const noexcept;  ///< (Σw)² / Σw²
+  Interval normal_interval(double z) const noexcept;
+};
+
+/// Bernoulli counter with a Wilson score interval (well-behaved at 0 and
+/// n successes, unlike the normal approximation).
+struct Binomial {
+  std::uint64_t count = 0;
+  std::uint64_t successes = 0;
+
+  void add(bool success) noexcept;
+  void merge(const Binomial& other) noexcept;
+
+  double rate() const noexcept;
+  Interval wilson_interval(double z) const noexcept;
+};
+
+}  // namespace samurai::campaign

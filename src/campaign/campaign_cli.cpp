@@ -1,0 +1,150 @@
+// samurai_campaign — sharded, checkpointable Monte-Carlo yield campaigns.
+//
+//   samurai_campaign run    --dir out/ [--manifest m.json | flags...]
+//   samurai_campaign resume --dir out/ [--max-shards K]
+//   samurai_campaign status --dir out/
+//
+// `run` starts a campaign described by a manifest file or by flags
+// (--kind importance|array-yield|vmin, --samples, --shard, --seed,
+// --threads, --target-rhw, --min-samples, --node, --vdd, --bits, --scale,
+// --sigma-vt, --shift, --rtn-seeds, --v-lo, --v-hi, --resolution,
+// --nominal-only, --slow-as-fail, --name). Without --dir the campaign runs
+// in memory (no checkpoint, no resume). Every subcommand ends with one
+// machine-readable JSON summary line on stdout.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/runner.hpp"
+#include "util/cli.hpp"
+
+using namespace samurai;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: samurai_campaign run    --dir DIR [--manifest FILE | "
+               "--kind importance|array-yield|vmin --samples N --shard S ...]\n"
+               "       samurai_campaign resume --dir DIR [--max-shards K]\n"
+               "       samurai_campaign status --dir DIR\n");
+  return 2;
+}
+
+campaign::Manifest manifest_from_flags(const util::Cli& cli) {
+  campaign::Manifest manifest;
+  manifest.kind =
+      campaign::kind_from_string(cli.get_string("kind", "importance"));
+  manifest.name = cli.get_string("name", campaign::to_string(manifest.kind));
+  manifest.seed = cli.get_seed("seed", 31);
+  manifest.budget = static_cast<std::uint64_t>(cli.get_int("samples", 1000));
+  manifest.shard_size = static_cast<std::uint64_t>(cli.get_int("shard", 100));
+  manifest.threads = static_cast<std::uint64_t>(cli.get_int("threads", 1));
+  manifest.target_rel_half_width = cli.get_double("target-rhw", 0.0);
+  manifest.confidence_z = cli.get_double("confidence-z", manifest.confidence_z);
+  manifest.min_samples =
+      static_cast<std::uint64_t>(cli.get_int("min-samples", 0));
+  manifest.node = cli.get_string("node", "90nm");
+  manifest.v_dd = cli.get_double("vdd", 0.0);
+  manifest.bits = cli.get_string("bits", "10");
+  manifest.rtn_scale = cli.get_double("scale", 30.0);
+  manifest.extra_node_cap = cli.get_double("node-cap", 40e-15);
+  manifest.period = cli.get_double("period", 1e-9);
+  manifest.sigma_vt = cli.get_double("sigma-vt", 0.03);
+  // --shift biases the write-critical pass gates M1/M2 (the ladder the
+  // importance bench uses); --shift-mK sets one device explicitly.
+  const double shift = cli.get_double("shift", 0.0);
+  if (shift != 0.0) manifest.shift[0] = manifest.shift[1] = shift;
+  for (int m = 1; m <= 6; ++m) {
+    manifest.shift[static_cast<size_t>(m - 1)] = cli.get_double(
+        "shift-m" + std::to_string(m),
+        manifest.shift[static_cast<size_t>(m - 1)]);
+  }
+  manifest.count_slow_as_fail = cli.has("slow-as-fail");
+  manifest.with_rtn = !cli.has("nominal-only");
+  manifest.v_lo = cli.get_double("v-lo", manifest.v_lo);
+  manifest.v_hi = cli.get_double("v-hi", manifest.v_hi);
+  manifest.resolution = cli.get_double("resolution", manifest.resolution);
+  manifest.rtn_seeds =
+      static_cast<std::uint64_t>(cli.get_int("rtn-seeds", 1));
+  return manifest;
+}
+
+void print_summary(const campaign::CampaignResult& result) {
+  std::printf(
+      "campaign '%s' (%s): %s — %llu/%llu samples in %llu shards, "
+      "wall %.2f s\n",
+      result.manifest.name.c_str(),
+      campaign::to_string(result.manifest.kind).c_str(),
+      result.stopped_early ? "stopped early (CI target met)"
+      : result.complete    ? "complete"
+                           : "paused",
+      static_cast<unsigned long long>(result.samples_done),
+      static_cast<unsigned long long>(result.manifest.budget),
+      static_cast<unsigned long long>(result.shards_done),
+      result.wall_seconds);
+  std::printf("  estimate %.6g  (std err %.3g, z=%.2f CI [%.6g, %.6g], "
+              "rel half-width %.3g, ESS %.1f)\n",
+              result.estimate, result.standard_error,
+              result.manifest.confidence_z, result.ci.lo, result.ci.hi,
+              result.relative_half_width, result.effective_sample_size);
+  if (result.stopped_early) {
+    std::printf("  budget saved: %llu of %llu samples (%.1f%%)\n",
+                static_cast<unsigned long long>(result.budget_saved),
+                static_cast<unsigned long long>(result.manifest.budget),
+                100.0 * static_cast<double>(result.budget_saved) /
+                    static_cast<double>(result.manifest.budget));
+  }
+  std::printf("%s\n", result.to_json().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    if (cli.positional().empty()) return usage();
+    const std::string command = cli.positional().front();
+    const std::string dir = cli.get_string("dir", "");
+
+    campaign::RunOptions options;
+    options.dir = dir;
+    options.max_shards_this_run =
+        static_cast<std::uint64_t>(cli.get_int("max-shards", 0));
+    options.progress = cli.has("quiet") ? nullptr : &std::cerr;
+
+    if (command == "run") {
+      campaign::Manifest manifest;
+      if (cli.has("manifest")) {
+        manifest = campaign::Manifest::from_json(
+            campaign::read_file(cli.get_string("manifest", "")));
+      } else {
+        manifest = manifest_from_flags(cli);
+      }
+      manifest.validate();
+      if (dir.empty()) {
+        std::fprintf(stderr, "samurai_campaign: no --dir given; running "
+                             "without checkpoints (resume unavailable)\n");
+      }
+      print_summary(campaign::run_campaign(manifest, options));
+      return 0;
+    }
+    if (command == "resume") {
+      if (dir.empty()) return usage();
+      print_summary(campaign::resume_campaign(options));
+      return 0;
+    }
+    if (command == "status") {
+      if (dir.empty()) return usage();
+      print_summary(campaign::campaign_status(dir));
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "samurai_campaign: %s\n", error.what());
+    return 1;
+  }
+}

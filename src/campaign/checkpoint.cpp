@@ -1,0 +1,90 @@
+#include "campaign/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace samurai::campaign {
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("campaign: cannot open " + tmp);
+    out << content;
+    out.flush();
+    if (!out) throw std::runtime_error("campaign: short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("campaign: cannot rename " + tmp + " -> " + path);
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("campaign: cannot read " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void Checkpoint::init(const Manifest& manifest) const {
+  std::filesystem::create_directories(dir_);
+  if (has_ledger()) {
+    throw std::runtime_error(
+        "campaign: " + dir_ +
+        " already holds a shard ledger; use resume (or a fresh directory)");
+  }
+  write_file_atomic(manifest_path(), manifest.to_json() + "\n");
+}
+
+bool Checkpoint::has_manifest() const {
+  return std::filesystem::exists(manifest_path());
+}
+
+bool Checkpoint::has_ledger() const {
+  return std::filesystem::exists(ledger_path());
+}
+
+Manifest Checkpoint::load_manifest() const {
+  return Manifest::from_json(read_file(manifest_path()));
+}
+
+std::vector<ShardResult> Checkpoint::load_ledger() const {
+  std::vector<ShardResult> shards;
+  if (!has_ledger()) return shards;
+  std::istringstream in(read_file(ledger_path()));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    shards.push_back(ShardResult::from_json(line));
+    if (shards.back().index + 1 != shards.size()) {
+      throw std::runtime_error("campaign: ledger " + ledger_path() +
+                               " is out of order at shard " +
+                               std::to_string(shards.back().index));
+    }
+  }
+  return shards;
+}
+
+void Checkpoint::store_ledger(const std::vector<ShardResult>& shards) const {
+  std::string content;
+  for (const auto& shard : shards) content += shard.to_json() + "\n";
+  write_file_atomic(ledger_path(), content);
+}
+
+void Checkpoint::store_state(const std::string& state_json) const {
+  write_file_atomic(state_path(), state_json + "\n");
+}
+
+std::string Checkpoint::load_state() const {
+  if (!std::filesystem::exists(state_path())) return "";
+  return read_file(state_path());
+}
+
+}  // namespace samurai::campaign

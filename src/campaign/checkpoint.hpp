@@ -1,0 +1,64 @@
+// Atomic campaign checkpoints.
+//
+// A campaign directory holds three artifacts:
+//   manifest.json — the job description, written once at `run` start;
+//   shards.jsonl  — the shard ledger, one flat-JSON line per completed
+//                   shard in index order (the source of truth on resume);
+//   state.json    — the folded estimator state and status (a convenience
+//                   summary for `status`; always derivable from the ledger).
+//
+// Every file is replaced via write-to-temp + rename, so a kill at any
+// instant leaves either the previous consistent version or the new one —
+// never a torn file. Resume re-folds the ledger in shard order; because
+// doubles are serialised with round-trip precision, the restored estimator
+// state is bit-identical to the state the uninterrupted run had.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/manifest.hpp"
+#include "campaign/shard.hpp"
+
+namespace samurai::campaign {
+
+/// Atomically replace `path` with `content` (temp file + rename).
+/// Throws std::runtime_error on I/O failure.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Read a whole file. Throws std::runtime_error if unreadable.
+std::string read_file(const std::string& path);
+
+class Checkpoint {
+ public:
+  explicit Checkpoint(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const noexcept { return dir_; }
+  std::string manifest_path() const { return dir_ + "/manifest.json"; }
+  std::string ledger_path() const { return dir_ + "/shards.jsonl"; }
+  std::string state_path() const { return dir_ + "/state.json"; }
+
+  /// Create the directory (parents included) and write the manifest.
+  /// Throws std::runtime_error if a ledger already exists (an interrupted
+  /// campaign must be resumed, not silently restarted).
+  void init(const Manifest& manifest) const;
+
+  bool has_manifest() const;
+  bool has_ledger() const;
+  Manifest load_manifest() const;  ///< throws if missing/invalid
+
+  /// Completed shards in ledger order (empty if no ledger yet). Throws on
+  /// a malformed line — a corrupt ledger must not silently truncate.
+  std::vector<ShardResult> load_ledger() const;
+
+  /// Atomically rewrite the full ledger (small: one line per shard).
+  void store_ledger(const std::vector<ShardResult>& shards) const;
+
+  void store_state(const std::string& state_json) const;
+  std::string load_state() const;  ///< "" if absent
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace samurai::campaign

@@ -1,0 +1,202 @@
+#include "campaign/json.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace samurai::campaign {
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+namespace {
+
+std::string quote(const std::string& text) {
+  std::string out = "\"";
+  for (char ch : text) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void JsonWriter::add(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, quote(value));
+}
+
+void JsonWriter::add(const std::string& key, const char* value) {
+  add(key, std::string(value));
+}
+
+void JsonWriter::add(const std::string& key, double value) {
+  fields_.emplace_back(key, format_double(value));
+}
+
+void JsonWriter::add(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+}
+
+void JsonWriter::add_u64(const std::string& key, std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%" PRIu64, value);
+  fields_.emplace_back(key, buffer);
+}
+
+void JsonWriter::add_raw(const std::string& key, const std::string& raw) {
+  fields_.emplace_back(key, raw);
+}
+
+std::string JsonWriter::str() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    out += quote(key) + ": " + value;
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+void skip_space(const std::string& text, std::size_t& pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+}
+
+[[noreturn]] void fail(const std::string& what, std::size_t pos) {
+  throw std::runtime_error("campaign json: " + what + " at offset " +
+                           std::to_string(pos));
+}
+
+std::string parse_quoted(const std::string& text, std::size_t& pos) {
+  if (pos >= text.size() || text[pos] != '"') fail("expected '\"'", pos);
+  ++pos;
+  std::string out;
+  while (pos < text.size() && text[pos] != '"') {
+    if (text[pos] == '\\') {
+      ++pos;
+      if (pos >= text.size()) fail("dangling escape", pos);
+    }
+    out.push_back(text[pos++]);
+  }
+  if (pos >= text.size()) fail("unterminated string", pos);
+  ++pos;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+JsonObject JsonObject::parse(const std::string& text) {
+  JsonObject object;
+  std::size_t pos = 0;
+  skip_space(text, pos);
+  if (pos >= text.size() || text[pos] != '{') fail("expected '{'", pos);
+  ++pos;
+  skip_space(text, pos);
+  if (pos < text.size() && text[pos] == '}') return object;
+  for (;;) {
+    skip_space(text, pos);
+    const std::string key = parse_quoted(text, pos);
+    skip_space(text, pos);
+    if (pos >= text.size() || text[pos] != ':') fail("expected ':'", pos);
+    ++pos;
+    skip_space(text, pos);
+    if (pos >= text.size()) fail("missing value", pos);
+    if (text[pos] == '"') {
+      object.values_[key] = parse_quoted(text, pos);
+      object.quoted_[key] = true;
+    } else {
+      // Bare token: number / bool / null. Read until the next separator.
+      std::size_t start = pos;
+      int depth = 0;  // tolerate nested arrays stored as raw values
+      while (pos < text.size()) {
+        const char ch = text[pos];
+        if (ch == '[' || ch == '{') ++depth;
+        if (ch == ']' || ch == '}') {
+          if (depth == 0) break;
+          --depth;
+        }
+        if (depth == 0 && ch == ',') break;
+        ++pos;
+      }
+      std::string token = text.substr(start, pos - start);
+      while (!token.empty() &&
+             std::isspace(static_cast<unsigned char>(token.back()))) {
+        token.pop_back();
+      }
+      if (token.empty()) fail("empty value", start);
+      object.values_[key] = token;
+      object.quoted_[key] = false;
+    }
+    skip_space(text, pos);
+    if (pos >= text.size()) fail("unterminated object", pos);
+    if (text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (text[pos] == '}') break;
+    fail("expected ',' or '}'", pos);
+  }
+  return object;
+}
+
+bool JsonObject::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string JsonObject::get_string(const std::string& key,
+                                   std::string fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+double JsonObject::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second == "null") return fallback;  // non-finite, see format_double
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str()) {
+    throw std::runtime_error("campaign json: key '" + key +
+                             "' is not a number: " + it->second);
+  }
+  return value;
+}
+
+std::uint64_t JsonObject::get_u64(const std::string& key,
+                                  std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str()) {
+    throw std::runtime_error("campaign json: key '" + key +
+                             "' is not an integer: " + it->second);
+  }
+  return value;
+}
+
+bool JsonObject::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second == "true") return true;
+  if (it->second == "false") return false;
+  throw std::runtime_error("campaign json: key '" + key +
+                           "' is not a bool: " + it->second);
+}
+
+}  // namespace samurai::campaign

@@ -1,0 +1,76 @@
+// The campaign runner: shard loop, streaming fold, early stopping,
+// checkpointing and resume.
+//
+// Execution model: shards run one after another (samples within a shard
+// fan out on the shared executor); after each shard the runner folds the
+// shard's accumulators into the campaign state *in shard order*, writes
+// the checkpoint, and evaluates the sequential stopping rule. Because the
+// fold order is fixed and shard contents depend only on (manifest, shard
+// index), a campaign killed after any shard and resumed from its ledger
+// reproduces the uninterrupted run bit-identically — including where the
+// stopping rule fires.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "campaign/accumulator.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/shard.hpp"
+
+namespace samurai::campaign {
+
+struct RunOptions {
+  /// Checkpoint directory; empty = run in memory (no resume possible).
+  std::string dir;
+  /// Execute at most this many *new* shards this invocation (0 = no cap).
+  /// Used to simulate a kill in tests and to budget long sessions.
+  std::uint64_t max_shards_this_run = 0;
+  /// Stream one progress line per shard (nullptr = silent).
+  std::ostream* progress = nullptr;
+};
+
+struct CampaignResult {
+  Manifest manifest;
+  std::uint64_t shards_done = 0;
+  std::uint64_t samples_done = 0;
+  bool complete = false;       ///< budget exhausted or early-stopped
+  bool stopped_early = false;  ///< sequential rule fired below budget
+  std::uint64_t budget_saved = 0;  ///< budget - samples_done when stopped
+  double wall_seconds = 0.0;       ///< summed shard wall time (ledger)
+
+  // Folded streaming state (all kinds; unused accumulators stay empty).
+  WeightedFailure weighted;
+  Binomial fails;
+  Binomial nominal_fails;
+  Binomial slow;
+  Welford value;
+
+  // Kind-primary estimate: importance → weighted failure probability,
+  // array-yield → RTN-only bit-error rate (Wilson CI), vmin → mean V_min.
+  double estimate = 0.0;
+  double standard_error = 0.0;
+  Interval ci;
+  double relative_half_width = 0.0;  ///< ci half-width / estimate (inf if 0)
+  double effective_sample_size = 0.0;
+
+  /// state.json payload / machine-readable summary line.
+  std::string to_json() const;
+};
+
+/// Run `manifest` from scratch. With a checkpoint dir the manifest is
+/// persisted and every shard is journalled; an existing ledger in the dir
+/// is an error (resume instead).
+CampaignResult run_campaign(const Manifest& manifest,
+                            const RunOptions& options = {});
+
+/// Continue the campaign in `options.dir` from its last completed shard.
+/// Completed shards are re-folded from the ledger (never re-executed).
+CampaignResult resume_campaign(const RunOptions& options);
+
+/// Fold the ledger without executing anything: the current state of a
+/// (possibly running or interrupted) campaign.
+CampaignResult campaign_status(const std::string& dir);
+
+}  // namespace samurai::campaign

@@ -5,9 +5,8 @@
 
 namespace samurai::sram {
 
-namespace {
-
-CellOutcome simulate_cell(const ArrayConfig& config, std::size_t cell_index) {
+CellOutcome simulate_array_cell(const ArrayConfig& config,
+                                std::size_t cell_index) {
   util::Rng rng(config.seed);
   util::Rng cell_rng = rng.split(cell_index + 1);
   MethodologyConfig cell = config.cell;
@@ -32,8 +31,6 @@ CellOutcome simulate_cell(const ArrayConfig& config, std::size_t cell_index) {
   return outcome;
 }
 
-}  // namespace
-
 ArrayResult run_array(const ArrayConfig& config) {
   ArrayResult result;
   result.cells.resize(config.num_cells);
@@ -44,7 +41,7 @@ ArrayResult run_array(const ArrayConfig& config) {
   // rethrows here instead of terminating the process.
   util::parallel_for_indexed(
       config.num_cells,
-      [&](std::size_t i) { result.cells[i] = simulate_cell(config, i); },
+      [&](std::size_t i) { result.cells[i] = simulate_array_cell(config, i); },
       config.threads);
 
   for (const auto& outcome : result.cells) {

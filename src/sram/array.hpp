@@ -48,4 +48,12 @@ struct ArrayResult {
 /// this is an embarrassingly parallel, deterministic Monte-Carlo.
 ArrayResult run_array(const ArrayConfig& config);
 
+/// Simulate the single cell `cell_index` of the array defined by `config`
+/// (the loop body of `run_array`). The outcome depends only on
+/// (config, cell_index) through `Rng(config.seed).split(cell_index + 1)`,
+/// so external drivers (the campaign runtime's shards) can partition the
+/// cell range arbitrarily and still reproduce `run_array` bit-exactly.
+CellOutcome simulate_array_cell(const ArrayConfig& config,
+                                std::size_t cell_index);
+
 }  // namespace samurai::sram

@@ -9,48 +9,48 @@
 
 namespace samurai::sram {
 
+ImportanceSample evaluate_importance_sample(const ImportanceConfig& config,
+                                            std::size_t index) {
+  const util::Rng rng(config.seed);
+  const double inv_two_var = 1.0 / (2.0 * config.sigma_vt * config.sigma_vt);
+  util::Rng sample_rng = rng.split(index + 1);
+  MethodologyConfig cell = config.cell;
+  cell.seed = sample_rng.next_u64();
+
+  // Draw V_T offsets from the *biased* distribution N(shift_d, σ²)
+  // and accumulate the log likelihood ratio
+  //   log w = Σ_d [ φ(x; 0, σ) / φ(x; s_d, σ) ]
+  //         = Σ_d (s_d² - 2 s_d x_d) / 2σ².
+  double log_weight = 0.0;
+  for (int m = 1; m <= 6; ++m) {
+    const std::string name = "M" + std::to_string(m);
+    const auto it = config.shift.find(name);
+    const double shift = it == config.shift.end() ? 0.0 : it->second;
+    const double x = sample_rng.normal(shift, config.sigma_vt);
+    cell.vth_shifts[name] = x;
+    log_weight += (shift * shift - 2.0 * shift * x) * inv_two_var;
+  }
+
+  const auto run = run_methodology(cell);
+  const auto& report = config.with_rtn ? run.rtn_report : run.nominal_report;
+  ImportanceSample sample;
+  sample.weight = std::exp(log_weight);
+  sample.failed =
+      report.any_error || (config.count_slow_as_fail && report.any_slow);
+  return sample;
+}
+
 ImportanceResult estimate_failure_probability(const ImportanceConfig& config) {
   if (!(config.sigma_vt > 0.0) || config.samples == 0) {
     throw std::invalid_argument("importance sampling: bad configuration");
   }
-  util::Rng rng(config.seed);
-  const double inv_two_var = 1.0 / (2.0 * config.sigma_vt * config.sigma_vt);
 
   // Parallel map: sample n depends only on (config, n) through its
   // rng.split(n + 1) stream and writes only its own slot.
-  struct SampleOutcome {
-    double weight = 0.0;
-    bool failed = false;
-  };
-  std::vector<SampleOutcome> outcomes(config.samples);
+  std::vector<ImportanceSample> outcomes(config.samples);
   util::parallel_for_indexed(
       config.samples,
-      [&](std::size_t n) {
-        util::Rng sample_rng = rng.split(n + 1);
-        MethodologyConfig cell = config.cell;
-        cell.seed = sample_rng.next_u64();
-
-        // Draw V_T offsets from the *biased* distribution N(shift_d, σ²)
-        // and accumulate the log likelihood ratio
-        //   log w = Σ_d [ φ(x; 0, σ) / φ(x; s_d, σ) ]
-        //         = Σ_d (s_d² - 2 s_d x_d) / 2σ².
-        double log_weight = 0.0;
-        for (int m = 1; m <= 6; ++m) {
-          const std::string name = "M" + std::to_string(m);
-          const auto it = config.shift.find(name);
-          const double shift = it == config.shift.end() ? 0.0 : it->second;
-          const double x = sample_rng.normal(shift, config.sigma_vt);
-          cell.vth_shifts[name] = x;
-          log_weight += (shift * shift - 2.0 * shift * x) * inv_two_var;
-        }
-
-        const auto run = run_methodology(cell);
-        const auto& report =
-            config.with_rtn ? run.rtn_report : run.nominal_report;
-        outcomes[n].weight = std::exp(log_weight);
-        outcomes[n].failed = report.any_error ||
-                             (config.count_slow_as_fail && report.any_slow);
-      },
+      [&](std::size_t n) { outcomes[n] = evaluate_importance_sample(config, n); },
       config.threads);
 
   // Serial reduction in index order: floating-point accumulation stays

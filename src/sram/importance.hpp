@@ -46,4 +46,18 @@ struct ImportanceResult {
 /// per transistor, trap population per seed) fails the write pattern.
 ImportanceResult estimate_failure_probability(const ImportanceConfig& config);
 
+/// One importance sample: likelihood-ratio weight and pass/fail verdict.
+struct ImportanceSample {
+  double weight = 0.0;
+  bool failed = false;
+};
+
+/// Evaluate sample `index` of the stream defined by `config`. This is the
+/// loop body of `estimate_failure_probability`: the sample depends only on
+/// (config, index) through `Rng(config.seed).split(index + 1)`, so external
+/// drivers (the campaign runtime's shards) can partition [0, samples)
+/// arbitrarily and still reproduce the in-process estimator bit-exactly.
+ImportanceSample evaluate_importance_sample(const ImportanceConfig& config,
+                                            std::size_t index);
+
 }  // namespace samurai::sram

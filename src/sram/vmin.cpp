@@ -1,6 +1,7 @@
 #include "sram/vmin.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
 
@@ -78,21 +79,27 @@ VminResult find_vmin(const VminConfig& config) {
       config.threads);
 
   // V_min = the lowest supply from which everything above also passes.
-  auto lowest_all_above = [&](auto&& passes) {
-    double vmin = 0.0;
+  // "Never passes in range" is an explicit flag (value NaN), not a 0.0
+  // sentinel — an all-fail sweep must not report a 0 V V_min.
+  const double not_found = std::numeric_limits<double>::quiet_NaN();
+  auto lowest_all_above = [&](auto&& passes, bool& found) {
+    double vmin = not_found;
+    found = false;
     for (auto it = result.sweep.rbegin(); it != result.sweep.rend(); ++it) {
       if (!passes(*it)) break;
       vmin = it->v_dd;
+      found = true;
     }
     return vmin;
   };
-  result.vmin_nominal =
-      lowest_all_above([](const VminPoint& p) { return p.nominal_pass; });
+  result.vmin_nominal = lowest_all_above(
+      [](const VminPoint& p) { return p.nominal_pass; }, result.nominal_found);
   result.vmin_rtn = lowest_all_above(
-      [](const VminPoint& p) { return p.nominal_pass && p.rtn_failures == 0; });
-  if (result.vmin_nominal > 0.0 && result.vmin_rtn > 0.0) {
-    result.rtn_margin = result.vmin_rtn - result.vmin_nominal;
-  }
+      [](const VminPoint& p) { return p.nominal_pass && p.rtn_failures == 0; },
+      result.rtn_found);
+  result.rtn_margin = (result.nominal_found && result.rtn_found)
+                          ? result.vmin_rtn - result.vmin_nominal
+                          : not_found;
   return result;
 }
 

@@ -39,10 +39,17 @@ struct VminPoint {
 
 struct VminResult {
   std::vector<VminPoint> sweep;   ///< ascending v_dd
-  double vmin_nominal = 0.0;      ///< 0 if never passes in range
-  double vmin_rtn = 0.0;          ///< lowest v where *all* seeds pass
+  /// Whether a passing supply exists in the sweep range. When a flag is
+  /// false the corresponding vmin value is NaN — an all-fail sweep must
+  /// never be mistaken for a 0 V V_min.
+  bool nominal_found = false;
+  bool rtn_found = false;
+  double vmin_nominal = 0.0;      ///< NaN unless nominal_found
+  double vmin_rtn = 0.0;          ///< lowest v where *all* seeds pass; NaN
+                                  ///< unless rtn_found
   /// RTN's V_dd margin cost: vmin_rtn - vmin_nominal (the paper's Fig. 2
-  /// "RTN" stack increment, obtained from simulation).
+  /// "RTN" stack increment, obtained from simulation). NaN unless both
+  /// V_min values were found.
   double rtn_margin = 0.0;
 };
 

@@ -1,0 +1,235 @@
+#include "campaign/accumulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "campaign/manifest.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/shard.hpp"
+#include "sram/importance.hpp"
+#include "util/rng.hpp"
+
+namespace samurai::campaign {
+namespace {
+
+// Two-pass reference: exact mean, then sum of squared deviations.
+struct TwoPass {
+  double mean = 0.0;
+  double variance = 0.0;  // sample variance (n-1)
+};
+
+TwoPass two_pass(const std::vector<double>& data) {
+  TwoPass result;
+  for (double x : data) result.mean += x;
+  result.mean /= static_cast<double>(data.size());
+  double m2 = 0.0;
+  for (double x : data) m2 += (x - result.mean) * (x - result.mean);
+  result.variance = m2 / static_cast<double>(data.size() - 1);
+  return result;
+}
+
+TEST(CampaignWelford, MatchesTwoPassOnAdversarialData) {
+  // Large common offset, tiny spread: the naive E[x²] − mean² estimator
+  // loses every significant digit here (1e18 − 1e18); Welford must not.
+  std::vector<double> data;
+  util::Rng rng(11);
+  for (int i = 0; i < 4096; ++i) {
+    data.push_back(1.0e9 + 1.0e-3 * rng.normal());
+  }
+  Welford w;
+  double sum = 0.0, sq_sum = 0.0;
+  for (double x : data) {
+    w.add(x);
+    sum += x;
+    sq_sum += x * x;
+  }
+  const TwoPass reference = two_pass(data);
+  ASSERT_EQ(w.count, data.size());
+  EXPECT_NEAR(w.mean, reference.mean, 1e-6);  // abs; values are ~1e9
+  ASSERT_GT(reference.variance, 0.0);
+  // Welford tracks the two-pass reference to a few ppm even at this
+  // offset/spread ratio (x ≈ 1e9 costs ~2e-7 V absolute per deviation)...
+  EXPECT_NEAR(w.variance() / reference.variance, 1.0, 1e-5);
+  EXPECT_NEAR(w.standard_error() /
+                  std::sqrt(reference.variance / static_cast<double>(w.count)),
+              1.0, 1e-5);
+  // ...while the naive E[x²] − mean² estimator loses *all* digits: its
+  // rounding floor (~eps·1e18) dwarfs the true variance (~1e-6) a
+  // trillion-fold.
+  const double n = static_cast<double>(data.size());
+  const double naive = (sq_sum - sum * sum / n) / (n - 1.0);
+  EXPECT_GT(std::abs(naive / reference.variance - 1.0), 1e-3);
+}
+
+TEST(CampaignWelford, MergeMatchesSequentialClosely) {
+  std::vector<double> data;
+  util::Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back(0.8 + 0.01 * rng.normal());
+  }
+  Welford sequential;
+  for (double x : data) sequential.add(x);
+  // Merge uneven chunks in order (the runner's shard fold).
+  Welford merged;
+  std::size_t at = 0;
+  for (std::size_t chunk : {137u, 263u, 500u, 100u}) {
+    Welford part;
+    for (std::size_t i = 0; i < chunk; ++i) part.add(data[at++]);
+    merged.merge(part);
+  }
+  ASSERT_EQ(at, data.size());
+  EXPECT_EQ(merged.count, sequential.count);
+  EXPECT_NEAR(merged.mean, sequential.mean, 1e-12);
+  EXPECT_NEAR(merged.variance() / sequential.variance(), 1.0, 1e-9);
+}
+
+TEST(CampaignWelford, DegenerateCountsAreSafe) {
+  Welford w;
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.standard_error(), 0.0);
+  w.add(0.8);
+  EXPECT_EQ(w.mean, 0.8);
+  EXPECT_EQ(w.variance(), 0.0);  // n-1 undefined at n=1; clamp to 0
+  Welford other;
+  other.merge(w);  // merge into empty
+  EXPECT_EQ(other.count, 1u);
+  EXPECT_EQ(other.mean, 0.8);
+  w.merge(Welford{});  // merge empty into non-empty
+  EXPECT_EQ(w.count, 1u);
+}
+
+TEST(CampaignWeightedFailure, MatchesHandComputedMoments) {
+  // Small stream with easy closed forms.
+  WeightedFailure acc;
+  acc.add(2.0, true);
+  acc.add(0.5, false);
+  acc.add(1.0, true);
+  acc.add(0.5, false);
+  ASSERT_EQ(acc.count, 4u);
+  EXPECT_EQ(acc.failures, 2u);
+  EXPECT_EQ(acc.probability(), (2.0 + 1.0) / 4.0);
+  // Var(p̂) = (E[w²·1_fail] − p²)/n with E over the n samples.
+  const double p = 3.0 / 4.0;
+  const double second_moment = (4.0 + 1.0) / 4.0;
+  EXPECT_NEAR(acc.standard_error(),
+              std::sqrt((second_moment - p * p) / 4.0), 1e-15);
+  // ESS = (Σw)²/Σw² = 16 / 5.5
+  EXPECT_NEAR(acc.effective_sample_size(), 16.0 / 5.5, 1e-15);
+  const Interval ci = acc.normal_interval(1.96);
+  EXPECT_NEAR(ci.lo, p - 1.96 * acc.standard_error(), 1e-15);
+  EXPECT_NEAR(ci.hi, p + 1.96 * acc.standard_error(), 1e-15);
+}
+
+TEST(CampaignWeightedFailure, MergePreservesSums) {
+  util::Rng rng(13);
+  WeightedFailure sequential, left, right;
+  for (int i = 0; i < 200; ++i) {
+    const double w = std::exp(0.3 * rng.normal());
+    const bool failed = rng.uniform() < 0.2;
+    sequential.add(w, failed);
+    (i < 120 ? left : right).add(w, failed);
+  }
+  WeightedFailure merged = left;
+  merged.merge(right);
+  EXPECT_EQ(merged.count, sequential.count);
+  EXPECT_EQ(merged.failures, sequential.failures);
+  // merge() folds chunk *totals*, a different addition grouping than the
+  // one-at-a-time stream, so the sums agree to rounding — not bitwise.
+  // (Bit-identity holds when both sides fold the same chunk structure,
+  // which is what the runner's ledger replay relies on.)
+  EXPECT_NEAR(merged.weight_sum, sequential.weight_sum,
+              1e-12 * sequential.weight_sum);
+  EXPECT_NEAR(merged.weight_sq_sum, sequential.weight_sq_sum,
+              1e-12 * sequential.weight_sq_sum);
+  EXPECT_NEAR(merged.fail_weight_sum, sequential.fail_weight_sum,
+              1e-12 * sequential.fail_weight_sum);
+  EXPECT_NEAR(merged.fail_weight_sq_sum, sequential.fail_weight_sq_sum,
+              1e-12 * sequential.fail_weight_sq_sum);
+  // Re-merging the same chunk structure *is* bit-exact.
+  WeightedFailure replay = left;
+  replay.merge(right);
+  EXPECT_EQ(replay.weight_sum, merged.weight_sum);
+  EXPECT_EQ(replay.fail_weight_sq_sum, merged.fail_weight_sq_sum);
+}
+
+TEST(CampaignBinomial, WilsonIntervalKnownValue) {
+  Binomial acc;
+  for (int i = 0; i < 100; ++i) acc.add(i < 10);
+  EXPECT_EQ(acc.rate(), 0.1);
+  const Interval ci = acc.wilson_interval(1.96);
+  // Standard reference value for k=10, n=100, z=1.96.
+  EXPECT_NEAR(ci.lo, 0.0552, 5e-4);
+  EXPECT_NEAR(ci.hi, 0.1744, 5e-4);
+  // Wilson stays inside [0, 1] even at the boundaries.
+  Binomial none;
+  for (int i = 0; i < 20; ++i) none.add(false);
+  const Interval zero_ci = none.wilson_interval(1.96);
+  EXPECT_GE(zero_ci.lo, 0.0);
+  EXPECT_GT(zero_ci.hi, 0.0);  // informative even with 0 successes
+  EXPECT_LE(zero_ci.hi, 1.0);
+}
+
+// The contract in ISSUE.md: the streaming weighted-failure estimator must
+// reproduce sram::ImportanceResult on the same sample stream. A
+// single-shard campaign folds the identical per-sample terms in the
+// identical order, so every statistic must match bit-for-bit.
+TEST(CampaignWeightedFailure, ReproducesImportanceResultBitExact) {
+  Manifest manifest;
+  manifest.kind = CampaignKind::kImportance;
+  manifest.seed = 21;
+  manifest.budget = 16;
+  manifest.shard_size = 16;  // one shard → same fold order as in-process
+  manifest.threads = 2;
+  manifest.v_dd = 1.05;
+  manifest.sigma_vt = 0.12;
+  manifest.with_rtn = false;  // nominal-only: fast and deterministic
+  manifest.shift[0] = 0.06;   // M1
+  manifest.shift[1] = 0.06;   // M2
+
+  const auto reference =
+      sram::estimate_failure_probability(importance_config_from(manifest));
+  const CampaignResult campaign = run_campaign(manifest);
+
+  ASSERT_TRUE(campaign.complete);
+  ASSERT_EQ(campaign.samples_done, manifest.budget);
+  EXPECT_EQ(campaign.estimate, reference.failure_probability);
+  EXPECT_EQ(campaign.standard_error, reference.standard_error);
+  EXPECT_EQ(campaign.effective_sample_size, reference.effective_sample_size);
+  EXPECT_EQ(campaign.weighted.failures, reference.failures_observed);
+}
+
+// Multiple shards reassociate the partial sums, so the match is only
+// near-exact — but the estimate is mathematically the same quantity.
+TEST(CampaignWeightedFailure, MultiShardMatchesImportanceResultClosely) {
+  Manifest manifest;
+  manifest.kind = CampaignKind::kImportance;
+  manifest.seed = 21;
+  manifest.budget = 16;
+  manifest.shard_size = 5;  // shards of 5, 5, 5, 1
+  manifest.threads = 2;
+  manifest.v_dd = 1.05;
+  manifest.sigma_vt = 0.12;
+  manifest.with_rtn = false;
+  manifest.shift[0] = 0.06;
+  manifest.shift[1] = 0.06;
+
+  const auto reference =
+      sram::estimate_failure_probability(importance_config_from(manifest));
+  const CampaignResult campaign = run_campaign(manifest);
+
+  ASSERT_EQ(campaign.shards_done, 4u);
+  EXPECT_EQ(campaign.weighted.failures, reference.failures_observed);
+  EXPECT_NEAR(campaign.estimate, reference.failure_probability,
+              1e-12 * std::max(1.0, reference.failure_probability));
+  EXPECT_NEAR(campaign.standard_error, reference.standard_error,
+              1e-12 * std::max(1.0, reference.standard_error));
+  EXPECT_NEAR(campaign.effective_sample_size,
+              reference.effective_sample_size, 1e-9);
+}
+
+}  // namespace
+}  // namespace samurai::campaign

@@ -1,0 +1,221 @@
+#include "campaign/manifest.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/json.hpp"
+#include "campaign/shard.hpp"
+
+namespace samurai::campaign {
+namespace {
+
+TEST(CampaignJson, DoubleRoundTripsBitExact) {
+  for (double value : {0.1 + 0.2, 1.0 / 3.0, 1e-300, 6.02214076e23,
+                       -0.0061250000000000003, 42.0}) {
+    JsonWriter writer;
+    writer.add("x", value);
+    const auto parsed = JsonObject::parse(writer.str());
+    EXPECT_EQ(parsed.get_double("x", 0.0), value) << writer.str();
+  }
+}
+
+TEST(CampaignJson, ParsesTypesAndFallbacks) {
+  const auto json = JsonObject::parse(
+      "{\"s\": \"hello world\", \"n\": -2.5, \"i\": 77, \"b\": true, "
+      "\"quoted\\\"\": \"esc\\\\aped\"}");
+  EXPECT_EQ(json.get_string("s", ""), "hello world");
+  EXPECT_EQ(json.get_double("n", 0.0), -2.5);
+  EXPECT_EQ(json.get_u64("i", 0), 77u);
+  EXPECT_TRUE(json.get_bool("b", false));
+  EXPECT_EQ(json.get_string("quoted\"", ""), "esc\\aped");
+  EXPECT_EQ(json.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(json.has("missing"));
+}
+
+TEST(CampaignJson, RejectsMalformedInput) {
+  EXPECT_THROW(JsonObject::parse("not json"), std::runtime_error);
+  EXPECT_THROW(JsonObject::parse("{\"k\" 1}"), std::runtime_error);
+  EXPECT_THROW(JsonObject::parse("{\"k\": \"unterminated}"),
+               std::runtime_error);
+}
+
+TEST(CampaignJson, NonFiniteBecomesNull) {
+  JsonWriter writer;
+  writer.add("x", std::numeric_limits<double>::infinity());
+  EXPECT_NE(writer.str().find("null"), std::string::npos);
+  const auto parsed = JsonObject::parse(writer.str());
+  EXPECT_EQ(parsed.get_double("x", -1.0), -1.0);  // falls back
+}
+
+TEST(CampaignManifest, RoundTripsThroughJson) {
+  Manifest manifest;
+  manifest.kind = CampaignKind::kVmin;
+  manifest.name = "night run";
+  manifest.seed = 123456789;
+  manifest.budget = 5000;
+  manifest.shard_size = 250;
+  manifest.threads = 8;
+  manifest.target_rel_half_width = 0.125;
+  manifest.min_samples = 500;
+  manifest.node = "45nm";
+  manifest.v_dd = 0.97;
+  manifest.bits = "1011";
+  manifest.rtn_scale = 120.0;
+  manifest.sigma_vt = 0.0275;
+  manifest.shift = {0.06, 0.09, 0.0, 0.0, -0.01, 0.0};
+  manifest.count_slow_as_fail = true;
+  manifest.with_rtn = false;
+  manifest.v_lo = 0.55;
+  manifest.v_hi = 1.05;
+  manifest.resolution = 0.0125;
+  manifest.rtn_seeds = 3;
+
+  const Manifest copy = Manifest::from_json(manifest.to_json());
+  EXPECT_EQ(copy.kind, manifest.kind);
+  EXPECT_EQ(copy.name, manifest.name);
+  EXPECT_EQ(copy.seed, manifest.seed);
+  EXPECT_EQ(copy.budget, manifest.budget);
+  EXPECT_EQ(copy.shard_size, manifest.shard_size);
+  EXPECT_EQ(copy.threads, manifest.threads);
+  EXPECT_EQ(copy.target_rel_half_width, manifest.target_rel_half_width);
+  EXPECT_EQ(copy.min_samples, manifest.min_samples);
+  EXPECT_EQ(copy.node, manifest.node);
+  EXPECT_EQ(copy.v_dd, manifest.v_dd);
+  EXPECT_EQ(copy.bits, manifest.bits);
+  EXPECT_EQ(copy.rtn_scale, manifest.rtn_scale);
+  EXPECT_EQ(copy.sigma_vt, manifest.sigma_vt);
+  EXPECT_EQ(copy.shift, manifest.shift);
+  EXPECT_EQ(copy.count_slow_as_fail, manifest.count_slow_as_fail);
+  EXPECT_EQ(copy.with_rtn, manifest.with_rtn);
+  EXPECT_EQ(copy.v_lo, manifest.v_lo);
+  EXPECT_EQ(copy.v_hi, manifest.v_hi);
+  EXPECT_EQ(copy.resolution, manifest.resolution);
+  EXPECT_EQ(copy.rtn_seeds, manifest.rtn_seeds);
+}
+
+TEST(CampaignManifest, ValidationCatchesBadJobs) {
+  Manifest manifest;
+  manifest.budget = 0;
+  EXPECT_THROW(manifest.validate(), std::invalid_argument);
+  manifest = Manifest{};
+  manifest.shard_size = 0;
+  EXPECT_THROW(manifest.validate(), std::invalid_argument);
+  manifest = Manifest{};
+  manifest.sigma_vt = 0.0;
+  EXPECT_THROW(manifest.validate(), std::invalid_argument);
+  manifest = Manifest{};
+  manifest.bits = "abc";
+  EXPECT_THROW(manifest.validate(), std::invalid_argument);
+  manifest = Manifest{};
+  manifest.kind = CampaignKind::kVmin;
+  manifest.v_lo = 1.2;
+  manifest.v_hi = 1.0;
+  EXPECT_THROW(manifest.validate(), std::invalid_argument);
+  EXPECT_THROW(kind_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(CampaignManifest, ShardPartitionCoversBudgetExactly) {
+  Manifest manifest;
+  manifest.budget = 23;
+  manifest.shard_size = 5;
+  ASSERT_EQ(manifest.shard_count(), 5u);
+  std::uint64_t covered = 0;
+  for (std::uint64_t i = 0; i < manifest.shard_count(); ++i) {
+    const ShardSpec spec = shard_spec(manifest, i);
+    EXPECT_EQ(spec.index, i);
+    EXPECT_EQ(spec.first, covered);
+    covered += spec.count;
+  }
+  EXPECT_EQ(covered, 23u);
+  EXPECT_EQ(shard_spec(manifest, 4).count, 3u);  // partial tail shard
+  EXPECT_THROW(shard_spec(manifest, 5), std::out_of_range);
+}
+
+TEST(CampaignShardResult, LedgerLineRoundTripsBitExact) {
+  ShardResult shard;
+  shard.index = 7;
+  shard.samples = 250;
+  shard.weighted.count = 250;
+  shard.weighted.failures = 31;
+  shard.weighted.weight_sum = 249.99999999999903;
+  shard.weighted.weight_sq_sum = 0.1 + 0.2;
+  shard.weighted.fail_weight_sum = 1.0 / 3.0;
+  shard.weighted.fail_weight_sq_sum = 2.0 / 7.0;
+  shard.fails = {250, 31};
+  shard.nominal_fails = {250, 2};
+  shard.slow = {250, 11};
+  shard.value.count = 219;
+  shard.value.mean = 0.83124999999999993;
+  shard.value.m2 = 5.0e-4 / 3.0;
+  shard.wall_seconds = 12.25;
+
+  const ShardResult copy = ShardResult::from_json(shard.to_json());
+  EXPECT_EQ(copy.index, shard.index);
+  EXPECT_EQ(copy.samples, shard.samples);
+  EXPECT_EQ(copy.weighted.count, shard.weighted.count);
+  EXPECT_EQ(copy.weighted.failures, shard.weighted.failures);
+  EXPECT_EQ(copy.weighted.weight_sum, shard.weighted.weight_sum);
+  EXPECT_EQ(copy.weighted.weight_sq_sum, shard.weighted.weight_sq_sum);
+  EXPECT_EQ(copy.weighted.fail_weight_sum, shard.weighted.fail_weight_sum);
+  EXPECT_EQ(copy.weighted.fail_weight_sq_sum,
+            shard.weighted.fail_weight_sq_sum);
+  EXPECT_EQ(copy.fails.count, shard.fails.count);
+  EXPECT_EQ(copy.fails.successes, shard.fails.successes);
+  EXPECT_EQ(copy.nominal_fails.successes, shard.nominal_fails.successes);
+  EXPECT_EQ(copy.slow.successes, shard.slow.successes);
+  EXPECT_EQ(copy.value.count, shard.value.count);
+  EXPECT_EQ(copy.value.mean, shard.value.mean);
+  EXPECT_EQ(copy.value.m2, shard.value.m2);
+  EXPECT_EQ(copy.wall_seconds, shard.wall_seconds);
+}
+
+class CampaignCheckpointFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("samurai_campaign_files_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  // Runs on success *and* on test failure, so no temp litter either way.
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(CampaignCheckpointFiles, AtomicWriteLeavesNoTempFile) {
+  std::filesystem::create_directories(dir_);
+  const std::string path = dir_ + "/state.json";
+  write_file_atomic(path, "{\"a\": 1}");
+  write_file_atomic(path, "{\"a\": 2}");
+  EXPECT_EQ(read_file(path), "{\"a\": 2}");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(CampaignCheckpointFiles, LedgerRejectsOutOfOrderShards) {
+  Checkpoint checkpoint(dir_);
+  Manifest manifest;
+  checkpoint.init(manifest);
+  ShardResult first, third;
+  first.index = 0;
+  third.index = 2;  // gap: shard 1 missing
+  checkpoint.store_ledger({first, third});
+  EXPECT_THROW(checkpoint.load_ledger(), std::runtime_error);
+}
+
+TEST_F(CampaignCheckpointFiles, InitRefusesToClobberALedger) {
+  Checkpoint checkpoint(dir_);
+  Manifest manifest;
+  checkpoint.init(manifest);
+  ShardResult shard;
+  checkpoint.store_ledger({shard});
+  EXPECT_THROW(checkpoint.init(manifest), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace samurai::campaign

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace samurai::sram {
 namespace {
 
@@ -42,17 +44,33 @@ TEST(Vmin, SweepCoversRangeAscending) {
 TEST(Vmin, NominalPassesAtFullSupplyFailsFarBelow) {
   const auto result = find_vmin(fast_config());
   EXPECT_TRUE(result.sweep.back().nominal_pass);
+  ASSERT_TRUE(result.nominal_found);
   EXPECT_GT(result.vmin_nominal, 0.0);
   EXPECT_LE(result.vmin_nominal, 1.1);
 }
 
 TEST(Vmin, RtnVminIsAtLeastNominalVmin) {
   const auto result = find_vmin(fast_config());
-  if (result.vmin_rtn > 0.0 && result.vmin_nominal > 0.0) {
+  if (result.rtn_found && result.nominal_found) {
     EXPECT_GE(result.vmin_rtn, result.vmin_nominal - 1e-9);
     EXPECT_NEAR(result.rtn_margin, result.vmin_rtn - result.vmin_nominal,
                 1e-12);
   }
+}
+
+TEST(Vmin, AllFailSweepIsFlaggedNotZeroVolt) {
+  // A sweep window entirely below the operating region must report
+  // "not found" — not a 0 V V_min that would read as margin-free success.
+  VminConfig config = fast_config();
+  config.v_lo = 0.42;
+  config.v_hi = 0.5;
+  config.resolution = 0.04;
+  const auto result = find_vmin(config);
+  EXPECT_FALSE(result.nominal_found);
+  EXPECT_FALSE(result.rtn_found);
+  EXPECT_TRUE(std::isnan(result.vmin_nominal));
+  EXPECT_TRUE(std::isnan(result.vmin_rtn));
+  EXPECT_TRUE(std::isnan(result.rtn_margin));
 }
 
 TEST(Vmin, NominalFailureImpliesAllSeedsFail) {
@@ -78,9 +96,15 @@ TEST(Vmin, ParallelSweepIsBitIdenticalToSerial) {
     EXPECT_EQ(serial.sweep[i].nominal_pass, parallel.sweep[i].nominal_pass);
     EXPECT_EQ(serial.sweep[i].rtn_failures, parallel.sweep[i].rtn_failures);
   }
-  EXPECT_EQ(serial.vmin_nominal, parallel.vmin_nominal);
-  EXPECT_EQ(serial.vmin_rtn, parallel.vmin_rtn);
-  EXPECT_EQ(serial.rtn_margin, parallel.rtn_margin);
+  EXPECT_EQ(serial.nominal_found, parallel.nominal_found);
+  EXPECT_EQ(serial.rtn_found, parallel.rtn_found);
+  if (serial.nominal_found) {
+    EXPECT_EQ(serial.vmin_nominal, parallel.vmin_nominal);
+  }
+  if (serial.rtn_found) EXPECT_EQ(serial.vmin_rtn, parallel.vmin_rtn);
+  if (serial.nominal_found && serial.rtn_found) {
+    EXPECT_EQ(serial.rtn_margin, parallel.rtn_margin);
+  }
 }
 
 TEST(Vmin, CountSlowAsFailRaisesVmin) {
