@@ -1,0 +1,171 @@
+// Transient hot-path microbenchmark: the 6T write transient and the
+// bi-directionally coupled cell, each run twice — once on the fast path
+// (workspace reuse + linear-stamp cache + modified-Newton LU bypass) and
+// once with every cache disabled (force-refactorize reference). The two
+// paths agree within Newton tolerance (asserted by the fast-path regression
+// test); the wall-clock ratio is the speedup the fast path buys. Emits one
+// machine-readable JSON line (scripted against BENCH_spice_transient.json).
+//
+// `--quick` shrinks the repetition counts for use as a smoke test under
+// `ctest -L perf`; `--reps N` overrides the write-transient repetitions.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "spice/analysis.hpp"
+#include "sram/coupled.hpp"
+#include "sram/methodology.hpp"
+#include "util/cli.hpp"
+
+using namespace samurai;
+
+namespace {
+
+sram::MethodologyConfig base_config(bool fast) {
+  sram::MethodologyConfig config;
+  config.tech = physics::technology("65nm");
+  config.sizing.extra_node_cap = 40e-15;
+  config.timing.period = 1e-9;
+  config.ops = sram::ops_from_bits({1, 0, 1});
+  // The reference path re-stamps every device and refactors on every
+  // Newton iteration, in the transient and in its initial DC solve alike.
+  config.transient.newton.reuse_lu = fast;
+  config.transient.newton.cache_linear_stamps = fast;
+  config.transient.dc.newton.reuse_lu = fast;
+  config.transient.dc.newton.cache_linear_stamps = fast;
+  return config;
+}
+
+struct ModeReport {
+  double ms_per_run = 0.0;        ///< best-of-batches mean wall per run
+  std::size_t points = 0;         ///< solution points of one run
+  spice::SolverStats stats;       ///< solver counters of one run
+  std::uint64_t realloc_after_first = 0;  ///< workspace allocs past run 1
+};
+
+double now_delta_ms(std::chrono::steady_clock::time_point start, int reps) {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return wall / reps * 1e3;
+}
+
+/// 6T write transient via run_nominal, sharing one Newton workspace across
+/// all repetitions (the intended steady-state usage pattern).
+ModeReport bench_write6t(bool fast, int reps, int batches) {
+  const auto config = base_config(fast);
+  spice::NewtonWorkspace workspace;
+  ModeReport report;
+
+  // Instrumented first run: per-run counters + the one expected allocation.
+  {
+    const auto run = sram::run_nominal(config, workspace);
+    report.stats = run.result.stats();
+    report.points = run.result.num_points();
+  }
+  // Steady state: every further repetition must reuse the buffers.
+  const auto steady_before = spice::solver_stats_snapshot();
+  (void)sram::run_nominal(config, workspace);  // warmup
+  report.ms_per_run = 1e300;
+  for (int b = 0; b < batches; ++b) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) (void)sram::run_nominal(config, workspace);
+    report.ms_per_run = std::min(report.ms_per_run, now_delta_ms(start, reps));
+  }
+  report.realloc_after_first =
+      spice::solver_stats_snapshot().since(steady_before).workspace_allocations;
+  return report;
+}
+
+/// Coupled cell (per-step trap-chain advance through on_step callbacks).
+ModeReport bench_coupled(bool fast, int reps, int batches) {
+  auto config = base_config(fast);
+  config.rtn_scale = 30.0;
+  ModeReport report;
+  {
+    const auto run = sram::run_coupled(config);
+    report.stats = run.transient.stats();
+    report.points = run.transient.num_points();
+  }
+  report.ms_per_run = 1e300;
+  for (int b = 0; b < batches; ++b) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) (void)sram::run_coupled(config);
+    report.ms_per_run = std::min(report.ms_per_run, now_delta_ms(start, reps));
+  }
+  return report;
+}
+
+void print_stats_json(const char* key, const ModeReport& r) {
+  std::printf(
+      "\"%s\": {\"ms_per_run\": %.4f, \"points\": %zu, "
+      "\"newton_iterations\": %llu, \"lu_factorizations\": %llu, "
+      "\"lu_solves\": %llu, \"bypass_hits\": %llu, \"device_loads\": %llu, "
+      "\"linear_cache_hits\": %llu, \"steps_accepted\": %llu, "
+      "\"steps_rejected\": %llu, \"workspace_allocations\": %llu}",
+      key, r.ms_per_run, r.points,
+      static_cast<unsigned long long>(r.stats.newton_iterations),
+      static_cast<unsigned long long>(r.stats.lu_factorizations),
+      static_cast<unsigned long long>(r.stats.lu_solves),
+      static_cast<unsigned long long>(r.stats.bypass_hits),
+      static_cast<unsigned long long>(r.stats.device_loads),
+      static_cast<unsigned long long>(r.stats.linear_cache_hits),
+      static_cast<unsigned long long>(r.stats.steps_accepted),
+      static_cast<unsigned long long>(r.stats.steps_rejected),
+      static_cast<unsigned long long>(r.stats.workspace_allocations));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.has("quick");
+  const int reps = static_cast<int>(cli.get_int("reps", quick ? 20 : 200));
+  const int coupled_reps =
+      static_cast<int>(cli.get_int("coupled-reps", quick ? 2 : 10));
+  const int batches = quick ? 2 : 5;
+
+  std::printf("=== SPICE transient hot path (6T write, 65nm, pattern 101) "
+              "===\n");
+  std::printf("write6t: %d reps x %d batches; coupled: %d reps\n\n", reps,
+              batches, coupled_reps);
+
+  const ModeReport w_fast = bench_write6t(/*fast=*/true, reps, batches);
+  const ModeReport w_slow = bench_write6t(/*fast=*/false, reps, batches);
+  const ModeReport c_fast = bench_coupled(/*fast=*/true, coupled_reps, 1);
+  const ModeReport c_slow = bench_coupled(/*fast=*/false, coupled_reps, 1);
+
+  const double w_speedup = w_slow.ms_per_run / w_fast.ms_per_run;
+  const double c_speedup = c_slow.ms_per_run / c_fast.ms_per_run;
+  std::printf("write6t: fast %.3f ms/run (%zu pts), reference %.3f ms/run "
+              "-> speedup %.2fx\n",
+              w_fast.ms_per_run, w_fast.points, w_slow.ms_per_run, w_speedup);
+  std::printf("coupled: fast %.3f ms/run (%zu pts), reference %.3f ms/run "
+              "-> speedup %.2fx\n\n",
+              c_fast.ms_per_run, c_fast.points, c_slow.ms_per_run, c_speedup);
+
+  std::printf("{\"bench\": \"spice_transient\", \"quick\": %s, "
+              "\"write6t\": {\"speedup\": %.3f, ",
+              quick ? "true" : "false", w_speedup);
+  print_stats_json("fast", w_fast);
+  std::printf(", ");
+  print_stats_json("reference", w_slow);
+  std::printf("}, \"coupled\": {\"speedup\": %.3f, ", c_speedup);
+  print_stats_json("fast", c_fast);
+  std::printf(", ");
+  print_stats_json("reference", c_slow);
+  std::printf("}}\n");
+
+  // Contract check (this makes the ctest registration meaningful): the
+  // steady-state repetition loop must be allocation-free.
+  if (w_fast.realloc_after_first != 0 || w_slow.realloc_after_first != 0) {
+    std::printf("\nFAIL: workspace reallocated in steady state (fast %llu, "
+                "reference %llu)\n",
+                static_cast<unsigned long long>(w_fast.realloc_after_first),
+                static_cast<unsigned long long>(w_slow.realloc_after_first));
+    return 1;
+  }
+  return 0;
+}

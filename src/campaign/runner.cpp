@@ -22,6 +22,7 @@ void fold(CampaignResult& result, const ShardResult& shard) {
   result.value.merge(shard.value);
   result.samples_done += shard.samples;
   result.wall_seconds += shard.wall_seconds;
+  result.solver.merge(shard.solver);
   ++result.shards_done;
 }
 
@@ -154,6 +155,16 @@ std::string CampaignResult::to_json() const {
                                ? weighted.failures
                                : fails.successes);
   json.add("wall_seconds", wall_seconds);
+  json.add_u64("nw_iterations", solver.newton_iterations);
+  json.add_u64("nw_factorizations", solver.lu_factorizations);
+  json.add_u64("nw_solves", solver.lu_solves);
+  json.add_u64("nw_bypass_hits", solver.bypass_hits);
+  json.add_u64("nw_device_loads", solver.device_loads);
+  json.add_u64("nw_cache_hits", solver.linear_cache_hits);
+  json.add_u64("nw_steps_accepted", solver.steps_accepted);
+  json.add_u64("nw_steps_rejected", solver.steps_rejected);
+  json.add_u64("nw_transients", solver.transients);
+  json.add_u64("nw_workspace_allocations", solver.workspace_allocations);
   return json.str();
 }
 

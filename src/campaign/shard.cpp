@@ -131,6 +131,7 @@ SampleOutcome evaluate(const Manifest& manifest,
 
 ShardResult run_shard(const Manifest& manifest, const ShardSpec& spec) {
   const auto start = std::chrono::steady_clock::now();
+  const spice::SolverStats stats_before = spice::solver_stats_snapshot();
   const sram::ImportanceConfig importance = importance_config_from(manifest);
   const sram::ArrayConfig array = array_config_from(manifest);
 
@@ -155,6 +156,9 @@ ShardResult run_shard(const Manifest& manifest, const ShardSpec& spec) {
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  // Shards run one at a time, so the snapshot delta attributes exactly this
+  // shard's solver work (the atomic registry already folded every worker).
+  result.solver = spice::solver_stats_snapshot().since(stats_before);
   return result;
 }
 
@@ -178,6 +182,16 @@ std::string ShardResult::to_json() const {
   json.add("value_mean", value.mean);
   json.add("value_m2", value.m2);
   json.add("wall_seconds", wall_seconds);
+  json.add_u64("nw_iterations", solver.newton_iterations);
+  json.add_u64("nw_factorizations", solver.lu_factorizations);
+  json.add_u64("nw_solves", solver.lu_solves);
+  json.add_u64("nw_bypass_hits", solver.bypass_hits);
+  json.add_u64("nw_device_loads", solver.device_loads);
+  json.add_u64("nw_cache_hits", solver.linear_cache_hits);
+  json.add_u64("nw_steps_accepted", solver.steps_accepted);
+  json.add_u64("nw_steps_rejected", solver.steps_rejected);
+  json.add_u64("nw_transients", solver.transients);
+  json.add_u64("nw_workspace_allocations", solver.workspace_allocations);
   return json.str();
 }
 
@@ -202,6 +216,18 @@ ShardResult ShardResult::from_json(const std::string& line) {
   result.value.mean = json.get_double("value_mean", 0.0);
   result.value.m2 = json.get_double("value_m2", 0.0);
   result.wall_seconds = json.get_double("wall_seconds", 0.0);
+  // Solver counters default to zero so pre-counter ledgers still parse.
+  result.solver.newton_iterations = json.get_u64("nw_iterations", 0);
+  result.solver.lu_factorizations = json.get_u64("nw_factorizations", 0);
+  result.solver.lu_solves = json.get_u64("nw_solves", 0);
+  result.solver.bypass_hits = json.get_u64("nw_bypass_hits", 0);
+  result.solver.device_loads = json.get_u64("nw_device_loads", 0);
+  result.solver.linear_cache_hits = json.get_u64("nw_cache_hits", 0);
+  result.solver.steps_accepted = json.get_u64("nw_steps_accepted", 0);
+  result.solver.steps_rejected = json.get_u64("nw_steps_rejected", 0);
+  result.solver.transients = json.get_u64("nw_transients", 0);
+  result.solver.workspace_allocations =
+      json.get_u64("nw_workspace_allocations", 0);
   return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include "campaign/accumulator.hpp"
 #include "campaign/manifest.hpp"
+#include "spice/analysis.hpp"
 #include "sram/array.hpp"
 #include "sram/importance.hpp"
 #include "sram/vmin.hpp"
@@ -44,6 +45,9 @@ struct ShardResult {
   Binomial slow;           ///< array: slow cells
   Welford value;           ///< vmin: V_min_rtn (V); array: traps per cell
   double wall_seconds = 0.0;  ///< observability only; not estimator state
+  /// SPICE solver work done by this shard (process-wide snapshot delta;
+  /// valid because shards execute one at a time). Observability only.
+  spice::SolverStats solver;
 
   std::string to_json() const;  ///< one ledger line
   static ShardResult from_json(const std::string& line);  ///< throws

@@ -7,22 +7,6 @@
 
 namespace samurai::physics {
 
-namespace {
-
-double softplus(double x) {
-  if (x > 30.0) return x;
-  if (x < -30.0) return std::exp(x);
-  return std::log1p(std::exp(x));
-}
-
-double sigmoid(double x) {
-  if (x > 30.0) return 1.0;
-  if (x < -30.0) return std::exp(x);
-  return 1.0 / (1.0 + std::exp(-x));
-}
-
-}  // namespace
-
 MosDevice::MosDevice(const Technology& tech, MosType type, MosGeometry geom,
                      double v_th_shift)
     : tech_(tech), type_(type), geom_(geom) {
@@ -33,60 +17,24 @@ MosDevice::MosDevice(const Technology& tech, MosType type, MosGeometry geom,
   mobility_ = type == MosType::kNmos ? tech_.mu_n : tech_.mu_p;
   // Subthreshold slope factor n = 1 + γ_b / (2 sqrt(2 φ_F)).
   slope_n_ = 1.0 + tech_.gamma_body() / (2.0 * std::sqrt(2.0 * tech_.phi_f()));
-}
-
-MosOperatingPoint MosDevice::evaluate(double v_gs, double v_ds,
-                                      double v_bs) const {
-  // PMOS is the mirrored NMOS: evaluate with negated voltages and negate
-  // the current and gds/gm signs appropriately.
-  const double sign = type_ == MosType::kNmos ? 1.0 : -1.0;
-  const double vgs = sign * v_gs;
-  const double vds = sign * v_ds;
-  const double vbs = sign * v_bs;
-
-  const double phi_t = tech_.phi_t();
-  const double body_k =
-      tech_.gamma_body() / (2.0 * std::sqrt(2.0 * tech_.phi_f()));
-  const double v_th_eff = v_th_ - body_k * vbs;
-  const double v_p = (vgs - v_th_eff) / slope_n_;
-
-  const double spec = 2.0 * slope_n_ * mobility_ * tech_.c_ox() *
-                      (geom_.width / geom_.length) * phi_t * phi_t;
-  const double xf = v_p / (2.0 * phi_t);
-  const double xr = (v_p - vds) / (2.0 * phi_t);
-  const double lf = softplus(xf);
-  const double lr = softplus(xr);
-  const double i_spec = spec * (lf * lf - lr * lr);
-  const double clm = 1.0 + tech_.lambda_clm * std::max(vds, 0.0);
-
-  MosOperatingPoint op;
-  op.i_d = sign * i_spec * clm;
-
-  // d(lf^2)/dx = 2 lf σ(x); chain through x derivatives.
-  const double dlf2 = 2.0 * lf * sigmoid(xf);
-  const double dlr2 = 2.0 * lr * sigmoid(xr);
-  const double dvp_dvgs = 1.0 / slope_n_;
-  const double gm_core =
-      spec * (dlf2 - dlr2) * dvp_dvgs / (2.0 * phi_t) * clm;
-  const double gds_core = spec * dlr2 / (2.0 * phi_t) * clm +
-                          i_spec * (vds > 0.0 ? tech_.lambda_clm : 0.0);
-  // gm and gds are derivatives wrt the device's own (mirrored) voltages;
-  // the double sign flip (current and voltage) cancels, so conductances
-  // are the same for both polarities.
-  op.g_m = gm_core;
-  op.g_ds = gds_core;
-  op.g_mb = gm_core * body_k * slope_n_ * dvp_dvgs;  // = gm * body_k
-  op.n_inv = carrier_density(v_gs);
-  return op;
+  // evaluate() sits on the Newton hot path (once per FET per iteration), so
+  // every bias-independent subexpression — and in particular everything
+  // hiding a sqrt/log/div inside the Technology getters — is folded here.
+  phi_t_ = tech_.phi_t();
+  inv_2phi_t_ = 1.0 / (2.0 * phi_t_);
+  body_k_ = tech_.gamma_body() / (2.0 * std::sqrt(2.0 * tech_.phi_f()));
+  spec_ = 2.0 * slope_n_ * mobility_ * tech_.c_ox() *
+          (geom_.width / geom_.length) * phi_t_ * phi_t_;
+  inv_slope_n_ = 1.0 / slope_n_;
+  density_coeff_ = tech_.c_ox() * slope_n_ * phi_t_ / kElementaryCharge;
+  inv_n_phi_t_ = 1.0 / (slope_n_ * phi_t_);
+  lambda_clm_ = tech_.lambda_clm;
 }
 
 double MosDevice::carrier_density(double v_gs) const {
   const double sign = type_ == MosType::kNmos ? 1.0 : -1.0;
-  const double phi_t = tech_.phi_t();
   const double overdrive = sign * v_gs - v_th_;
-  const double q_inv = tech_.c_ox() * slope_n_ * phi_t *
-                       softplus(overdrive / (slope_n_ * phi_t));
-  return q_inv / kElementaryCharge;
+  return density_coeff_ * detail::softplus(overdrive * inv_n_phi_t_);
 }
 
 double MosDevice::carrier_count(double v_gs) const {

@@ -5,6 +5,8 @@
 // gate swing of an SRAM cell).
 #pragma once
 
+#include <cmath>
+
 #include "physics/technology.hpp"
 
 namespace samurai::physics {
@@ -17,11 +19,10 @@ struct MosGeometry {
 };
 
 struct MosOperatingPoint {
-  double i_d;    ///< drain current, A (positive into drain for NMOS)
-  double g_m;    ///< dI/dVgs, S
-  double g_ds;   ///< dI/dVds, S
-  double g_mb;   ///< dI/dVbs, S (simplified body effect)
-  double n_inv;  ///< inversion carrier areal density at source end, 1/m^2
+  double i_d;   ///< drain current, A (positive into drain for NMOS)
+  double g_m;   ///< dI/dVgs, S
+  double g_ds;  ///< dI/dVds, S
+  double g_mb;  ///< dI/dVbs, S (simplified body effect)
 };
 
 class MosDevice {
@@ -34,6 +35,8 @@ class MosDevice {
   /// Evaluate the DC model. Voltages are the device's own terminal
   /// voltages (for PMOS pass the physical voltages; the model mirrors
   /// internally). `v_bs` shifts the threshold via a linearised body effect.
+  /// Defined inline below: this is the single hottest function of the
+  /// whole simulator (once per FET per Newton iteration).
   MosOperatingPoint evaluate(double v_gs, double v_ds, double v_bs = 0.0) const;
 
   /// Inversion carrier areal density (1/m^2) at gate bias v_gs — the N in
@@ -59,6 +62,81 @@ class MosDevice {
   double v_th_;      ///< |V_th| of the device
   double mobility_;  ///< carrier mobility
   double slope_n_;   ///< subthreshold slope factor n
+  // Bias-independent constants hoisted out of the per-iteration evaluate()
+  // (the Technology getters hide sqrt/log/div chains).
+  double phi_t_ = 0.0;
+  double inv_2phi_t_ = 0.0;
+  double body_k_ = 0.0;
+  double spec_ = 0.0;  ///< 2 n μ C_ox (W/L) φ_t², the EKV specific current
+  double inv_slope_n_ = 0.0;
+  double density_coeff_ = 0.0;  ///< C_ox n φ_t / q for carrier_density
+  double inv_n_phi_t_ = 0.0;
+  double lambda_clm_ = 0.0;
 };
+
+
+namespace detail {
+
+/// softplus(x) and σ(x) at the same argument from a single exp.
+struct SoftplusSigmoid {
+  double soft;
+  double sig;
+};
+
+inline SoftplusSigmoid softplus_sigmoid(double x) {
+  if (x > 30.0) return {x, 1.0};
+  if (x < -30.0) {
+    const double ex = std::exp(x);
+    return {ex, ex};
+  }
+  const double ex = std::exp(x);
+  return {std::log1p(ex), ex / (1.0 + ex)};
+}
+
+inline double softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+}  // namespace detail
+
+inline MosOperatingPoint MosDevice::evaluate(double v_gs, double v_ds,
+                                             double v_bs) const {
+  // PMOS is the mirrored NMOS: evaluate with negated voltages and negate
+  // the current and gds/gm signs appropriately.
+  const double sign = type_ == MosType::kNmos ? 1.0 : -1.0;
+  const double vgs = sign * v_gs;
+  const double vds = sign * v_ds;
+  const double vbs = sign * v_bs;
+
+  const double v_th_eff = v_th_ - body_k_ * vbs;
+  const double v_p = (vgs - v_th_eff) * inv_slope_n_;
+
+  const double xf = v_p * inv_2phi_t_;
+  const double xr = (v_p - vds) * inv_2phi_t_;
+  const auto f = detail::softplus_sigmoid(xf);
+  const auto r = detail::softplus_sigmoid(xr);
+  const double i_spec = spec_ * (f.soft * f.soft - r.soft * r.soft);
+  const double clm = 1.0 + lambda_clm_ * std::max(vds, 0.0);
+
+  MosOperatingPoint op;
+  op.i_d = sign * i_spec * clm;
+
+  // d(lf^2)/dx = 2 lf σ(x); chain through x derivatives.
+  const double dlf2 = 2.0 * f.soft * f.sig;
+  const double dlr2 = 2.0 * r.soft * r.sig;
+  const double gm_core =
+      spec_ * (dlf2 - dlr2) * inv_slope_n_ * inv_2phi_t_ * clm;
+  const double gds_core = spec_ * dlr2 * inv_2phi_t_ * clm +
+                          i_spec * (vds > 0.0 ? lambda_clm_ : 0.0);
+  // gm and gds are derivatives wrt the device's own (mirrored) voltages;
+  // the double sign flip (current and voltage) cancels, so conductances
+  // are the same for both polarities.
+  op.g_m = gm_core;
+  op.g_ds = gds_core;
+  op.g_mb = gm_core * body_k_;
+  return op;
+}
 
 }  // namespace samurai::physics

@@ -1,131 +1,346 @@
 #include "spice/analysis.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "util/grid.hpp"
 
 namespace samurai::spice {
 
+
+
+// ------------------------------------------------------------ SolverStats
+
+#define SAMURAI_SOLVER_STAT_FIELDS(X) \
+  X(newton_iterations)                \
+  X(lu_factorizations)                \
+  X(lu_solves)                        \
+  X(bypass_hits)                      \
+  X(device_loads)                     \
+  X(linear_cache_hits)                \
+  X(steps_accepted)                   \
+  X(steps_rejected)                   \
+  X(transients)                       \
+  X(workspace_allocations)
+
+void SolverStats::merge(const SolverStats& other) {
+#define X(field) field += other.field;
+  SAMURAI_SOLVER_STAT_FIELDS(X)
+#undef X
+}
+
+SolverStats SolverStats::since(const SolverStats& other) const {
+  SolverStats delta;
+#define X(field) delta.field = field - other.field;
+  SAMURAI_SOLVER_STAT_FIELDS(X)
+#undef X
+  return delta;
+}
+
 namespace {
+
+struct AtomicSolverStats {
+#define X(field) std::atomic<std::uint64_t> field{0};
+  SAMURAI_SOLVER_STAT_FIELDS(X)
+#undef X
+};
+
+AtomicSolverStats& global_solver_stats() {
+  static AtomicSolverStats stats;
+  return stats;
+}
+
+}  // namespace
+
+SolverStats solver_stats_snapshot() {
+  auto& global = global_solver_stats();
+  SolverStats stats;
+#define X(field) stats.field = global.field.load(std::memory_order_relaxed);
+  SAMURAI_SOLVER_STAT_FIELDS(X)
+#undef X
+  return stats;
+}
+
+namespace detail {
+void solver_stats_accumulate(const SolverStats& stats) {
+  auto& global = global_solver_stats();
+#define X(field) \
+  global.field.fetch_add(stats.field, std::memory_order_relaxed);
+  SAMURAI_SOLVER_STAT_FIELDS(X)
+#undef X
+}
+}  // namespace detail
+
+// -------------------------------------------------------- NewtonWorkspace
+
+void NewtonWorkspace::attach(Circuit& circuit) {
+  circuit_ = &circuit;
+  const std::size_t n = circuit.system_size();
+  if (n != n_) {
+    n_ = n;
+    jacobian_.resize(n);
+    base_jac_.resize(n);
+    scratch_jac_.resize(n);
+    lu_.resize(n);
+    pivots_.assign(n, 0);
+    residual_.assign(n, 0.0);
+    base_res_.assign(n, 0.0);
+    delta_.assign(n, 0.0);
+    zero_x_.assign(n, 0.0);
+    x_new_.assign(n, 0.0);
+    x_prev_.assign(n, 0.0);
+    x_pred_.assign(n, 0.0);
+    ++stats_.workspace_allocations;
+  }
+  devices_.clear();
+  nonlinear_devices_.clear();
+  for (auto& device : circuit.devices()) {
+    devices_.push_back(device.get());
+    if (!device->is_linear()) nonlinear_devices_.push_back(device.get());
+  }
+  base_valid_ = false;
+  lu_valid_ = false;
+}
+
+namespace detail {
 
 struct NewtonOutcome {
   bool converged = false;
   int iterations = 0;
 };
 
-/// One Newton solve of the MNA system at fixed (time, a0, ci), warm-started
-/// from and returning in `x`. `pins` adds a 1 S conductance from node id to
-/// a target voltage (nodeset); `gmin` leaks every node to ground.
-NewtonOutcome newton_solve(Circuit& circuit, std::vector<double>& x,
-                           double time, double a0, double ci,
-                           const NewtonOptions& options, double gmin,
-                           const std::vector<std::pair<int, double>>& pins) {
-  const std::size_t n = circuit.system_size();
-  const std::size_t nodes = circuit.num_nodes();
-  DenseMatrix jacobian(n);
-  std::vector<double> residual(n);
-  std::vector<double> delta(n);
+struct NewtonDriver {
+  /// One Newton solve of the MNA system at fixed (time, a0, ci),
+  /// warm-started from and returning in `x`. `pins` adds a 1 S conductance
+  /// from node id to a target voltage (nodeset); `gmin` leaks every node
+  /// to ground. Allocation-free given an attached workspace.
+  static NewtonOutcome solve(NewtonWorkspace& ws, std::vector<double>& x,
+                             double time, double a0, double ci,
+                             const NewtonOptions& options, double gmin,
+                             const std::vector<std::pair<int, double>>& pins) {
+    const std::size_t n = ws.n_;
+    const std::size_t nodes = ws.circuit_->num_nodes();
+    SolverStats& st = ws.stats_;
 
-  NewtonOutcome outcome;
-  for (int iter = 0; iter < options.max_iterations; ++iter) {
-    outcome.iterations = iter + 1;
-    jacobian.set_zero();
-    std::fill(residual.begin(), residual.end(), 0.0);
-    LoadContext ctx;
-    ctx.time = time;
-    ctx.a0 = a0;
-    ctx.ci = ci;
-    ctx.jacobian = &jacobian;
-    ctx.residual = &residual;
-    ctx.x = x;
-    for (auto& device : circuit.devices()) device->load(ctx);
-    for (std::size_t i = 0; i < nodes; ++i) {
-      jacobian.at(i, i) += gmin;
-      residual[i] += gmin * x[i];
+    // ---- Linear base for this solve. The Jacobian part depends only on
+    // (a0, ci, gmin, pins) and is reused across solves via memcpy; the
+    // residual offset f_lin(0) depends on time and companion history, so
+    // it is rebuilt once per solve (with the Jacobian stamps diverted into
+    // a scratch sink on cache hits).
+    const bool jac_cached = options.cache_linear_stamps && ws.base_valid_ &&
+                            ws.base_a0_ == a0 && ws.base_ci_ == ci &&
+                            ws.base_gmin_ == gmin && !ws.base_had_pins_ &&
+                            pins.empty();
+    std::fill(ws.base_res_.begin(), ws.base_res_.end(), 0.0);
+    LoadContext base_ctx;
+    base_ctx.time = time;
+    base_ctx.a0 = a0;
+    base_ctx.ci = ci;
+    base_ctx.x = ws.zero_x_;
+    base_ctx.residual = &ws.base_res_;
+    base_ctx.scope = LoadScope::kLinear;
+    if (jac_cached) {
+      base_ctx.jacobian = &ws.scratch_jac_;
+      ++st.linear_cache_hits;
+    } else {
+      ws.base_jac_.set_zero();
+      base_ctx.jacobian = &ws.base_jac_;
     }
+    for (Device* device : ws.devices_) device->load(base_ctx);
+    st.device_loads += ws.devices_.size();
+    if (!jac_cached) {
+      for (std::size_t i = 0; i < nodes; ++i) ws.base_jac_.at(i, i) += gmin;
+      for (const auto& [node, value] : pins) {
+        (void)value;
+        if (node < 0) continue;
+        const auto i = static_cast<std::size_t>(node);
+        ws.base_jac_.at(i, i) += 1.0;
+      }
+      ws.base_valid_ = true;
+      ws.base_a0_ = a0;
+      ws.base_ci_ = ci;
+      ws.base_gmin_ = gmin;
+      ws.base_had_pins_ = !pins.empty();
+    }
+    // Pin residual offset: 1 S · (x - value) has constant part -value.
     for (const auto& [node, value] : pins) {
-      if (node < 0) continue;
-      const auto i = static_cast<std::size_t>(node);
-      jacobian.at(i, i) += 1.0;
-      residual[i] += 1.0 * (x[i] - value);
+      if (node >= 0) ws.base_res_[static_cast<std::size_t>(node)] -= value;
     }
 
-    double max_residual = 0.0;
-    for (std::size_t i = 0; i < nodes; ++i) {
-      max_residual = std::max(max_residual, std::abs(residual[i]));
-    }
+    NewtonOutcome outcome;
+    double prev_scaled = std::numeric_limits<double>::infinity();
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+      outcome.iterations = iter + 1;
+      ++st.newton_iterations;
 
-    delta = residual;
-    if (!lu_solve(jacobian, delta)) return outcome;  // singular
+      // residual = f_lin(0) + A_lin·x, then the nonlinear stamps on top of
+      // a memcpy of the cached base Jacobian.
+      const double* base = ws.base_jac_.data();
+      double* jac = ws.jacobian_.data();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* row = base + i * n;
+        double* jrow = jac + i * n;
+        double acc = ws.base_res_[i];
+        for (std::size_t j = 0; j < n; ++j) {
+          const double v = row[j];
+          jrow[j] = v;
+          acc += v * x[j];
+        }
+        ws.residual_[i] = acc;
+      }
+      LoadContext ctx;
+      ctx.time = time;
+      ctx.a0 = a0;
+      ctx.ci = ci;
+      ctx.jacobian = &ws.jacobian_;
+      ctx.residual = &ws.residual_;
+      ctx.x = x;
+      ctx.scope = LoadScope::kNonlinear;
+      for (Device* device : ws.nonlinear_devices_) device->load(ctx);
+      st.device_loads += ws.nonlinear_devices_.size();
 
-    // Damp: clamp the largest node-voltage update.
-    double max_dv = 0.0;
-    for (std::size_t i = 0; i < nodes; ++i) {
-      max_dv = std::max(max_dv, std::abs(delta[i]));
-    }
-    const double damp =
-        max_dv > options.dv_limit ? options.dv_limit / max_dv : 1.0;
-    for (std::size_t i = 0; i < n; ++i) x[i] -= damp * delta[i];
+      // Residual norms: node rows are KCL sums (amperes), branch rows are
+      // source voltage equations (volts) — both must be checked, each
+      // against its own tolerance (a branch current can be arbitrarily
+      // wrong while every node row looks converged).
+      double max_residual = 0.0;
+      for (std::size_t i = 0; i < nodes; ++i) {
+        max_residual = std::max(max_residual, std::abs(ws.residual_[i]));
+      }
+      double max_branch_residual = 0.0;
+      for (std::size_t i = nodes; i < n; ++i) {
+        max_branch_residual =
+            std::max(max_branch_residual, std::abs(ws.residual_[i]));
+      }
+      const double scaled = std::max(max_residual / options.abstol,
+                                     max_branch_residual / options.vntol);
 
-    if (max_dv * damp < options.vntol && max_residual < options.abstol &&
-        damp == 1.0) {
-      outcome.converged = true;
-      return outcome;
-    }
-  }
-  return outcome;
-}
+      // Modified-Newton bypass: within a solve, re-solve against the stale
+      // factorization while the scaled residual keeps contracting;
+      // refactorize on stall. The first iteration always factors: across
+      // steps the companion coefficient a0 = O(1/h) rescales the capacitive
+      // Jacobian block, so a stale cross-step factorization degrades
+      // Newton to slow linear convergence and costs far more in extra
+      // MOSFET evaluations than the O(n^3) factorization it saves.
+      const bool bypass = options.reuse_lu && ws.lu_valid_ && iter > 0 &&
+                          scaled < options.bypass_contraction * prev_scaled;
+      if (!bypass) {
+        // Fused copy + scan: max|J| feeds lu_factor's scale-relative pivot
+        // threshold without a second pass over the matrix.
+        const double* src = ws.jacobian_.data();
+        double* dst = ws.lu_.data();
+        double jac_scale = 0.0;
+        for (std::size_t k = 0; k < n * n; ++k) {
+          const double v = src[k];
+          dst[k] = v;
+          jac_scale = std::max(jac_scale, std::abs(v));
+        }
+        ++st.lu_factorizations;
+        if (!lu_factor(ws.lu_, ws.pivots_, jac_scale)) {
+          ws.lu_valid_ = false;
+          return outcome;  // singular
+        }
+        ws.lu_valid_ = true;
+      } else {
+        ++st.bypass_hits;
+      }
+      prev_scaled = scaled;
+      std::copy(ws.residual_.begin(), ws.residual_.end(), ws.delta_.begin());
+      lu_solve_factored(ws.lu_, ws.pivots_, ws.delta_);
+      ++st.lu_solves;
+      // Damp: clamp the largest node-voltage update. Branch-current rows
+      // get a relative+absolute convergence check of their own.
+      double max_dv = 0.0;
+      for (std::size_t i = 0; i < nodes; ++i) {
+        max_dv = std::max(max_dv, std::abs(ws.delta_[i]));
+      }
+      double max_di = 0.0;
+      double max_i = 0.0;
+      for (std::size_t i = nodes; i < n; ++i) {
+        max_di = std::max(max_di, std::abs(ws.delta_[i]));
+        max_i = std::max(max_i, std::abs(x[i]));
+      }
+      const double damp =
+          max_dv > options.dv_limit ? options.dv_limit / max_dv : 1.0;
+      for (std::size_t i = 0; i < n; ++i) x[i] -= damp * ws.delta_[i];
 
-std::vector<std::pair<int, double>> resolve_pins(
-    Circuit& circuit, const std::map<std::string, double>& nodeset) {
-  std::vector<std::pair<int, double>> pins;
-  pins.reserve(nodeset.size());
-  for (const auto& [name, value] : nodeset) {
-    pins.emplace_back(circuit.find_node(name), value);
-  }
-  return pins;
-}
-
-}  // namespace
-
-DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
-  DcResult result;
-  result.x.assign(circuit.system_size(), 0.0);
-  const auto pins = resolve_pins(circuit, options.nodeset);
-
-  // Phase 1: solve with nodeset pins engaged (if any).
-  if (!pins.empty()) {
-    for (const auto& [node, value] : pins) {
-      if (node >= 0) result.x[static_cast<std::size_t>(node)] = value;
-    }
-    newton_solve(circuit, result.x, 0.0, 0.0, 0.0, options.newton,
-                 std::max(options.gmin, 1e-9), pins);
-  }
-
-  // Phase 2: plain Newton; on failure, gmin-step from 1e-2 down.
-  auto outcome = newton_solve(circuit, result.x, 0.0, 0.0, 0.0, options.newton,
-                              options.gmin, {});
-  if (!outcome.converged) {
-    std::vector<double> x = result.x;
-    bool ladder_ok = true;
-    for (double gmin = 1e-2; gmin >= options.gmin; gmin *= 0.1) {
-      const auto step = newton_solve(circuit, x, 0.0, 0.0, 0.0, options.newton,
-                                     gmin, pins);
-      if (!step.converged) {
-        ladder_ok = false;
-        break;
+      const double itol = options.abstol + options.reltol * max_i;
+      if (damp == 1.0 && max_dv < options.vntol && max_di < itol &&
+          max_residual < options.abstol &&
+          max_branch_residual < options.vntol) {
+        outcome.converged = true;
+        return outcome;
       }
     }
-    if (ladder_ok) {
-      outcome = newton_solve(circuit, x, 0.0, 0.0, 0.0, options.newton,
-                             options.gmin, {});
-      if (outcome.converged) result.x = x;
-    }
+    return outcome;
   }
-  result.converged = outcome.converged;
-  result.iterations = outcome.iterations;
+
+  static std::vector<std::pair<int, double>> resolve_pins(
+      Circuit& circuit, const std::map<std::string, double>& nodeset) {
+    std::vector<std::pair<int, double>> pins;
+    pins.reserve(nodeset.size());
+    for (const auto& [name, value] : nodeset) {
+      pins.emplace_back(circuit.find_node(name), value);
+    }
+    return pins;
+  }
+
+  /// DC operating point against an already-attached workspace.
+  static DcResult dc(NewtonWorkspace& ws, Circuit& circuit,
+                     const DcOptions& options) {
+    DcResult result;
+    result.x.assign(circuit.system_size(), 0.0);
+    const auto pins = resolve_pins(circuit, options.nodeset);
+
+    // Phase 1: solve with nodeset pins engaged (if any).
+    if (!pins.empty()) {
+      for (const auto& [node, value] : pins) {
+        if (node >= 0) result.x[static_cast<std::size_t>(node)] = value;
+      }
+      solve(ws, result.x, 0.0, 0.0, 0.0, options.newton,
+            std::max(options.gmin, 1e-9), pins);
+    }
+
+    // Phase 2: plain Newton; on failure, gmin-step from 1e-2 down.
+    auto outcome = solve(ws, result.x, 0.0, 0.0, 0.0, options.newton,
+                         options.gmin, {});
+    if (!outcome.converged) {
+      std::vector<double> x = result.x;
+      bool ladder_ok = true;
+      for (double gmin = 1e-2; gmin >= options.gmin; gmin *= 0.1) {
+        const auto step =
+            solve(ws, x, 0.0, 0.0, 0.0, options.newton, gmin, pins);
+        if (!step.converged) {
+          ladder_ok = false;
+          break;
+        }
+      }
+      if (ladder_ok) {
+        outcome = solve(ws, x, 0.0, 0.0, 0.0, options.newton, options.gmin, {});
+        if (outcome.converged) result.x = x;
+      }
+    }
+    result.converged = outcome.converged;
+    result.iterations = outcome.iterations;
+    return result;
+  }
+
+  static TransientResult run_transient(Circuit& circuit,
+                                       const TransientOptions& options,
+                                       NewtonWorkspace& ws);
+};
+
+}  // namespace detail
+
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
+  NewtonWorkspace workspace;
+  workspace.attach(circuit);
+  DcResult result = detail::NewtonDriver::dc(workspace, circuit, options);
+  result.stats = workspace.stats();
+  detail::solver_stats_accumulate(result.stats);
   return result;
 }
 
@@ -180,17 +395,24 @@ core::Pwl TransientResult::voltage_between(const std::string& a,
 
 // --------------------------------------------------------------- transient
 
-TransientResult transient(Circuit& circuit, const TransientOptions& options) {
+namespace detail {
+
+TransientResult NewtonDriver::run_transient(Circuit& circuit,
+                                            const TransientOptions& options,
+                                            NewtonWorkspace& ws) {
   if (!(options.t_stop > options.t_start)) {
     throw std::invalid_argument("transient: t_stop <= t_start");
   }
+  const SolverStats stats_before = ws.stats_;
+  ws.attach(circuit);
+  SolverStats& st = ws.stats_;
+
   const std::size_t nodes = circuit.num_nodes();
   const double span = options.t_stop - options.t_start;
   const double dt_max = options.dt_max > 0.0 ? options.dt_max : span / 200.0;
 
   // Initial operating point at t_start.
-  DcOptions dc = options.dc;
-  auto dc_result = dc_operating_point(circuit, dc);
+  auto dc_result = detail::NewtonDriver::dc(ws, circuit, options.dc);
   if (!dc_result.converged) {
     throw std::runtime_error("transient: DC operating point did not converge");
   }
@@ -217,8 +439,6 @@ TransientResult transient(Circuit& circuit, const TransientOptions& options) {
   double t = options.t_start;
   double dt = std::min(options.dt_initial, dt_max);
   double dt_prev = 0.0;
-  std::vector<double> x_prev = x;   // solution at t - dt_prev
-  std::vector<double> x_pred(x.size());
   bool after_discontinuity = true;  // force BE on the first step
 
   std::size_t bp_index = 0;
@@ -228,6 +448,13 @@ TransientResult transient(Circuit& circuit, const TransientOptions& options) {
 
   const int max_rejects = 60;
   int rejects = 0;
+  // Steady-state loop: every buffer below belongs to the workspace or was
+  // sized before the loop — zero heap allocations per step (asserted via
+  // stats().workspace_allocations).
+  std::vector<double>& x_prev = ws.x_prev_;  // solution at t - dt_prev
+  std::vector<double>& x_pred = ws.x_pred_;
+  std::vector<double>& x_new = ws.x_new_;
+  x_prev = x;
   while (t < options.t_stop - span * 1e-12) {
     bool hit_breakpoint = false;
     double step = std::min(dt, dt_max);
@@ -247,16 +474,16 @@ TransientResult transient(Circuit& circuit, const TransientOptions& options) {
 
     // Predictor: linear extrapolation (also the warm start).
     const bool have_predictor = dt_prev > 0.0 && !after_discontinuity;
-    std::vector<double> x_new = x;
+    x_new = x;
     if (have_predictor) {
       for (std::size_t i = 0; i < x.size(); ++i) {
         x_pred[i] = x[i] + (x[i] - x_prev[i]) * (step / dt_prev);
+        x_new[i] = x_pred[i];
       }
-      x_new = x_pred;
     }
 
-    const auto outcome = newton_solve(circuit, x_new, t + step, a0, ci,
-                                      options.newton, options.dc.gmin, {});
+    const auto outcome = detail::NewtonDriver::solve(
+        ws, x_new, t + step, a0, ci, options.newton, options.dc.gmin, {});
     bool accept = outcome.converged;
     double err_ratio = 0.0;
     if (accept && have_predictor) {
@@ -272,6 +499,8 @@ TransientResult transient(Circuit& circuit, const TransientOptions& options) {
     }
 
     if (!accept) {
+      ++st.steps_rejected;
+      ws.lu_valid_ = false;  // retry with a fresh factorization
       if (++rejects > max_rejects || step <= 2.0 * options.dt_min) {
         throw std::runtime_error("transient: step size underflow at t=" +
                                  std::to_string(t));
@@ -280,10 +509,11 @@ TransientResult transient(Circuit& circuit, const TransientOptions& options) {
       continue;
     }
     rejects = 0;
+    ++st.steps_accepted;
 
     for (auto& device : circuit.devices()) device->commit(x_new, a0, ci);
     x_prev = x;
-    x = x_new;
+    x.swap(x_new);
     dt_prev = step;
     t += step;
     result.record(t, x, nodes);
@@ -299,7 +529,23 @@ TransientResult transient(Circuit& circuit, const TransientOptions& options) {
     }
     dt = std::clamp(step * grow, options.dt_min, dt_max);
   }
+  ++st.transients;
+  const SolverStats delta = ws.stats_.since(stats_before);
+  result.set_stats(delta);
+  solver_stats_accumulate(delta);
   return result;
+}
+
+}  // namespace detail
+
+TransientResult transient(Circuit& circuit, const TransientOptions& options) {
+  NewtonWorkspace workspace;
+  return detail::NewtonDriver::run_transient(circuit, options, workspace);
+}
+
+TransientResult transient(Circuit& circuit, const TransientOptions& options,
+                          NewtonWorkspace& workspace) {
+  return detail::NewtonDriver::run_transient(circuit, options, workspace);
 }
 
 }  // namespace samurai::spice

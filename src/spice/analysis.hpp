@@ -1,8 +1,16 @@
 // Circuit analyses: Newton-Raphson DC operating point (with nodeset
 // pinning and gmin stepping) and adaptive-step transient with backward
 // Euler / trapezoidal companion integration and LTE-based step control.
+//
+// The transient hot path is allocation-free: a per-circuit NewtonWorkspace
+// owns the Jacobian, residual, delta, predictor and LU-factor storage, the
+// linear devices' stamps are cached as a base Jacobian that is memcpy'd
+// under the MOSFET re-stamps each iteration, and LU factors are reused
+// across iterations/steps while the residual contracts (modified-Newton
+// bypass). See DESIGN.md "The transient fast path".
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <span>
@@ -14,11 +22,102 @@
 
 namespace samurai::spice {
 
+/// Operation counters for one solve (DC or transient). Monotonic within a
+/// run; merged into the process-wide aggregate (solver_stats_snapshot) so
+/// the campaign runtime can report per-shard solver work without threading
+/// state through every sample type.
+struct SolverStats {
+  std::uint64_t newton_iterations = 0;
+  std::uint64_t lu_factorizations = 0;
+  std::uint64_t lu_solves = 0;
+  std::uint64_t bypass_hits = 0;        ///< solves against stale LU factors
+  std::uint64_t device_loads = 0;       ///< individual Device::load calls
+  std::uint64_t linear_cache_hits = 0;  ///< solves reusing the base Jacobian
+  std::uint64_t steps_accepted = 0;
+  std::uint64_t steps_rejected = 0;
+  std::uint64_t transients = 0;
+  /// Workspace buffer (re)allocations. Exactly one per circuit binding; a
+  /// steady-state time-stepping loop must add zero (asserted in tests).
+  std::uint64_t workspace_allocations = 0;
+
+  void merge(const SolverStats& other);
+  /// Counter-wise `this - other` (for before/after deltas).
+  SolverStats since(const SolverStats& other) const;
+};
+
+/// Process-wide aggregate of every solve performed so far (atomic,
+/// thread-safe). Snapshot before/after a work region and diff with
+/// SolverStats::since to attribute solver work to that region.
+SolverStats solver_stats_snapshot();
+
+namespace detail {
+struct NewtonDriver;
+void solver_stats_accumulate(const SolverStats& stats);
+}  // namespace detail
+
+/// Reusable per-circuit solver scratch: Jacobian, cached linear base,
+/// residual, delta, LU factors and pivots, predictor buffers, and the
+/// device list split into linear/nonlinear groups. Bind with attach();
+/// buffers are reallocated only when the system size actually changes, so
+/// a workspace reused across same-sized circuits (e.g. the methodology's
+/// nominal and RTN-injected cells) performs zero further heap allocations.
+class NewtonWorkspace {
+ public:
+  NewtonWorkspace() = default;
+
+  /// Bind to `circuit`: size all buffers, split the device list, and
+  /// invalidate the linear-stamp and LU caches (stale factors from another
+  /// circuit must never leak into a fresh solve).
+  void attach(Circuit& circuit);
+
+  const SolverStats& stats() const noexcept { return stats_; }
+
+ private:
+  friend struct detail::NewtonDriver;
+
+  Circuit* circuit_ = nullptr;
+  std::size_t n_ = 0;
+  DenseMatrix jacobian_;     ///< full Jacobian assembled per iteration
+  DenseMatrix base_jac_;     ///< cached linear stamps (+ gmin, pins)
+  DenseMatrix scratch_jac_;  ///< stamp sink when the base is cache-valid
+  DenseMatrix lu_;           ///< live LU factors (modified-Newton reuse)
+  std::vector<std::size_t> pivots_;
+  std::vector<double> residual_;
+  std::vector<double> base_res_;  ///< linear residual offset f_lin(0)
+  std::vector<double> delta_;
+  std::vector<double> zero_x_;
+  std::vector<double> x_new_;
+  std::vector<double> x_prev_;
+  std::vector<double> x_pred_;
+  std::vector<Device*> devices_;            ///< all, base-pass order
+  std::vector<Device*> nonlinear_devices_;  ///< iterated every Newton pass
+  // Linear-base cache key.
+  bool base_valid_ = false;
+  double base_a0_ = 0.0;
+  double base_ci_ = 0.0;
+  double base_gmin_ = 0.0;
+  bool base_had_pins_ = false;
+  bool lu_valid_ = false;
+  SolverStats stats_;
+};
+
 struct NewtonOptions {
   int max_iterations = 200;
   double abstol = 1e-9;   ///< KCL residual tolerance, A
   double vntol = 1e-6;    ///< Newton update tolerance, V
+  double reltol = 1e-4;   ///< relative part of the branch-current check
   double dv_limit = 0.6;  ///< per-iteration voltage damping clamp, V
+  /// Modified-Newton LU reuse: within a solve, keep the previous
+  /// iteration's factorization and re-solve against it while the scaled
+  /// residual contracts by at least `bypass_contraction` per iteration;
+  /// refactorize on stall or reject. The first iteration of each solve
+  /// always factors (a0 changes with the adaptive step size).
+  bool reuse_lu = true;
+  double bypass_contraction = 0.5;
+  /// Cache the linear devices' base Jacobian across solves with unchanged
+  /// companion coefficients (a0, ci). Both knobs exist so benchmarks and
+  /// regression tests can force the slow reference path.
+  bool cache_linear_stamps = true;
 };
 
 struct DcOptions {
@@ -34,6 +133,7 @@ struct DcResult {
   bool converged = false;
   int iterations = 0;
   std::vector<double> x;  ///< node voltages then branch currents
+  SolverStats stats;
 };
 
 DcResult dc_operating_point(Circuit& circuit, const DcOptions& options = {});
@@ -70,6 +170,10 @@ class TransientResult {
   const std::vector<std::string>& node_names() const noexcept { return names_; }
   std::size_t num_points() const noexcept { return times_.size(); }
 
+  /// Solver work performed by this transient (including its initial DC).
+  const SolverStats& stats() const noexcept { return stats_; }
+  void set_stats(const SolverStats& stats) { stats_ = stats; }
+
   /// Voltage samples of one node (aligned with times()).
   const std::vector<double>& voltage_samples(const std::string& node) const;
   /// Voltage of one node as a PWL waveform.
@@ -85,8 +189,16 @@ class TransientResult {
   std::vector<std::string> names_;
   std::vector<double> times_;
   std::vector<std::vector<double>> samples_;  ///< per node
+  SolverStats stats_;
 };
 
 TransientResult transient(Circuit& circuit, const TransientOptions& options);
+
+/// Transient reusing a caller-owned workspace: same result, but a
+/// same-sized workspace performs zero heap allocations. The workspace is
+/// re-attached to `circuit`, so it may be shared across circuits of any
+/// size (reallocation happens only on size changes).
+TransientResult transient(Circuit& circuit, const TransientOptions& options,
+                          NewtonWorkspace& workspace);
 
 }  // namespace samurai::spice

@@ -23,6 +23,17 @@ namespace samurai::spice {
 /// Ground node id. Stamps to ground are dropped by DenseMatrix::stamp.
 inline constexpr int kGround = -1;
 
+/// Which part of a device the solver is asking for. The transient fast
+/// path loads the affine ("linear") part of every device once per step at
+/// x = 0 — yielding the constant Jacobian stamps and the residual offset
+/// f(0) — and then re-loads only the nonlinear parts (MOSFET channels)
+/// inside the Newton iteration on top of a memcpy of the cached base.
+enum class LoadScope {
+  kAll,        ///< classic single-pass load (DC fallback, direct callers)
+  kLinear,     ///< only stamps affine in x with x-independent Jacobian
+  kNonlinear,  ///< only stamps whose Jacobian depends on the iterate
+};
+
 struct LoadContext {
   double time = 0.0;
   double a0 = 0.0;  ///< companion coefficient, 0 in DC
@@ -30,6 +41,7 @@ struct LoadContext {
   DenseMatrix* jacobian = nullptr;
   std::vector<double>* residual = nullptr;
   std::span<const double> x;
+  LoadScope scope = LoadScope::kAll;
 };
 
 class Device {
@@ -41,8 +53,18 @@ class Device {
 
   const std::string& name() const noexcept { return name_; }
 
-  /// Stamp Jacobian and residual at the current iterate.
+  /// Stamp Jacobian and residual at the current iterate, honouring
+  /// `ctx.scope`: a kLinear call must stamp exactly the affine-in-x part
+  /// (so that at x = 0 the residual is the device's constant offset), a
+  /// kNonlinear call exactly the rest, and kAll both.
   virtual void load(const LoadContext& ctx) = 0;
+
+  /// True when the device's *entire* load is affine in x with a Jacobian
+  /// that depends only on (a0, ci) — R, C and independent sources. Such
+  /// devices are skipped entirely inside the Newton iteration; partially
+  /// linear devices (the MOSFET's constant companion capacitances) split
+  /// their work across the kLinear/kNonlinear scopes instead.
+  virtual bool is_linear() const noexcept { return false; }
 
   /// Record charge/current history after a step is accepted. `a0`/`ci`
   /// are the coefficients the *accepted* step was integrated with.

@@ -26,6 +26,7 @@ Resistor::Resistor(std::string name, int node_p, int node_n, double resistance)
 }
 
 void Resistor::load(const LoadContext& ctx) {
+  if (ctx.scope == LoadScope::kNonlinear) return;
   const double v = node_value(ctx.x, p_) - node_value(ctx.x, n_);
   const double i = g_ * v;
   add_residual(*ctx.residual, p_, i);
@@ -48,6 +49,7 @@ double Capacitor::voltage(std::span<const double> x) const {
 }
 
 void Capacitor::load(const LoadContext& ctx) {
+  if (ctx.scope == LoadScope::kNonlinear) return;
   if (ctx.a0 == 0.0) return;  // DC: open circuit
   const double q = c_ * voltage(ctx.x);
   const double i = ctx.a0 * (q - q_prev_) + ctx.ci * i_prev_;
@@ -91,6 +93,7 @@ VoltageSource& VoltageSource::dc(Circuit& circuit, std::string name, int node_p,
 int VoltageSource::branch_index() const { return circuit_->branch_index(branch_); }
 
 void VoltageSource::load(const LoadContext& ctx) {
+  if (ctx.scope == LoadScope::kNonlinear) return;
   const int br = branch_index();
   const double i_branch = node_value(ctx.x, br);
   // KCL: branch current leaves the + node and enters the - node.
@@ -119,6 +122,7 @@ CurrentSource::CurrentSource(std::string name, int node_p, int node_n,
     : Device(std::move(name)), p_(node_p), n_(node_n), waveform_(std::move(waveform)) {}
 
 void CurrentSource::load(const LoadContext& ctx) {
+  if (ctx.scope == LoadScope::kNonlinear) return;
   const double i = waveform_.eval(ctx.time);
   add_residual(*ctx.residual, p_, i);
   add_residual(*ctx.residual, n_, -i);
@@ -141,6 +145,7 @@ CallbackCurrentSource::CallbackCurrentSource(std::string name, int node_p,
 }
 
 void CallbackCurrentSource::load(const LoadContext& ctx) {
+  if (ctx.scope == LoadScope::kNonlinear) return;
   const double i = current_(ctx.time);
   add_residual(*ctx.residual, p_, i);
   add_residual(*ctx.residual, n_, -i);
@@ -192,6 +197,14 @@ void Mosfet::commit_charge(ChargeElement& e, std::span<const double> x,
 }
 
 void Mosfet::load(const LoadContext& ctx) {
+  // The constant companion capacitances are the MOSFET's affine part: they
+  // belong to the cached base, so the Newton iteration re-stamps only the
+  // channel.
+  if (ctx.scope != LoadScope::kNonlinear) {
+    for (auto& charge : charges_) load_charge(ctx, charge);
+  }
+  if (ctx.scope == LoadScope::kLinear) return;
+
   const double vd = node_value(ctx.x, d_);
   const double vg = node_value(ctx.x, g_);
   const double vs = node_value(ctx.x, s_);
@@ -214,8 +227,6 @@ void Mosfet::load(const LoadContext& ctx) {
   ctx.jacobian->stamp(s_, d_, -gds);
   ctx.jacobian->stamp(s_, b_, -gmb);
   ctx.jacobian->stamp(s_, s_, -gs_total);
-
-  for (auto& charge : charges_) load_charge(ctx, charge);
 }
 
 void Mosfet::commit(std::span<const double> x, double a0, double ci) {

@@ -17,6 +17,7 @@ class Resistor final : public Device {
  public:
   Resistor(std::string name, int node_p, int node_n, double resistance);
   void load(const LoadContext& ctx) override;
+  bool is_linear() const noexcept override { return true; }
 
  private:
   int p_, n_;
@@ -28,6 +29,7 @@ class Capacitor final : public Device {
  public:
   Capacitor(std::string name, int node_p, int node_n, double capacitance);
   void load(const LoadContext& ctx) override;
+  bool is_linear() const noexcept override { return true; }
   void commit(std::span<const double> x, double a0, double ci) override;
   void reset_history() override;
 
@@ -49,6 +51,7 @@ class VoltageSource final : public Device {
                            int node_n, double value);
 
   void load(const LoadContext& ctx) override;
+  bool is_linear() const noexcept override { return true; }
   void collect_breakpoints(std::vector<double>& breakpoints) const override;
 
   /// Index of this source's current unknown in x (current flows from the
@@ -69,6 +72,7 @@ class CurrentSource final : public Device {
  public:
   CurrentSource(std::string name, int node_p, int node_n, core::Pwl waveform);
   void load(const LoadContext& ctx) override;
+  bool is_linear() const noexcept override { return true; }
   void collect_breakpoints(std::vector<double>& breakpoints) const override;
   void set_waveform(core::Pwl waveform) { waveform_ = std::move(waveform); }
 
@@ -85,6 +89,7 @@ class CallbackCurrentSource final : public Device {
   CallbackCurrentSource(std::string name, int node_p, int node_n,
                         std::function<double(double)> current_of_t);
   void load(const LoadContext& ctx) override;
+  bool is_linear() const noexcept override { return true; }
 
  private:
   int p_, n_;

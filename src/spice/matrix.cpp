@@ -2,15 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace samurai::spice {
 
-bool lu_solve(DenseMatrix& a, std::span<double> b) {
+bool lu_factor(DenseMatrix& a, std::vector<std::size_t>& pivots,
+               double scale_hint) {
   const std::size_t n = a.size();
-  if (b.size() != n) throw std::invalid_argument("lu_solve: size mismatch");
-  std::vector<std::size_t> perm(n);
-  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  pivots.resize(n);
+  if (n == 0) return true;
+
+  // Scale-relative singularity threshold from the input row norms. An
+  // absolute floor still rejects denormal pivots that would overflow the
+  // reciprocal.
+  double scale = scale_hint;
+  if (scale < 0.0) {
+    scale = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double row_norm = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        row_norm = std::max(row_norm, std::abs(a.at(i, j)));
+      }
+      scale = std::max(scale, row_norm);
+    }
+  }
+  if (scale == 0.0) return false;  // zero matrix
+  const double threshold =
+      std::max(scale * static_cast<double>(n) *
+                   std::numeric_limits<double>::epsilon(),
+               std::numeric_limits<double>::min());
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivot.
@@ -23,10 +44,10 @@ bool lu_solve(DenseMatrix& a, std::span<double> b) {
         pivot = i;
       }
     }
-    if (best < 1e-300) return false;
+    if (best < threshold) return false;
+    pivots[k] = pivot;
     if (pivot != k) {
       for (std::size_t j = 0; j < n; ++j) std::swap(a.at(k, j), a.at(pivot, j));
-      std::swap(b[k], b[pivot]);
     }
     const double inv_pivot = 1.0 / a.at(k, k);
     for (std::size_t i = k + 1; i < n; ++i) {
@@ -34,15 +55,21 @@ bool lu_solve(DenseMatrix& a, std::span<double> b) {
       if (factor == 0.0) continue;
       a.at(i, k) = factor;
       for (std::size_t j = k + 1; j < n; ++j) a.at(i, j) -= factor * a.at(k, j);
-      b[i] -= factor * b[k];
     }
+    // Store the reciprocal pivot: back-substitution then multiplies instead
+    // of dividing, which matters because the bypass re-solves against one
+    // factorization many times.
+    a.at(k, k) = inv_pivot;
   }
-  // Back substitution.
-  for (std::size_t i = n; i-- > 0;) {
-    double sum = b[i];
-    for (std::size_t j = i + 1; j < n; ++j) sum -= a.at(i, j) * b[j];
-    b[i] = sum / a.at(i, i);
-  }
+  return true;
+}
+
+bool lu_solve(DenseMatrix& a, std::span<double> b) {
+  const std::size_t n = a.size();
+  if (b.size() != n) throw std::invalid_argument("lu_solve: size mismatch");
+  std::vector<std::size_t> pivots;
+  if (!lu_factor(a, pivots)) return false;
+  lu_solve_factored(a, pivots, b);
   return true;
 }
 

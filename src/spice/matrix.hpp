@@ -2,9 +2,16 @@
 // dozen unknowns, so dense LU with partial pivoting is both simpler and
 // faster than any sparse machinery; array-level analyses simulate cells
 // independently rather than as one giant matrix.
+//
+// The factorization and the triangular solves are exposed separately so
+// the Newton loop can keep a factorization alive across iterations and
+// steps (modified-Newton "bypass"): factor once, then re-solve against the
+// stale factors while the residual keeps contracting.
 #pragma once
 
 #include <cstddef>
+#include <cstring>
+#include <stdexcept>
 #include <span>
 #include <vector>
 
@@ -20,6 +27,25 @@ class DenseMatrix {
   double at(std::size_t row, std::size_t col) const { return data_[row * n_ + col]; }
   void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
 
+  /// Re-dimension to n×n (zero-filled). Reallocates only when the size
+  /// actually changes; returns true in that case so callers can count
+  /// workspace allocations.
+  bool resize(std::size_t n) {
+    if (n == n_) return false;
+    n_ = n;
+    data_.assign(n * n, 0.0);
+    return true;
+  }
+
+  /// Overwrite this matrix with `other` (sizes must match): the fast-path
+  /// restore of a cached base Jacobian — one memcpy, no re-stamping.
+  void copy_from(const DenseMatrix& other) {
+    std::memcpy(data_.data(), other.data_.data(), n_ * n_ * sizeof(double));
+  }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
   /// Add `value` at (row, col); negative indices (ground) are ignored —
   /// this is the MNA stamping primitive.
   void stamp(int row, int col, double value) {
@@ -32,8 +58,55 @@ class DenseMatrix {
   std::vector<double> data_;
 };
 
-/// Solve A x = b in place by LU with partial pivoting; returns false if a
-/// pivot underflows (singular matrix). A and b are destroyed.
+/// Factor A in place by LU with partial pivoting: on return `a` holds the
+/// unit-lower multipliers below the diagonal and U on/above it — with the
+/// diagonal of U stored *reciprocated* so lu_solve_factored multiplies
+/// instead of divides — and `pivots[k]` is the row swapped into position k. Returns false when the
+/// matrix is numerically singular. The singularity test is scale-relative:
+/// a pivot counts as zero when it falls below n·ε times the largest row
+/// norm of the *input* matrix, so well-posed systems stamped in odd units
+/// (fF/µA-scale entries) are not falsely rejected, while matrices that are
+/// singular up to rounding are caught regardless of their absolute scale.
+///
+/// `scale_hint`, when non-negative, is taken as the max-abs entry of the
+/// input matrix and skips the internal scan — the Newton fast path computes
+/// it for free while copying the assembled Jacobian into the factor buffer.
+bool lu_factor(DenseMatrix& a, std::vector<std::size_t>& pivots,
+               double scale_hint = -1.0);
+
+/// Solve A x = b in place using factors produced by lu_factor. Cheap
+/// (O(n²)) relative to the factorization — this is the bypass primitive.
+/// Defined inline: at SRAM-cell sizes (n ≈ 10) the triangular sweeps are
+/// ~200 flops, so the call overhead is material on the Newton hot path.
+inline void lu_solve_factored(const DenseMatrix& lu,
+                              const std::vector<std::size_t>& pivots,
+                              std::span<double> b) {
+  const std::size_t n = lu.size();
+  if (b.size() != n || pivots.size() != n) {
+    throw std::invalid_argument("lu_solve_factored: size mismatch");
+  }
+  // Row interchanges in factorization order, then L y = Pb (unit lower),
+  // then U x = y. Row-major traversal keeps both sweeps contiguous.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivots[k] != k) std::swap(b[k], b[pivots[k]]);
+  }
+  const double* data = lu.data();
+  for (std::size_t i = 1; i < n; ++i) {
+    const double* row = data + i * n;
+    double sum = b[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= row[j] * b[j];
+    b[i] = sum;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    const double* row = data + i * n;
+    double sum = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= row[j] * b[j];
+    b[i] = sum * row[i];  // diagonal holds 1/U(i,i)
+  }
+}
+
+/// One-shot convenience: factor + solve. A and b are destroyed; returns
+/// false if the matrix is singular (see lu_factor).
 bool lu_solve(DenseMatrix& a, std::span<double> b);
 
 }  // namespace samurai::spice

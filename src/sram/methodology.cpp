@@ -55,6 +55,13 @@ void extract_bias(const spice::TransientResult& result,
 
 NominalRun run_nominal(const MethodologyConfig& config,
                        const std::string& prefix) {
+  spice::NewtonWorkspace workspace;
+  return run_nominal(config, workspace, prefix);
+}
+
+NominalRun run_nominal(const MethodologyConfig& config,
+                       spice::NewtonWorkspace& workspace,
+                       const std::string& prefix) {
   if (config.ops.empty()) {
     throw std::invalid_argument("run_methodology: empty op pattern");
   }
@@ -65,12 +72,16 @@ NominalRun run_nominal(const MethodologyConfig& config,
                               config.vth_shifts);
   attach_sources(circuit, run.handles, run.pattern, config.tech.v_dd, prefix);
   const auto options = make_transient_options(config, run.pattern, run.handles);
-  run.result = spice::transient(circuit, options);
+  run.result = spice::transient(circuit, options, workspace);
   return run;
 }
 
 MethodologyResult run_methodology(const MethodologyConfig& config) {
   MethodologyResult result;
+  // One workspace for both transients: the RTN-injected cell only adds
+  // current sources, so the MNA system size is identical and phase 3 reuses
+  // every solver buffer the nominal run allocated.
+  spice::NewtonWorkspace workspace;
 
   // ---- Phase 1: nominal SPICE run, bias extraction. -----------------------
   // The circuit must outlive bias extraction, so rebuild it here rather
@@ -82,7 +93,8 @@ MethodologyResult run_methodology(const MethodologyConfig& config) {
   attach_sources(nominal_circuit, handles, result.pattern, config.tech.v_dd, "");
   const auto transient_options =
       make_transient_options(config, result.pattern, handles);
-  result.nominal = spice::transient(nominal_circuit, transient_options);
+  result.nominal = spice::transient(nominal_circuit, transient_options,
+                                    workspace);
   result.q_node = handles.q;
   result.qb_node = handles.qb;
 
@@ -147,7 +159,7 @@ MethodologyResult run_methodology(const MethodologyConfig& config) {
                                           mosfet->drain(), mosfet->source(),
                                           entry.i_rtn.scaled(-1.0));
   }
-  result.with_rtn = spice::transient(rtn_circuit, transient_options);
+  result.with_rtn = spice::transient(rtn_circuit, transient_options, workspace);
 
   // ---- Phase 4: detection. -------------------------------------------------
   result.rtn_report = check_pattern(result.with_rtn.voltage(rtn_handles.q),

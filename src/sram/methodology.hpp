@@ -82,6 +82,13 @@ struct NominalRun {
 NominalRun run_nominal(const MethodologyConfig& config,
                        const std::string& prefix = "");
 
+/// Same, but solving into a caller-owned Newton workspace so repeated runs
+/// of same-sized cells (Monte-Carlo sweeps, benchmarks) reuse every solver
+/// buffer instead of reallocating per transient.
+NominalRun run_nominal(const MethodologyConfig& config,
+                       spice::NewtonWorkspace& workspace,
+                       const std::string& prefix = "");
+
 /// Extract transistor bias waveforms from a transient solution.
 /// For NMOS, V_gs(t) = V(gate) - min(V(d), V(s)); for PMOS the magnitude
 /// of the overdrive against the higher terminal. I_d is the channel

@@ -87,5 +87,94 @@ TEST(LuSolve, RandomSystemsRoundTrip) {
   }
 }
 
+TEST(LuFactor, FactoredSolveRoundTrip) {
+  // The split API: factor once, then re-solve against the stored factors
+  // for several right-hand sides (the modified-Newton bypass pattern).
+  // Note the factors store the reciprocal U diagonal, so correctness is
+  // checked through lu_solve_factored, never by inspecting raw entries.
+  util::Rng rng(29);
+  const std::size_t n = 7;
+  DenseMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a.at(i, j) = rng.uniform(-1.0, 1.0);
+    a.at(i, i) += 4.0;
+  }
+  DenseMatrix lu = a;
+  std::vector<std::size_t> pivots;
+  ASSERT_TRUE(lu_factor(lu, pivots));
+  for (int rhs = 0; rhs < 5; ++rhs) {
+    std::vector<double> x_true(n), b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) x_true[i] = rng.uniform(-3.0, 3.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+    }
+    lu_solve_factored(lu, pivots, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-10);
+  }
+}
+
+TEST(LuFactor, ScaleHintMatchesInternalScan) {
+  DenseMatrix a(3);
+  util::Rng rng(31);
+  double scale = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      a.at(i, j) = rng.uniform(-2.0, 2.0);
+      scale = std::max(scale, std::abs(a.at(i, j)));
+    }
+    a.at(i, i) += 3.0;
+    scale = std::max(scale, std::abs(a.at(i, i)));
+  }
+  DenseMatrix with_hint = a;
+  DenseMatrix without = a;
+  std::vector<std::size_t> p1, p2;
+  ASSERT_TRUE(lu_factor(with_hint, p1, scale));
+  ASSERT_TRUE(lu_factor(without, p2));
+  EXPECT_EQ(p1, p2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(with_hint.at(i, j), without.at(i, j));
+    }
+  }
+}
+
+TEST(LuFactor, ScaleRelativeSingularityAcceptsTinyUnits) {
+  // A perfectly conditioned system stamped in fF/µA-scale units: every
+  // entry is ~1e-15, far below any absolute pivot floor, but the matrix is
+  // nowhere near singular relative to its own scale.
+  DenseMatrix a(2);
+  a.at(0, 0) = 2e-15;
+  a.at(0, 1) = 1e-15;
+  a.at(1, 0) = 1e-15;
+  a.at(1, 1) = 3e-15;
+  std::vector<double> b = {5e-15, 10e-15};
+  ASSERT_TRUE(lu_solve(a, b));
+  EXPECT_NEAR(b[0], 1.0, 1e-9);
+  EXPECT_NEAR(b[1], 3.0, 1e-9);
+}
+
+TEST(LuFactor, ScaleRelativeSingularityRejectsScaledSingular) {
+  // The same rank-1 matrix is singular at every absolute scale; a fixed
+  // absolute threshold would accept the large version.
+  for (const double s : {1e-12, 1.0, 1e12}) {
+    DenseMatrix a(2);
+    a.at(0, 0) = 1.0 * s;
+    a.at(0, 1) = 2.0 * s;
+    a.at(1, 0) = 2.0 * s;
+    a.at(1, 1) = 4.0 * s;
+    std::vector<std::size_t> pivots;
+    EXPECT_FALSE(lu_factor(a, pivots)) << "scale " << s;
+  }
+}
+
+TEST(LuFactor, ZeroAndEmptyMatrices) {
+  DenseMatrix zero(3);
+  std::vector<std::size_t> pivots;
+  EXPECT_FALSE(lu_factor(zero, pivots));  // all-zero: singular
+  DenseMatrix empty(0);
+  EXPECT_TRUE(lu_factor(empty, pivots));  // 0x0: trivially factored
+  EXPECT_TRUE(pivots.empty());
+}
+
 }  // namespace
 }  // namespace samurai::spice

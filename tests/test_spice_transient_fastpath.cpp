@@ -1,0 +1,157 @@
+// Regression tests for the transient fast path: the reusable Newton
+// workspace, the linear-stamp cache and the modified-Newton LU bypass must
+// be pure accelerations — same waveforms as the force-refactorize
+// reference, zero steady-state allocations — and the adaptive step
+// controller must keep its breakpoint/LTE/underflow contracts.
+#include "spice/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/devices.hpp"
+#include "sram/methodology.hpp"
+
+namespace samurai {
+namespace {
+
+sram::MethodologyConfig write_config(bool fast_path) {
+  sram::MethodologyConfig config;
+  config.tech = physics::technology("65nm");
+  config.sizing.extra_node_cap = 40e-15;
+  config.timing.period = 1e-9;
+  config.ops = sram::ops_from_bits({1, 0, 1});
+  config.transient.newton.reuse_lu = fast_path;
+  config.transient.newton.cache_linear_stamps = fast_path;
+  config.transient.dc.newton.reuse_lu = fast_path;
+  config.transient.dc.newton.cache_linear_stamps = fast_path;
+  return config;
+}
+
+TEST(TransientFastPath, MatchesForceRefactorizeWaveforms) {
+  // The bypass and the stamp cache change *how* each Newton solve is
+  // carried out, never what it converges to: the 6T write waveforms from
+  // the fast and the all-caches-off paths must agree within Newton
+  // tolerance everywhere on the pattern.
+  const auto fast = sram::run_nominal(write_config(true));
+  const auto slow = sram::run_nominal(write_config(false));
+  EXPECT_GT(fast.result.stats().bypass_hits, 0u);
+  EXPECT_EQ(slow.result.stats().bypass_hits, 0u);
+  EXPECT_EQ(slow.result.stats().linear_cache_hits, 0u);
+  EXPECT_EQ(slow.result.stats().lu_factorizations,
+            slow.result.stats().newton_iterations);
+
+  const double t_end = fast.pattern.t_end;
+  for (const std::string& name : {fast.handles.q, fast.handles.qb}) {
+    double max_diff = 0.0;
+    for (int i = 0; i <= 300; ++i) {
+      const double t = t_end * i / 300.0;
+      max_diff = std::max(max_diff, std::abs(fast.result.voltage_at(name, t) -
+                                             slow.result.voltage_at(name, t)));
+    }
+    EXPECT_LT(max_diff, 2e-4) << "node " << name;
+  }
+}
+
+TEST(TransientFastPath, WorkspaceReuseIsAllocationFree) {
+  const auto config = write_config(true);
+  spice::NewtonWorkspace workspace;
+  const auto first = sram::run_nominal(config, workspace);
+  // Binding a fresh workspace to the circuit allocates exactly once.
+  EXPECT_EQ(first.result.stats().workspace_allocations, 1u);
+  // Re-running the same-sized cell through the same workspace must not
+  // touch the heap again — the acceptance contract of the fast path.
+  const auto second = sram::run_nominal(config, workspace);
+  EXPECT_EQ(second.result.stats().workspace_allocations, 0u);
+  EXPECT_GT(second.result.stats().steps_accepted, 0u);
+}
+
+TEST(TransientFastPath, MethodologySharesWorkspaceAcrossPhases) {
+  // run_methodology's RTN-injected re-simulation only adds current
+  // sources, so it must reuse every buffer the nominal phase allocated.
+  sram::MethodologyConfig config;
+  config.tech = physics::technology("90nm");
+  config.ops = sram::ops_from_bits({1, 0});
+  config.seed = 7;
+  const auto result = sram::run_methodology(config);
+  EXPECT_EQ(result.nominal.stats().workspace_allocations, 1u);
+  EXPECT_EQ(result.with_rtn.stats().workspace_allocations, 0u);
+}
+
+TEST(StepController, ExtraBreakpointIsLandedExactly) {
+  spice::Circuit circuit;
+  const int a = circuit.node("a");
+  circuit.add<spice::CurrentSource>("I1", spice::kGround, a,
+                                    core::Pwl::constant(1e-3));
+  circuit.add<spice::Resistor>("R1", a, spice::kGround, 1e3);
+  circuit.add<spice::Capacitor>("C1", a, spice::kGround, 1e-12);
+  spice::TransientOptions options;
+  options.t_stop = 1e-6;
+  options.extra_breakpoints = {3.7e-7};
+  const auto result = spice::transient(circuit, options);
+  bool found = false;
+  for (double t : result.times()) {
+    if (std::abs(t - 3.7e-7) < 1e-15) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(StepController, LteRejectionRetriesAtQuarterStep) {
+  // A fast sine into an RC with a deliberately huge initial step: the
+  // predictor/corrector error must reject the early steps (retrying at
+  // step/4) and still land on the correct trajectory.
+  auto build = [](spice::Circuit& circuit) {
+    const int a = circuit.node("a");
+    circuit.add<spice::CallbackCurrentSource>(
+        "I1", spice::kGround, a,
+        [](double t) { return 1e-3 * std::sin(2.0 * 3.141592653589793 * 5e7 * t); });
+    circuit.add<spice::Resistor>("R1", a, spice::kGround, 1e3);
+    circuit.add<spice::Capacitor>("C1", a, spice::kGround, 1e-12);
+  };
+
+  spice::Circuit coarse_circuit;
+  build(coarse_circuit);
+  spice::TransientOptions coarse;
+  coarse.t_stop = 100e-9;
+  coarse.dt_initial = 5e-9;  // a quarter of the sine period
+  coarse.dt_max = 100e-9;
+  const auto result = spice::transient(coarse_circuit, coarse);
+  EXPECT_GT(result.stats().steps_rejected, 0u);
+
+  // Reference with a conservative step cap: the rejected-and-retried run
+  // must agree with it despite starting 250x coarser.
+  spice::Circuit fine_circuit;
+  build(fine_circuit);
+  spice::TransientOptions fine;
+  fine.t_stop = 100e-9;
+  fine.dt_max = 0.2e-9;
+  const auto reference = spice::transient(fine_circuit, fine);
+  for (double t = 20e-9; t < 100e-9; t += 7e-9) {
+    EXPECT_NEAR(result.voltage_at("a", t), reference.voltage_at("a", t), 2e-2)
+        << "t=" << t;
+  }
+}
+
+TEST(StepController, DtMinUnderflowThrows) {
+  // Allow one Newton iteration per step: the entering residual of a fast
+  // source can then never pass the convergence check, so every step
+  // rejects, quarters, and the controller must throw at dt_min rather
+  // than loop forever. The DC solve keeps its own (default) Newton
+  // options and still converges.
+  spice::Circuit circuit;
+  const int a = circuit.node("a");
+  circuit.add<spice::CallbackCurrentSource>(
+      "I1", spice::kGround, a,
+      [](double t) { return 1e-3 * std::sin(2.0 * 3.141592653589793 * 5e7 * t); });
+  circuit.add<spice::Resistor>("R1", a, spice::kGround, 1e3);
+  circuit.add<spice::Capacitor>("C1", a, spice::kGround, 1e-12);
+  spice::TransientOptions options;
+  options.t_stop = 1e-6;
+  options.dt_min = 1e-12;
+  options.newton.max_iterations = 1;
+  EXPECT_THROW(spice::transient(circuit, options), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace samurai
