@@ -1,0 +1,208 @@
+// RTN-generation hot-path benchmark: Algorithm 1 over the 6T write-pattern
+// workload (65nm, pattern 101), run twice — once with the piecewise
+// per-state majorant (the default) and once on the classic fixed-bound
+// thinning path (`use_majorant = false`). Both paths sample the same law
+// (asserted by the equivalence tests and cross-checked loosely here); the
+// candidate-count ratio is the work the envelope saves. Emits one
+// machine-readable JSON line (scripted against BENCH_rtn_generation.json).
+//
+// `--quick` shrinks the pass counts for use as a smoke test under
+// `ctest -L perf`; `--passes N` overrides the per-batch pass count.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/rtn_generator.hpp"
+#include "physics/mos_device.hpp"
+#include "physics/srh_model.hpp"
+#include "sram/cell.hpp"
+#include "sram/methodology.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace samurai;
+
+namespace {
+
+sram::MethodologyConfig base_config() {
+  sram::MethodologyConfig config;
+  config.tech = physics::technology("65nm");
+  config.sizing.extra_node_cap = 40e-15;
+  config.timing.period = 1e-9;
+  config.ops = sram::ops_from_bits({1, 0, 1});
+  // Fixed per-transistor trap count: a deterministic, meaty workload
+  // (6 x 16 traps) independent of the Poisson draw.
+  config.profile.fixed_count = 16;
+  return config;
+}
+
+/// One transistor's ready-to-simulate workload.
+struct DeviceWorkload {
+  physics::MosDevice device;
+  std::vector<physics::Trap> traps;
+  core::Pwl v_gs;
+  core::Pwl i_d;
+};
+
+struct ModeReport {
+  double ms_per_pass = 0.0;  ///< best-of-batches mean wall per pass
+  core::UniformisationStats stats;  ///< aggregate over every timed pass
+  double candidates_per_sec = 0.0;  ///< aggregate candidates / total wall
+};
+
+/// One pass = generate_device_rtn for all six transistors, mirroring the
+/// methodology's phase-2 seeding so pass p is deterministic and both modes
+/// consume identical per-trap streams.
+void run_pass(const physics::SrhModel& srh,
+              const std::vector<DeviceWorkload>& workloads, double t_end,
+              bool use_majorant, std::uint64_t pass) {
+  core::RtnGeneratorOptions gen;
+  gen.t0 = 0.0;
+  gen.tf = t_end;
+  gen.uniformisation.use_majorant = use_majorant;
+  util::Rng rng(0xB5EFu + pass);
+  for (std::size_t m = 0; m < workloads.size(); ++m) {
+    const auto& w = workloads[m];
+    util::Rng trap_rng = rng.split(m * 977 + 13);
+    (void)core::generate_device_rtn(srh, w.device, w.traps, w.v_gs, w.i_d,
+                                    trap_rng, gen);
+  }
+}
+
+ModeReport bench_mode(const physics::SrhModel& srh,
+                      const std::vector<DeviceWorkload>& workloads,
+                      double t_end, bool use_majorant, int passes,
+                      int batches) {
+  ModeReport report;
+  run_pass(srh, workloads, t_end, use_majorant, 0);  // warmup
+  const auto before = core::uniformisation_stats_snapshot();
+  const auto wall_start = std::chrono::steady_clock::now();
+  report.ms_per_pass = 1e300;
+  std::uint64_t pass = 1;
+  for (int b = 0; b < batches; ++b) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int p = 0; p < passes; ++p) {
+      run_pass(srh, workloads, t_end, use_majorant, pass++);
+    }
+    const double ms =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count() /
+        passes * 1e3;
+    report.ms_per_pass = std::min(report.ms_per_pass, ms);
+  }
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+  report.stats = core::uniformisation_stats_snapshot().since(before);
+  report.candidates_per_sec =
+      wall > 0.0 ? static_cast<double>(report.stats.candidates) / wall : 0.0;
+  return report;
+}
+
+void print_mode_json(const char* key, const ModeReport& r,
+                     std::size_t total_traps) {
+  std::printf(
+      "\"%s\": {\"ms_per_pass\": %.4f, \"candidates\": %llu, "
+      "\"accepted\": %llu, \"segments\": %llu, \"rng_refills\": %llu, "
+      "\"envelope_integral\": %.6e, \"fixed_bound_integral\": %.6e, "
+      "\"envelope_efficiency\": %.3f, \"candidates_per_sec\": %.3e, "
+      "\"candidates_per_trap_sec\": %.3e}",
+      key, r.ms_per_pass,
+      static_cast<unsigned long long>(r.stats.candidates),
+      static_cast<unsigned long long>(r.stats.accepted),
+      static_cast<unsigned long long>(r.stats.segments),
+      static_cast<unsigned long long>(r.stats.rng_refills),
+      r.stats.envelope_integral, r.stats.fixed_bound_integral,
+      r.stats.envelope_efficiency(), r.candidates_per_sec,
+      r.candidates_per_sec / static_cast<double>(total_traps));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.has("quick");
+  const int passes = static_cast<int>(cli.get_int("passes", quick ? 5 : 40));
+  const int batches = quick ? 2 : 5;
+
+  // Setup: one methodology run extracts the six bias/current waveforms and
+  // trap populations the RTN generator consumes.
+  const auto config = base_config();
+  const auto setup = sram::run_methodology(config);
+  const physics::SrhModel srh(config.tech);
+  std::vector<DeviceWorkload> workloads;
+  std::size_t total_traps = 0;
+  for (int m = 1; m <= 6; ++m) {
+    const auto& entry = setup.rtn[static_cast<std::size_t>(m - 1)];
+    workloads.push_back(DeviceWorkload{
+        physics::MosDevice(config.tech, physics::MosType::kNmos,
+                           sram::transistor_geometry(config.tech,
+                                                     config.sizing, m)),
+        entry.traps, entry.v_gs, entry.i_d});
+    total_traps += entry.traps.size();
+  }
+  const double t_end = setup.pattern.t_end;
+
+  std::printf("=== RTN generation hot path (6T write, 65nm, pattern 101) "
+              "===\n");
+  std::printf("%zu traps across 6 transistors, horizon %.3g s; %d passes x "
+              "%d batches\n\n",
+              total_traps, t_end, passes, batches);
+
+  const ModeReport majorant =
+      bench_mode(srh, workloads, t_end, /*use_majorant=*/true, passes,
+                 batches);
+  const ModeReport fixed =
+      bench_mode(srh, workloads, t_end, /*use_majorant=*/false, passes,
+                 batches);
+
+  const double reduction =
+      static_cast<double>(fixed.stats.candidates) /
+      static_cast<double>(std::max<std::uint64_t>(majorant.stats.candidates,
+                                                  1));
+  const double speedup = fixed.ms_per_pass / majorant.ms_per_pass;
+  std::printf("majorant: %.3f ms/pass, %llu candidates (%llu accepted), "
+              "envelope efficiency %.2fx\n",
+              majorant.ms_per_pass,
+              static_cast<unsigned long long>(majorant.stats.candidates),
+              static_cast<unsigned long long>(majorant.stats.accepted),
+              majorant.stats.envelope_efficiency());
+  std::printf("fixed:    %.3f ms/pass, %llu candidates (%llu accepted)\n",
+              fixed.ms_per_pass,
+              static_cast<unsigned long long>(fixed.stats.candidates),
+              static_cast<unsigned long long>(fixed.stats.accepted));
+  std::printf("candidate reduction %.2fx, wall speedup %.2fx\n\n", reduction,
+              speedup);
+
+  std::printf("{\"bench\": \"rtn_generation\", \"quick\": %s, "
+              "\"traps\": %zu, \"passes_per_batch\": %d, \"batches\": %d, "
+              "\"candidate_reduction\": %.3f, \"speedup\": %.3f, ",
+              quick ? "true" : "false", total_traps, passes, batches,
+              reduction, speedup);
+  print_mode_json("majorant", majorant, total_traps);
+  std::printf(", ");
+  print_mode_json("fixed", fixed, total_traps);
+  std::printf("}\n");
+
+  // Contract checks (these make the ctest registration meaningful).
+  if (reduction < 3.0) {
+    std::printf("\nFAIL: candidate reduction %.2fx below the 3x contract\n",
+                reduction);
+    return 1;
+  }
+  // Loose distributional cross-check: both modes realise the same switch
+  // law, so with thousands of accepted transitions the totals must agree
+  // to ~10% (the equivalence tests hold the tight line).
+  const auto lo = std::min(majorant.stats.accepted, fixed.stats.accepted);
+  const auto hi = std::max(majorant.stats.accepted, fixed.stats.accepted);
+  if (lo > 2000 &&
+      static_cast<double>(hi - lo) > 0.1 * static_cast<double>(hi)) {
+    std::printf("\nFAIL: accepted-transition totals diverge (majorant %llu, "
+                "fixed %llu)\n",
+                static_cast<unsigned long long>(majorant.stats.accepted),
+                static_cast<unsigned long long>(fixed.stats.accepted));
+    return 1;
+  }
+  return 0;
+}

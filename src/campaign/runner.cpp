@@ -23,6 +23,7 @@ void fold(CampaignResult& result, const ShardResult& shard) {
   result.samples_done += shard.samples;
   result.wall_seconds += shard.wall_seconds;
   result.solver.merge(shard.solver);
+  result.rtn.merge(shard.rtn);
   ++result.shards_done;
 }
 
@@ -165,6 +166,13 @@ std::string CampaignResult::to_json() const {
   json.add_u64("nw_steps_rejected", solver.steps_rejected);
   json.add_u64("nw_transients", solver.transients);
   json.add_u64("nw_workspace_allocations", solver.workspace_allocations);
+  json.add_u64("rtn_candidates", rtn.candidates);
+  json.add_u64("rtn_accepted", rtn.accepted);
+  json.add_u64("rtn_segments", rtn.segments);
+  json.add_u64("rtn_rng_refills", rtn.rng_refills);
+  json.add("rtn_envelope_integral", rtn.envelope_integral);
+  json.add("rtn_fixed_bound_integral", rtn.fixed_bound_integral);
+  json.add("rtn_envelope_efficiency", rtn.envelope_efficiency());
   return json.str();
 }
 

@@ -40,6 +40,7 @@ struct CampaignResult {
   std::uint64_t budget_saved = 0;  ///< budget - samples_done when stopped
   double wall_seconds = 0.0;       ///< summed shard wall time (ledger)
   spice::SolverStats solver;       ///< summed per-shard solver counters
+  core::UniformisationStats rtn;   ///< summed per-shard sampler counters
 
   // Folded streaming state (all kinds; unused accumulators stay empty).
   WeightedFailure weighted;

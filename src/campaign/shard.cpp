@@ -132,6 +132,8 @@ SampleOutcome evaluate(const Manifest& manifest,
 ShardResult run_shard(const Manifest& manifest, const ShardSpec& spec) {
   const auto start = std::chrono::steady_clock::now();
   const spice::SolverStats stats_before = spice::solver_stats_snapshot();
+  const core::UniformisationStats rtn_before =
+      core::uniformisation_stats_snapshot();
   const sram::ImportanceConfig importance = importance_config_from(manifest);
   const sram::ArrayConfig array = array_config_from(manifest);
 
@@ -159,6 +161,7 @@ ShardResult run_shard(const Manifest& manifest, const ShardSpec& spec) {
   // Shards run one at a time, so the snapshot delta attributes exactly this
   // shard's solver work (the atomic registry already folded every worker).
   result.solver = spice::solver_stats_snapshot().since(stats_before);
+  result.rtn = core::uniformisation_stats_snapshot().since(rtn_before);
   return result;
 }
 
@@ -192,6 +195,12 @@ std::string ShardResult::to_json() const {
   json.add_u64("nw_steps_rejected", solver.steps_rejected);
   json.add_u64("nw_transients", solver.transients);
   json.add_u64("nw_workspace_allocations", solver.workspace_allocations);
+  json.add_u64("rtn_candidates", rtn.candidates);
+  json.add_u64("rtn_accepted", rtn.accepted);
+  json.add_u64("rtn_segments", rtn.segments);
+  json.add_u64("rtn_rng_refills", rtn.rng_refills);
+  json.add("rtn_envelope_integral", rtn.envelope_integral);
+  json.add("rtn_fixed_bound_integral", rtn.fixed_bound_integral);
   return json.str();
 }
 
@@ -228,6 +237,14 @@ ShardResult ShardResult::from_json(const std::string& line) {
   result.solver.transients = json.get_u64("nw_transients", 0);
   result.solver.workspace_allocations =
       json.get_u64("nw_workspace_allocations", 0);
+  // Sampler counters default to zero so pre-counter ledgers still parse.
+  result.rtn.candidates = json.get_u64("rtn_candidates", 0);
+  result.rtn.accepted = json.get_u64("rtn_accepted", 0);
+  result.rtn.segments = json.get_u64("rtn_segments", 0);
+  result.rtn.rng_refills = json.get_u64("rtn_rng_refills", 0);
+  result.rtn.envelope_integral = json.get_double("rtn_envelope_integral", 0.0);
+  result.rtn.fixed_bound_integral =
+      json.get_double("rtn_fixed_bound_integral", 0.0);
   return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include "campaign/accumulator.hpp"
 #include "campaign/manifest.hpp"
+#include "core/uniformisation.hpp"
 #include "spice/analysis.hpp"
 #include "sram/array.hpp"
 #include "sram/importance.hpp"
@@ -48,6 +49,9 @@ struct ShardResult {
   /// SPICE solver work done by this shard (process-wide snapshot delta;
   /// valid because shards execute one at a time). Observability only.
   spice::SolverStats solver;
+  /// Algorithm-1 sampler work done by this shard (same snapshot-delta
+  /// scheme; `rtn_*` ledger keys). Observability only.
+  core::UniformisationStats rtn;
 
   std::string to_json() const;  ///< one ledger line
   static ShardResult from_json(const std::string& line);  ///< throws

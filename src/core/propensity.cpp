@@ -2,9 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace samurai::core {
+
+RateMajorant::RateMajorant(std::vector<MajorantSegment> segments)
+    : segments_(std::move(segments)) {
+  double prev = -std::numeric_limits<double>::infinity();
+  for (const auto& seg : segments_) {
+    if (!(seg.t_end > prev)) {
+      throw std::invalid_argument(
+          "RateMajorant: segment end times must strictly increase");
+    }
+    if (!(seg.bound_c >= 0.0) || !(seg.bound_e >= 0.0) ||
+        !std::isfinite(seg.bound_c) || !std::isfinite(seg.bound_e)) {
+      throw std::invalid_argument("RateMajorant: bounds must be finite and >= 0");
+    }
+    prev = seg.t_end;
+  }
+}
+
+RateMajorant RateMajorant::single(double t_end, double bound_c,
+                                  double bound_e) {
+  return RateMajorant({MajorantSegment{t_end, bound_c, bound_e}});
+}
+
+RateMajorant PropensityFunction::majorant(double t0, double t1) const {
+  const double bound = rate_bound(t0, t1);
+  (void)t0;
+  return RateMajorant::single(t1, bound, bound);
+}
 
 ConstantPropensity::ConstantPropensity(double lambda_c, double lambda_e)
     : p_{lambda_c, lambda_e} {
@@ -19,13 +47,28 @@ double ConstantPropensity::rate_bound(double, double) const {
   return std::max(p_.lambda_c, p_.lambda_e);
 }
 
+RateMajorant ConstantPropensity::majorant(double, double t1) const {
+  return RateMajorant::single(t1, p_.lambda_c, p_.lambda_e);
+}
+
 FunctionalPropensity::FunctionalPropensity(std::function<double(double)> lambda_c,
                                            std::function<double(double)> lambda_e,
                                            double global_bound)
-    : lc_(std::move(lambda_c)), le_(std::move(lambda_e)), bound_(global_bound) {
+    : FunctionalPropensity(std::move(lambda_c), std::move(lambda_e),
+                           global_bound, {}) {}
+
+FunctionalPropensity::FunctionalPropensity(std::function<double(double)> lambda_c,
+                                           std::function<double(double)> lambda_e,
+                                           double global_bound,
+                                           std::vector<MajorantSegment> envelope)
+    : lc_(std::move(lambda_c)),
+      le_(std::move(lambda_e)),
+      bound_(global_bound),
+      envelope_(std::move(envelope)) {
   if (!(bound_ > 0.0)) {
     throw std::invalid_argument("FunctionalPropensity: bound must be positive");
   }
+  (void)RateMajorant(envelope_);  // validate ordering and bound ranges
 }
 
 physics::Propensities FunctionalPropensity::at(double t) const {
@@ -33,6 +76,22 @@ physics::Propensities FunctionalPropensity::at(double t) const {
 }
 
 double FunctionalPropensity::rate_bound(double, double) const { return bound_; }
+
+RateMajorant FunctionalPropensity::majorant(double t0, double t1) const {
+  if (envelope_.empty()) return RateMajorant::single(t1, bound_, bound_);
+  std::vector<MajorantSegment> clipped;
+  for (const auto& seg : envelope_) {
+    if (seg.t_end <= t0) continue;
+    clipped.push_back(seg);
+    if (seg.t_end >= t1) break;
+  }
+  // Any tail the stored envelope does not reach is covered by the global
+  // bound (valid everywhere by the rate_bound contract).
+  if (clipped.empty() || clipped.back().t_end < t1) {
+    clipped.push_back(MajorantSegment{t1, bound_, bound_});
+  }
+  return RateMajorant(std::move(clipped));
+}
 
 BiasPropensity::BiasPropensity(const physics::SrhModel& model,
                                const physics::Trap& trap, const Pwl& v_gs,
@@ -77,6 +136,108 @@ physics::Propensities BiasPropensity::at(double t) const {
   return {lc, total_rate_ - lc};
 }
 
-double BiasPropensity::rate_bound(double, double) const { return total_rate_; }
+double BiasPropensity::rate_bound(double t0, double t1) const {
+  // λ_c is piecewise linear, so its range over [t0, t1] is spanned by the
+  // clipped endpoint values plus the interior breakpoints; λ_e = Λ - λ_c
+  // turns the range [lo, hi] into the exact bound max(hi, Λ - lo).
+  const auto& ts = lambda_c_of_t_.times();
+  const auto& vs = lambda_c_of_t_.values();
+  double lo = std::clamp(lambda_c_of_t_.eval(t0), 0.0, total_rate_);
+  double hi = lo;
+  const double end = std::clamp(lambda_c_of_t_.eval(t1), 0.0, total_rate_);
+  lo = std::min(lo, end);
+  hi = std::max(hi, end);
+  const auto first = std::upper_bound(ts.begin(), ts.end(), t0);
+  const auto last = std::lower_bound(ts.begin(), ts.end(), t1);
+  for (auto it = first; it != last; ++it) {
+    const double v =
+        std::clamp(vs[static_cast<std::size_t>(it - ts.begin())], 0.0,
+                   total_rate_);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return std::max(hi, total_rate_ - lo);
+}
+
+RateMajorant BiasPropensity::majorant(double t0, double t1) const {
+  const auto& ts = lambda_c_of_t_.times();
+  const auto& vs = lambda_c_of_t_.values();
+  if (ts.size() < 2 || t1 <= ts.front() || t0 >= ts.back()) {
+    // Constant tabulation (or the window misses it entirely): one segment
+    // with the exact per-state rates.
+    const double lc = std::clamp(lambda_c_of_t_.eval(t0), 0.0, total_rate_);
+    return RateMajorant::single(t1, lc, total_rate_ - lc);
+  }
+
+  // Per tabulation interval λ_c is linear, so [min, max] over the clipped
+  // interval is attained at its endpoints: bound_c = max, bound_e = Λ - min
+  // are exact. Greedy coalescing then merges neighbours while the merged
+  // envelope integral stays within kCoalesceSlack of the exact one, so flat
+  // bias regions collapse to one segment and fast edges keep only the
+  // resolution they pay for.
+  constexpr double kCoalesceSlack = 1.1;
+  auto value_at = [&](double t) {
+    return std::clamp(lambda_c_of_t_.eval(t), 0.0, total_rate_);
+  };
+
+  std::vector<MajorantSegment> segments;
+  double run_start = t0;          // current run's start time
+  double run_exact = 0.0;         // ∫(bound_c + bound_e)dt of the exact run
+  MajorantSegment run{t0, 0.0, 0.0};
+  bool have_run = false;
+
+  double prev_t = t0;
+  double prev_v = value_at(t0);
+  const auto first = std::upper_bound(ts.begin(), ts.end(), t0);
+  auto idx = static_cast<std::size_t>(first - ts.begin());
+  for (;;) {
+    double next_t;
+    double next_v;
+    if (idx < ts.size() && ts[idx] < t1) {
+      next_t = ts[idx];
+      next_v = std::clamp(vs[idx], 0.0, total_rate_);
+      ++idx;
+    } else {
+      next_t = t1;
+      next_v = value_at(t1);
+    }
+    if (next_t > prev_t) {
+      const double bc = std::max(prev_v, next_v);
+      const double be = total_rate_ - std::min(prev_v, next_v);
+      const double exact = (bc + be) * (next_t - prev_t);
+      if (!have_run) {
+        run = MajorantSegment{next_t, bc, be};
+        run_start = prev_t;
+        run_exact = exact;
+        have_run = true;
+      } else {
+        const double merged_bc = std::max(run.bound_c, bc);
+        const double merged_be = std::max(run.bound_e, be);
+        const double merged_integral =
+            (merged_bc + merged_be) * (next_t - run_start);
+        if (merged_integral <= kCoalesceSlack * (run_exact + exact)) {
+          run.t_end = next_t;
+          run.bound_c = merged_bc;
+          run.bound_e = merged_be;
+          run_exact += exact;
+        } else {
+          segments.push_back(run);
+          run = MajorantSegment{next_t, bc, be};
+          run_start = prev_t;
+          run_exact = exact;
+        }
+      }
+    }
+    prev_t = next_t;
+    prev_v = next_v;
+    if (next_t >= t1) break;
+  }
+  if (have_run) segments.push_back(run);
+  if (segments.empty()) {
+    return RateMajorant::single(t1, total_rate_, total_rate_);
+  }
+  segments.back().t_end = std::max(segments.back().t_end, t1);
+  return RateMajorant(std::move(segments));
+}
 
 }  // namespace samurai::core

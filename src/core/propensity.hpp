@@ -1,10 +1,29 @@
 // Propensity functions for two-state time-inhomogeneous Markov chains.
 //
-// A `PropensityFunction` exposes λ_c(t), λ_e(t) and a certified upper
-// bound λ* over any window — the two ingredients Algorithm 1 needs. The
-// SRH-backed implementation (`BiasPropensity`) derives both from the
-// paper's Eqs. (1)-(2): the bound is *exact* because λ_c + λ_e is
-// constant in time for a physical trap (Eq. 1).
+// A `PropensityFunction` exposes λ_c(t), λ_e(t) plus two kinds of certified
+// upper bounds — the ingredients Algorithm 1 (and its piecewise-majorant
+// refinement, DESIGN.md §11) needs:
+//
+//  * `rate_bound(t0, t1)`  — one scalar λ* dominating *both* propensities
+//    over the whole window. The classic fixed-bound thinning rate.
+//  * `majorant(t0, t1)`    — a piecewise-constant upper envelope with
+//    *separate* per-state bounds per segment. The uniformisation walker
+//    draws candidates at the current state's segment bound, so the expected
+//    candidate count is ∫λ*_{s(t)}(t)dt instead of max·T; cold segments
+//    (a trap pinned by its bias) draw almost nothing.
+//
+// Bound contract (relied on by the thinning sampler; violations are
+// detected at run time and abort the simulation as biased):
+//
+//  * rate_bound(t0, t1) >= max(λ_c(t), λ_e(t)) for all t in [t0, t1],
+//    strictly positive whenever either propensity can be non-zero, and as
+//    *tight* as cheaply possible — a bound of Λ = λ_c + λ_e is always
+//    valid but draws up to 2x the necessary candidates; prefer the
+//    pointwise max (`ConstantPropensity` and `BiasPropensity` return the
+//    exact windowed max).
+//  * Every `majorant` segment [a, b) must satisfy bound_c >= λ_c(t) and
+//    bound_e >= λ_e(t) on the segment; segments are contiguous and must
+//    cover the queried window. Zero bounds certify a frozen propensity.
 #pragma once
 
 #include <functional>
@@ -17,6 +36,40 @@
 
 namespace samurai::core {
 
+/// One segment of a piecewise-constant majorant. The segment spans from
+/// the previous segment's `t_end` (or the envelope's query start) up to
+/// `t_end`; `bound_c` / `bound_e` dominate λ_c / λ_e on it.
+struct MajorantSegment {
+  double t_end = 0.0;
+  double bound_c = 0.0;
+  double bound_e = 0.0;
+};
+
+/// Piecewise-constant upper envelope of both propensities over a window.
+/// Validated on construction: segment end times strictly increase and all
+/// bounds are finite and non-negative.
+class RateMajorant {
+ public:
+  RateMajorant() = default;
+  explicit RateMajorant(std::vector<MajorantSegment> segments);
+
+  /// The single-segment envelope [.., t_end) with the given bounds.
+  static RateMajorant single(double t_end, double bound_c, double bound_e);
+
+  const std::vector<MajorantSegment>& segments() const noexcept {
+    return segments_;
+  }
+  bool empty() const noexcept { return segments_.empty(); }
+
+  /// Last covered time (callers must not simulate past it).
+  double t_end() const noexcept {
+    return segments_.empty() ? 0.0 : segments_.back().t_end;
+  }
+
+ private:
+  std::vector<MajorantSegment> segments_;
+};
+
 class PropensityFunction {
  public:
   virtual ~PropensityFunction() = default;
@@ -27,15 +80,23 @@ class PropensityFunction {
   /// A value λ* with λ* >= max(λ_c(t), λ_e(t)) for all t in [t0, t1].
   /// Must be strictly positive when either propensity can be non-zero.
   virtual double rate_bound(double t0, double t1) const = 0;
+
+  /// Piecewise-constant upper envelope covering [t0, t1]. The default is
+  /// the single-segment envelope at `rate_bound` for both states;
+  /// implementations with temporal structure should override it with
+  /// per-segment (and per-state) tight bounds.
+  virtual RateMajorant majorant(double t0, double t1) const;
 };
 
 /// Time-invariant propensities: the stationary RTS of the validation
-/// experiments (paper §IV-A).
+/// experiments (paper §IV-A). `majorant` is per-state exact, so thinning
+/// accepts every candidate and the sampler devolves to the classic SSA.
 class ConstantPropensity final : public PropensityFunction {
  public:
   ConstantPropensity(double lambda_c, double lambda_e);
   physics::Propensities at(double t) const override;
   double rate_bound(double t0, double t1) const override;
+  RateMajorant majorant(double t0, double t1) const override;
 
  private:
   physics::Propensities p_;
@@ -43,19 +104,27 @@ class ConstantPropensity final : public PropensityFunction {
 
 /// Propensities driven by arbitrary user functions plus an explicit bound;
 /// used by tests (e.g. sinusoidally modulated chains with known master-
-/// equation solutions).
+/// equation solutions). An optional piecewise envelope (validated against
+/// the same contract at run time) exercises the majorant walker; windows
+/// past the envelope's last segment fall back to the global bound.
 class FunctionalPropensity final : public PropensityFunction {
  public:
   FunctionalPropensity(std::function<double(double)> lambda_c,
                        std::function<double(double)> lambda_e,
                        double global_bound);
+  FunctionalPropensity(std::function<double(double)> lambda_c,
+                       std::function<double(double)> lambda_e,
+                       double global_bound,
+                       std::vector<MajorantSegment> envelope);
   physics::Propensities at(double t) const override;
   double rate_bound(double t0, double t1) const override;
+  RateMajorant majorant(double t0, double t1) const override;
 
  private:
   std::function<double(double)> lc_;
   std::function<double(double)> le_;
   double bound_;
+  std::vector<MajorantSegment> envelope_;  ///< optional; empty = fallback
 };
 
 /// SRH trap propensities under a time-varying gate bias V_gs(t).
@@ -64,8 +133,10 @@ class FunctionalPropensity final : public PropensityFunction {
 /// wasteful (uniformisation of a shallow trap draws millions of
 /// candidates), so the propensities are precomputed at the bias
 /// breakpoints — refined so no segment's bias change exceeds
-/// `max_bias_step` — and linearly interpolated in time. The thinning bound
-/// Λ = λ_c + λ_e is exact regardless of interpolation error.
+/// `max_bias_step` — and linearly interpolated in time. λ_c + λ_e = Λ is
+/// constant (paper Eq. 1), so per tabulation segment λ_c is linear and
+/// λ_e = Λ - λ_c: both `rate_bound` (windowed max of max(λ_c, λ_e)) and
+/// the per-segment `majorant` are exact for the tabulated propensities.
 class BiasPropensity final : public PropensityFunction {
  public:
   BiasPropensity(const physics::SrhModel& model, const physics::Trap& trap,
@@ -73,9 +144,15 @@ class BiasPropensity final : public PropensityFunction {
 
   physics::Propensities at(double t) const override;
   double rate_bound(double t0, double t1) const override;
+  RateMajorant majorant(double t0, double t1) const override;
 
   /// The trap's constant total rate Λ (paper Eq. 1).
   double total_rate() const noexcept { return total_rate_; }
+
+  /// The tabulated λ_c(t) table backing `at` — the uniformisation kernel's
+  /// devirtualised fast path interpolates it with a monotone cursor
+  /// instead of paying a virtual call + binary search per candidate.
+  const Pwl& lambda_c_table() const noexcept { return lambda_c_of_t_; }
 
  private:
   double total_rate_;

@@ -68,10 +68,7 @@ DeviceRtnResult generate_device_rtn(const physics::SrhModel& model,
             options.uniformisation, &trap_stats[i]);
       },
       options.threads);
-  for (const auto& stats : trap_stats) {
-    result.stats.candidates += stats.candidates;
-    result.stats.accepted += stats.accepted;
-  }
+  for (const auto& stats : trap_stats) result.stats.merge(stats);
   result.n_filled = aggregate_filled_count(result.trajectories);
 
   // Render Eq. 3 as a PWL waveform: sample the smooth envelope on a

@@ -1,96 +1,311 @@
 #include "core/uniformisation.hpp"
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
 namespace samurai::core {
 
+// ------------------------------------------------------------------ stats
+
+#define SAMURAI_UNI_STAT_U64_FIELDS(X) \
+  X(candidates)                        \
+  X(accepted)                          \
+  X(segments)                          \
+  X(rng_refills)
+
+#define SAMURAI_UNI_STAT_DOUBLE_FIELDS(X) \
+  X(envelope_integral)                    \
+  X(fixed_bound_integral)
+
+double UniformisationStats::envelope_efficiency() const {
+  if (!(envelope_integral > 0.0)) return 1.0;
+  return fixed_bound_integral / envelope_integral;
+}
+
+void UniformisationStats::merge(const UniformisationStats& other) {
+#define X(field) field += other.field;
+  SAMURAI_UNI_STAT_U64_FIELDS(X)
+  SAMURAI_UNI_STAT_DOUBLE_FIELDS(X)
+#undef X
+}
+
+UniformisationStats UniformisationStats::since(
+    const UniformisationStats& other) const {
+  UniformisationStats delta;
+#define X(field) delta.field = field - other.field;
+  SAMURAI_UNI_STAT_U64_FIELDS(X)
+  SAMURAI_UNI_STAT_DOUBLE_FIELDS(X)
+#undef X
+  return delta;
+}
+
 namespace {
 
-// Run the Algorithm-1 loop on [t0, tf] with a fixed bound, appending
-// accepted switch times. Returns the state at tf.
-physics::TrapState run_window(const PropensityFunction& propensity, double t0,
-                              double tf, physics::TrapState state,
-                              double lambda_star, util::Rng& rng,
-                              const UniformisationOptions& options,
-                              UniformisationStats* stats,
-                              std::vector<double>& switches) {
-  if (!(lambda_star >= 0.0) || !std::isfinite(lambda_star)) {
-    throw std::invalid_argument("uniformisation: invalid rate bound");
+void atomic_add(std::atomic<double>& target, double value) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + value,
+                                       std::memory_order_relaxed)) {
   }
-  if (lambda_star == 0.0) return state;  // chain is frozen on this window
+}
 
-  double curr_time = t0;
-  std::uint64_t candidates = 0;
-  // Flush the candidate count on *every* exit — including the budget and
-  // bound-violation throws below — so diagnostics reflect the work
-  // actually done before the abort.
-  struct FlushStats {
-    UniformisationStats* stats;
-    const std::uint64_t* candidates;
-    ~FlushStats() {
-      if (stats) stats->candidates += *candidates;
-    }
-  } flush{stats, &candidates};
-  for (;;) {
-    curr_time += rng.exponential(lambda_star);  // next candidate (line 7)
-    if (curr_time > tf) break;                  // horizon reached (line 9)
-    if (++candidates > options.max_candidates) {
-      throw std::runtime_error("uniformisation: candidate budget exceeded "
-                               "(bad bound or horizon?)");
-    }
-    const physics::Propensities p = propensity.at(curr_time);
-    const double lambda_next = state == physics::TrapState::kFilled
-                                   ? p.lambda_e   // line 11
-                                   : p.lambda_c;  // line 13
-    if (lambda_next > lambda_star * (1.0 + 1e-9)) {
-      throw std::runtime_error("uniformisation: propensity exceeds bound "
-                               "— thinning would be biased");
-    }
-    if (rng.uniform() < lambda_next / lambda_star) {  // line 15
-      switches.push_back(curr_time);
-      state = toggled(state);
-      if (stats) ++stats->accepted;
-    }
-  }
-  return state;
+struct AtomicUniformisationStats {
+#define X(field) std::atomic<std::uint64_t> field{0};
+  SAMURAI_UNI_STAT_U64_FIELDS(X)
+#undef X
+#define X(field) std::atomic<double> field{0.0};
+  SAMURAI_UNI_STAT_DOUBLE_FIELDS(X)
+#undef X
+};
+
+AtomicUniformisationStats& global_uniformisation_stats() {
+  static AtomicUniformisationStats stats;
+  return stats;
 }
 
 }  // namespace
 
-TrapTrajectory simulate_trap(const PropensityFunction& propensity, double t0,
-                             double tf, physics::TrapState init_state,
-                             util::Rng& rng,
-                             const UniformisationOptions& options,
-                             UniformisationStats* stats) {
-  if (!(tf >= t0)) throw std::invalid_argument("simulate_trap: tf < t0");
-  const double bound =
-      (options.rate_bound ? *options.rate_bound : propensity.rate_bound(t0, tf)) *
-      options.bound_safety;
-  std::vector<double> switches;
-  run_window(propensity, t0, tf, init_state, bound, rng, options, stats, switches);
-  return TrapTrajectory(t0, tf, init_state, std::move(switches));
+UniformisationStats uniformisation_stats_snapshot() {
+  auto& global = global_uniformisation_stats();
+  UniformisationStats stats;
+#define X(field) stats.field = global.field.load(std::memory_order_relaxed);
+  SAMURAI_UNI_STAT_U64_FIELDS(X)
+  SAMURAI_UNI_STAT_DOUBLE_FIELDS(X)
+#undef X
+  return stats;
 }
 
-TrapTrajectory simulate_trap_windowed(const PropensityFunction& propensity,
-                                      double t0, double tf,
-                                      physics::TrapState init_state,
-                                      const std::vector<double>& window_boundaries,
-                                      util::Rng& rng,
-                                      const UniformisationOptions& options,
-                                      UniformisationStats* stats) {
-  if (!(tf >= t0)) throw std::invalid_argument("simulate_trap_windowed: tf < t0");
+namespace detail {
+void uniformisation_stats_accumulate(const UniformisationStats& stats) {
+  auto& global = global_uniformisation_stats();
+#define X(field) \
+  global.field.fetch_add(stats.field, std::memory_order_relaxed);
+  SAMURAI_UNI_STAT_U64_FIELDS(X)
+#undef X
+#define X(field) atomic_add(global.field, stats.field);
+  SAMURAI_UNI_STAT_DOUBLE_FIELDS(X)
+#undef X
+}
+}  // namespace detail
+
+// ----------------------------------------------------------------- kernel
+
+namespace {
+
+/// Per-segment refilled blocks of (unit-exponential, uniform) pairs. One
+/// pair per candidate keeps the inner loop branch-light: the only refill
+/// branch is a single counter compare. The refill is sized to the
+/// expected number of candidates left in the current segment so frozen or
+/// short segments do not waste stream.
+class RngBlock {
+ public:
+  struct Pair {
+    double exp1;
+    double uniform;
+  };
+
+  Pair draw(util::Rng& rng, double bound, double remaining,
+            std::uint64_t& refills) noexcept {
+    if (next_ == size_) refill(rng, bound, remaining, refills);
+    const Pair pair{exp_[next_], uni_[next_]};
+    ++next_;
+    return pair;
+  }
+
+ private:
+  void refill(util::Rng& rng, double bound, double remaining,
+              std::uint64_t& refills) noexcept {
+    const double expected = std::min(bound * remaining, 4096.0);
+    const std::size_t n = std::min(
+        kCapacity, static_cast<std::size_t>(expected) + 4);
+    rng.fill_exponential_unit(exp_.data(), n);
+    rng.fill_uniform(uni_.data(), n);
+    size_ = n;
+    next_ = 0;
+    ++refills;
+  }
+
+  static constexpr std::size_t kCapacity = 256;
+  std::array<double, kCapacity> exp_;
+  std::array<double, kCapacity> uni_;
+  std::size_t size_ = 0;
+  std::size_t next_ = 0;
+};
+
+/// Generic evaluator: one virtual call per candidate.
+struct VirtualEval {
+  const PropensityFunction* propensity;
+  physics::Propensities operator()(double t) const {
+    return propensity->at(t);
+  }
+};
+
+/// Devirtualised BiasPropensity evaluator: interpolates the tabulated
+/// λ_c(t) directly with a monotone segment cursor. Candidate times are
+/// nondecreasing within a simulate call, so the containing segment is
+/// found by walking forward — no virtual dispatch, no binary search, no
+/// shared atomic hint.
+class BiasTableEval {
+ public:
+  explicit BiasTableEval(const BiasPropensity& propensity)
+      : times_(propensity.lambda_c_table().times().data()),
+        values_(propensity.lambda_c_table().values().data()),
+        n_(propensity.lambda_c_table().times().size()),
+        total_(propensity.total_rate()) {}
+
+  physics::Propensities operator()(double t) const noexcept {
+    double lc;
+    if (n_ < 2 || t <= times_[0]) {
+      lc = n_ == 0 ? 0.0 : values_[0];
+    } else if (t >= times_[n_ - 1]) {
+      lc = values_[n_ - 1];
+    } else {
+      while (t > times_[cursor_ + 1]) ++cursor_;  // t < times_[n_-1]
+      if (t < times_[cursor_]) {
+        // A fresh window behind the cursor (never happens on the
+        // nondecreasing candidate stream, but keep eval total).
+        cursor_ = 0;
+        while (t > times_[cursor_ + 1]) ++cursor_;
+      }
+      const double span = times_[cursor_ + 1] - times_[cursor_];
+      const double alpha = (t - times_[cursor_]) / span;
+      lc = values_[cursor_] + alpha * (values_[cursor_ + 1] - values_[cursor_]);
+    }
+    lc = std::clamp(lc, 0.0, total_);
+    return {lc, total_ - lc};
+  }
+
+ private:
+  const double* times_;
+  const double* values_;
+  std::size_t n_;
+  double total_;
+  mutable std::size_t cursor_ = 0;
+};
+
+/// Walk one window's envelope (Lewis–Shedler / Ogata thinning with a
+/// piecewise-constant, per-state majorant), appending accepted switch
+/// times. The fixed-bound path is the single-segment special case.
+/// Returns the state at `tf`.
+template <class Eval>
+physics::TrapState run_envelope(const Eval& eval, const RateMajorant& majorant,
+                                double t0, double tf, physics::TrapState state,
+                                double bound_safety, util::Rng& rng,
+                                RngBlock& block,
+                                const UniformisationOptions& options,
+                                std::uint64_t& candidates_total,
+                                UniformisationStats& local,
+                                std::vector<double>& switches) {
+  const auto& segments = majorant.segments();
+  double t = t0;
+  std::size_t si = 0;
+  while (si < segments.size() && segments[si].t_end <= t0) ++si;
+  while (t < tf) {
+    if (si >= segments.size()) {
+      throw std::invalid_argument(
+          "uniformisation: majorant does not cover the window");
+    }
+    const MajorantSegment& seg = segments[si];
+    const double seg_end = std::min(seg.t_end, tf);
+    ++local.segments;
+    double bound = (state == physics::TrapState::kEmpty ? seg.bound_c
+                                                        : seg.bound_e) *
+                   bound_safety;
+    double mark = t;  // envelope-integral accounting anchor
+    for (;;) {
+      if (!(bound > 0.0)) {
+        // Frozen for the current state on this segment: certified no
+        // events, so skip to the segment end without drawing.
+        t = seg_end;
+        break;
+      }
+      const auto pair = block.draw(rng, bound, seg_end - t, local.rng_refills);
+      const double step = pair.exp1 / bound;
+      if (step >= seg_end - t) {  // candidate past the segment (line 9)
+        local.envelope_integral += bound * (seg_end - mark);
+        t = seg_end;
+        break;
+      }
+      t += step;
+      ++local.candidates;
+      if (++candidates_total > options.max_candidates) {
+        local.envelope_integral += bound * (t - mark);
+        throw std::runtime_error("uniformisation: candidate budget exceeded "
+                                 "(bad bound or horizon?)");
+      }
+      const physics::Propensities p = eval(t);
+      const double lambda_next = state == physics::TrapState::kFilled
+                                     ? p.lambda_e   // line 11
+                                     : p.lambda_c;  // line 13
+      if (lambda_next > bound * (1.0 + 1e-9)) {
+        local.envelope_integral += bound * (t - mark);
+        throw std::runtime_error("uniformisation: propensity exceeds bound "
+                                 "— thinning would be biased");
+      }
+      if (pair.uniform * bound < lambda_next) {  // line 15
+        switches.push_back(t);
+        state = toggled(state);
+        ++local.accepted;
+        local.envelope_integral += bound * (t - mark);
+        mark = t;
+        bound = (state == physics::TrapState::kEmpty ? seg.bound_c
+                                                     : seg.bound_e) *
+                bound_safety;
+      }
+    }
+    ++si;
+  }
+  return state;
+}
+
+/// Merge the per-call counters into the caller's stats and the process
+/// registry on *every* exit — including the budget and bound-violation
+/// throws — so diagnostics reflect the work actually done before an abort.
+struct FlushStats {
+  UniformisationStats* stats;
+  const UniformisationStats* local;
+  ~FlushStats() {
+    if (stats) stats->merge(*local);
+    detail::uniformisation_stats_accumulate(*local);
+  }
+};
+
+template <class Eval>
+TrapTrajectory simulate_windows(const PropensityFunction& propensity,
+                                const Eval& eval, double t0, double tf,
+                                physics::TrapState init_state,
+                                const std::vector<double>& window_boundaries,
+                                util::Rng& rng,
+                                const UniformisationOptions& options,
+                                UniformisationStats* stats) {
+  UniformisationStats local;
+  FlushStats flush{stats, &local};
   std::vector<double> switches;
   physics::TrapState state = init_state;
+  std::uint64_t candidates_total = 0;
+  RngBlock block;
+  // An explicit scalar bound is a fixed-bound request: it cannot certify a
+  // per-state envelope, so it disables the majorant walk for the call.
+  const bool fixed = !options.use_majorant || options.rate_bound.has_value();
   double start = t0;
   auto run_to = [&](double end) {
     if (!(end > start)) return;
-    const double bound =
-        (options.rate_bound ? *options.rate_bound
-                            : propensity.rate_bound(start, end)) *
-        options.bound_safety;
-    state = run_window(propensity, start, end, state, bound, rng, options,
-                       stats, switches);
+    const double window_bound =
+        options.rate_bound ? *options.rate_bound
+                           : propensity.rate_bound(start, end);
+    if (!(window_bound >= 0.0) || !std::isfinite(window_bound)) {
+      throw std::invalid_argument("uniformisation: invalid rate bound");
+    }
+    local.fixed_bound_integral +=
+        window_bound * options.bound_safety * (end - start);
+    const RateMajorant majorant =
+        fixed ? RateMajorant::single(end, window_bound, window_bound)
+              : propensity.majorant(start, end);
+    state = run_envelope(eval, majorant, start, end, state,
+                         options.bound_safety, rng, block, options,
+                         candidates_total, local, switches);
     start = end;
   };
   for (double boundary : window_boundaries) {
@@ -104,6 +319,43 @@ TrapTrajectory simulate_trap_windowed(const PropensityFunction& propensity,
   }
   run_to(tf);
   return TrapTrajectory(t0, tf, init_state, std::move(switches));
+}
+
+template <class... Args>
+TrapTrajectory dispatch_simulate(const PropensityFunction& propensity,
+                                 Args&&... args) {
+  // One dynamic_cast per simulate call buys a virtual-free, search-free
+  // inner loop for the dominant (BiasPropensity) workload.
+  if (const auto* bias = dynamic_cast<const BiasPropensity*>(&propensity)) {
+    return simulate_windows(propensity, BiasTableEval(*bias),
+                            std::forward<Args>(args)...);
+  }
+  return simulate_windows(propensity, VirtualEval{&propensity},
+                          std::forward<Args>(args)...);
+}
+
+}  // namespace
+
+TrapTrajectory simulate_trap(const PropensityFunction& propensity, double t0,
+                             double tf, physics::TrapState init_state,
+                             util::Rng& rng,
+                             const UniformisationOptions& options,
+                             UniformisationStats* stats) {
+  if (!(tf >= t0)) throw std::invalid_argument("simulate_trap: tf < t0");
+  return dispatch_simulate(propensity, t0, tf, init_state,
+                           std::vector<double>{}, rng, options, stats);
+}
+
+TrapTrajectory simulate_trap_windowed(const PropensityFunction& propensity,
+                                      double t0, double tf,
+                                      physics::TrapState init_state,
+                                      const std::vector<double>& window_boundaries,
+                                      util::Rng& rng,
+                                      const UniformisationOptions& options,
+                                      UniformisationStats* stats) {
+  if (!(tf >= t0)) throw std::invalid_argument("simulate_trap_windowed: tf < t0");
+  return dispatch_simulate(propensity, t0, tf, init_state, window_boundaries,
+                           rng, options, stats);
 }
 
 std::vector<double> master_equation_fill_probability(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <cmath>
 #include <limits>
@@ -95,6 +96,20 @@ class Rng {
   }
 
   bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Block draw of `n` U[0,1) variates — exactly the stream of `n` scalar
+  /// `uniform()` calls. Batch consumers (the uniformisation kernel refills
+  /// per-segment candidate buffers) stay branch-light in their inner loop.
+  void fill_uniform(double* out, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) out[i] = uniform();
+  }
+
+  /// Block draw of `n` *unit-rate* exponential variates (the stream of
+  /// scalar `exponential(1.0)` calls). Stored unscaled so one block stays
+  /// valid across thinning-bound changes: divide by the rate at use.
+  void fill_exponential_unit(double* out, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) out[i] = -std::log1p(-uniform());
+  }
 
   /// Standard normal via Marsaglia polar method (cached second value).
   double normal() noexcept {

@@ -146,6 +146,24 @@ TEST(Rng, BernoulliFrequency) {
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
 }
 
+TEST(Rng, BlockFillsMatchScalarStreams) {
+  // The uniformisation kernel's batched draws must consume the stream
+  // exactly like the scalar calls, so block size is not a law parameter.
+  Rng block_rng(123), scalar_rng(123);
+  double uniforms[17];
+  block_rng.fill_uniform(uniforms, 17);
+  for (double u : uniforms) EXPECT_EQ(u, scalar_rng.uniform());
+
+  Rng block_exp(456), scalar_exp(456);
+  double exponentials[31];
+  block_exp.fill_exponential_unit(exponentials, 31);
+  for (double e : exponentials) {
+    // fill_exponential_unit draws unit-rate variates via -log1p(-u).
+    EXPECT_EQ(e, -std::log1p(-scalar_exp.uniform()));
+    EXPECT_GE(e, 0.0);
+  }
+}
+
 TEST(Splitmix64, KnownSequenceIsStable) {
   std::uint64_t state = 0;
   const auto a = splitmix64(state);
