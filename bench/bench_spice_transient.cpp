@@ -3,11 +3,23 @@
 // (workspace reuse + linear-stamp cache + modified-Newton LU bypass) and
 // once with every cache disabled (force-refactorize reference). The two
 // paths agree within Newton tolerance (asserted by the fast-path regression
-// test); the wall-clock ratio is the speedup the fast path buys. Emits one
-// machine-readable JSON line (scripted against BENCH_spice_transient.json).
+// test); the wall-clock ratio is the speedup the fast path buys.
 //
-// `--quick` shrinks the repetition counts for use as a smoke test under
-// `ctest -L perf`; `--reps N` overrides the write-transient repetitions.
+// A second section scales the workload: the N-cell shared-bitline column
+// (N in {8, 32, 64}) timed on the dense and the sparse MNA engine over a
+// fixed step grid (LTE control disabled), so both engines do provably
+// identical work — the accepted-point counts are asserted equal — and the
+// ratio isolates the linear solver. Dense factorization is O(n^3) in the
+// n = 7N + 10 unknowns while the sparse path tracks the near-constant
+// per-row fill of the column topology, so the ratio must grow with N; the
+// bench fails if the 64-cell column is not at least 3x faster sparse.
+//
+// Emits one machine-readable JSON line (scripted against
+// BENCH_spice_transient.json).
+//
+// `--quick` shrinks the repetition counts and column sizes for use as a
+// smoke test under `ctest -L perf`; `--reps N` overrides the
+// write-transient repetitions.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -15,6 +27,7 @@
 #include <vector>
 
 #include "spice/analysis.hpp"
+#include "sram/column.hpp"
 #include "sram/coupled.hpp"
 #include "sram/methodology.hpp"
 #include "util/cli.hpp"
@@ -98,13 +111,62 @@ ModeReport bench_coupled(bool fast, int reps, int batches) {
   return report;
 }
 
+sram::ColumnConfig column_config(std::size_t cells) {
+  sram::ColumnConfig config;
+  config.tech = physics::technology("90nm");
+  config.num_cells = cells;
+  config.initial_bits.assign(cells, 0);
+  config.ops = {sram::ColumnOp::write(0, 1), sram::ColumnOp::read(0),
+                sram::ColumnOp::read(cells - 1)};
+  return config;
+}
+
+/// N-cell column on one pinned engine over a fixed step grid. Rebuilds the
+/// circuit per repetition (matching the other benches) but shares the
+/// workspace, so the sparse engine's symbolic analysis is amortised the
+/// way campaign repetitions amortise it.
+ModeReport bench_column(std::size_t cells, spice::SolverKind solver, int reps,
+                        int batches) {
+  const sram::ColumnConfig config = column_config(cells);
+  spice::NewtonWorkspace workspace;
+
+  auto run_once = [&] {
+    spice::Circuit circuit;
+    (void)sram::build_column(circuit, config);
+    spice::TransientOptions options = sram::column_transient_options(config);
+    options.solver = solver;
+    // Fixed grid: identical accepted-point counts on both engines, so the
+    // wall-clock ratio compares equal work (asserted in main).
+    options.dt_initial = options.dt_max;
+    options.lte_reltol = 1e9;
+    options.lte_abstol = 1e9;
+    return spice::transient(circuit, options, workspace);
+  };
+
+  ModeReport report;
+  {
+    const auto first = run_once();  // instrumented run + warmup
+    report.stats = first.stats();
+    report.points = first.num_points();
+  }
+  report.ms_per_run = 1e300;
+  for (int b = 0; b < batches; ++b) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) (void)run_once();
+    report.ms_per_run = std::min(report.ms_per_run, now_delta_ms(start, reps));
+  }
+  return report;
+}
+
 void print_stats_json(const char* key, const ModeReport& r) {
   std::printf(
       "\"%s\": {\"ms_per_run\": %.4f, \"points\": %zu, "
       "\"newton_iterations\": %llu, \"lu_factorizations\": %llu, "
       "\"lu_solves\": %llu, \"bypass_hits\": %llu, \"device_loads\": %llu, "
       "\"linear_cache_hits\": %llu, \"steps_accepted\": %llu, "
-      "\"steps_rejected\": %llu, \"workspace_allocations\": %llu}",
+      "\"steps_rejected\": %llu, \"workspace_allocations\": %llu, "
+      "\"sp_symbolic_analyses\": %llu, \"sp_numeric_refactors\": %llu, "
+      "\"sp_solves\": %llu}",
       key, r.ms_per_run, r.points,
       static_cast<unsigned long long>(r.stats.newton_iterations),
       static_cast<unsigned long long>(r.stats.lu_factorizations),
@@ -114,7 +176,10 @@ void print_stats_json(const char* key, const ModeReport& r) {
       static_cast<unsigned long long>(r.stats.linear_cache_hits),
       static_cast<unsigned long long>(r.stats.steps_accepted),
       static_cast<unsigned long long>(r.stats.steps_rejected),
-      static_cast<unsigned long long>(r.stats.workspace_allocations));
+      static_cast<unsigned long long>(r.stats.workspace_allocations),
+      static_cast<unsigned long long>(r.stats.sp_symbolic_analyses),
+      static_cast<unsigned long long>(r.stats.sp_numeric_refactors),
+      static_cast<unsigned long long>(r.stats.sp_solves));
 }
 
 }  // namespace
@@ -146,6 +211,35 @@ int main(int argc, char** argv) {
               "-> speedup %.2fx\n\n",
               c_fast.ms_per_run, c_fast.points, c_slow.ms_per_run, c_speedup);
 
+  // --- Sparse vs dense over the shared-bitline column ---------------------
+  const std::vector<std::size_t> column_sizes =
+      quick ? std::vector<std::size_t>{8, 64}
+            : std::vector<std::size_t>{8, 32, 64};
+  const int col_batches = quick ? 1 : 2;
+  struct ColumnEntry {
+    std::size_t cells = 0;
+    ModeReport dense, sparse;
+    double speedup = 0.0;
+  };
+  std::vector<ColumnEntry> columns;
+  for (const std::size_t cells : column_sizes) {
+    ColumnEntry entry;
+    entry.cells = cells;
+    // Dense factorization dominates quickly; keep its rep count small.
+    const int col_reps = quick ? 1 : (cells >= 32 ? 2 : 6);
+    entry.dense = bench_column(cells, spice::SolverKind::kDense, col_reps,
+                               col_batches);
+    entry.sparse = bench_column(cells, spice::SolverKind::kSparse, col_reps,
+                                col_batches);
+    entry.speedup = entry.dense.ms_per_run / entry.sparse.ms_per_run;
+    std::printf("column N=%-2zu (n=%zu): dense %.3f ms/run, sparse %.3f "
+                "ms/run (%zu pts) -> speedup %.2fx\n",
+                cells, 7 * cells + 10, entry.dense.ms_per_run,
+                entry.sparse.ms_per_run, entry.sparse.points, entry.speedup);
+    columns.push_back(entry);
+  }
+  std::printf("\n");
+
   std::printf("{\"bench\": \"spice_transient\", \"quick\": %s, "
               "\"write6t\": {\"speedup\": %.3f, ",
               quick ? "true" : "false", w_speedup);
@@ -156,16 +250,54 @@ int main(int argc, char** argv) {
   print_stats_json("fast", c_fast);
   std::printf(", ");
   print_stats_json("reference", c_slow);
-  std::printf("}}\n");
+  std::printf("}, \"columns\": [");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const auto& entry = columns[i];
+    std::printf("%s{\"cells\": %zu, \"speedup\": %.3f, ", i ? ", " : "",
+                entry.cells, entry.speedup);
+    print_stats_json("dense", entry.dense);
+    std::printf(", ");
+    print_stats_json("sparse", entry.sparse);
+    std::printf("}");
+  }
+  std::printf("]}\n");
 
-  // Contract check (this makes the ctest registration meaningful): the
-  // steady-state repetition loop must be allocation-free.
+  // Contract checks (these make the ctest registration meaningful).
+  // 1. The steady-state repetition loop must be allocation-free.
   if (w_fast.realloc_after_first != 0 || w_slow.realloc_after_first != 0) {
     std::printf("\nFAIL: workspace reallocated in steady state (fast %llu, "
                 "reference %llu)\n",
                 static_cast<unsigned long long>(w_fast.realloc_after_first),
                 static_cast<unsigned long long>(w_slow.realloc_after_first));
     return 1;
+  }
+  // 2. The timed column runs must do identical work on both engines, and
+  //    the sparse share of that work must be total (above the threshold)
+  //    or zero (dense pin).
+  for (const auto& entry : columns) {
+    if (entry.dense.points != entry.sparse.points ||
+        entry.dense.stats.steps_accepted != entry.sparse.stats.steps_accepted) {
+      std::printf("\nFAIL: column N=%zu engines accepted different step "
+                  "counts (dense %zu, sparse %zu)\n",
+                  entry.cells, entry.dense.points, entry.sparse.points);
+      return 1;
+    }
+    if (entry.dense.stats.sp_solves != 0 ||
+        entry.sparse.stats.sp_solves != entry.sparse.stats.lu_solves) {
+      std::printf("\nFAIL: column N=%zu ran on the wrong engine\n",
+                  entry.cells);
+      return 1;
+    }
+  }
+  // 3. The 64-cell column must be at least 3x faster sparse — the scaling
+  //    claim of the sparse engine, gated in quick mode too (the margin is
+  //    large enough to be robust at one repetition).
+  for (const auto& entry : columns) {
+    if (entry.cells >= 64 && entry.speedup < 3.0) {
+      std::printf("\nFAIL: 64-cell column sparse speedup %.2fx < 3.0x\n",
+                  entry.speedup);
+      return 1;
+    }
   }
   return 0;
 }

@@ -166,6 +166,9 @@ std::string CampaignResult::to_json() const {
   json.add_u64("nw_steps_rejected", solver.steps_rejected);
   json.add_u64("nw_transients", solver.transients);
   json.add_u64("nw_workspace_allocations", solver.workspace_allocations);
+  json.add_u64("sp_symbolic_analyses", solver.sp_symbolic_analyses);
+  json.add_u64("sp_numeric_refactors", solver.sp_numeric_refactors);
+  json.add_u64("sp_solves", solver.sp_solves);
   json.add_u64("rtn_candidates", rtn.candidates);
   json.add_u64("rtn_accepted", rtn.accepted);
   json.add_u64("rtn_segments", rtn.segments);

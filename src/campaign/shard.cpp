@@ -195,6 +195,9 @@ std::string ShardResult::to_json() const {
   json.add_u64("nw_steps_rejected", solver.steps_rejected);
   json.add_u64("nw_transients", solver.transients);
   json.add_u64("nw_workspace_allocations", solver.workspace_allocations);
+  json.add_u64("sp_symbolic_analyses", solver.sp_symbolic_analyses);
+  json.add_u64("sp_numeric_refactors", solver.sp_numeric_refactors);
+  json.add_u64("sp_solves", solver.sp_solves);
   json.add_u64("rtn_candidates", rtn.candidates);
   json.add_u64("rtn_accepted", rtn.accepted);
   json.add_u64("rtn_segments", rtn.segments);
@@ -237,6 +240,12 @@ ShardResult ShardResult::from_json(const std::string& line) {
   result.solver.transients = json.get_u64("nw_transients", 0);
   result.solver.workspace_allocations =
       json.get_u64("nw_workspace_allocations", 0);
+  // Sparse-engine counters arrived after the nw_* block; zero-defaulting
+  // keeps dense-era ledgers parseable (their sparse share really is zero).
+  result.solver.sp_symbolic_analyses = json.get_u64("sp_symbolic_analyses", 0);
+  result.solver.sp_numeric_refactors =
+      json.get_u64("sp_numeric_refactors", 0);
+  result.solver.sp_solves = json.get_u64("sp_solves", 0);
   // Sampler counters default to zero so pre-counter ledgers still parse.
   result.rtn.candidates = json.get_u64("rtn_candidates", 0);
   result.rtn.accepted = json.get_u64("rtn_accepted", 0);

@@ -129,6 +129,70 @@ BiasPropensity::BiasPropensity(const physics::SrhModel& model,
     lc.push_back(model.propensities(trap, v_gs.eval(t)).lambda_c);
   }
   lambda_c_of_t_ = Pwl(std::move(times), std::move(lc));
+  build_envelope();
+}
+
+void BiasPropensity::build_envelope() {
+  const auto& ts = lambda_c_of_t_.times();
+  const auto& vs = lambda_c_of_t_.values();
+  if (ts.size() < 2) return;  // constant tabulation: majorant() is exact
+  const double t0 = ts.front();
+  const double t1 = ts.back();
+
+  // Per tabulation interval λ_c is linear, so [min, max] over the interval
+  // is attained at its endpoints: bound_c = max, bound_e = Λ - min are
+  // exact. Greedy coalescing then merges neighbours while the merged
+  // envelope integral stays within kCoalesceSlack of the exact one, so
+  // flat bias regions collapse to one segment and fast edges keep only the
+  // resolution they pay for. Each emitted segment also costs the sampler a
+  // fixed walk overhead, which for slow traps dwarfs the candidates a
+  // tighter envelope saves — so runs shorter than 1/kMaxSegments of the
+  // span are merged even past the slack, bounding the segment count.
+  constexpr double kCoalesceSlack = 1.1;
+  constexpr double kMaxSegments = 12.0;
+  const double min_span = (t1 - t0) / kMaxSegments;
+
+  double run_start = t0;   // current run's start time
+  double run_exact = 0.0;  // ∫(bound_c + bound_e)dt of the exact run
+  MajorantSegment run{t0, 0.0, 0.0};
+  bool have_run = false;
+
+  double prev_v = std::clamp(vs.front(), 0.0, total_rate_);
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    const double prev_t = ts[i - 1];
+    const double next_t = ts[i];
+    const double next_v = std::clamp(vs[i], 0.0, total_rate_);
+    if (next_t > prev_t) {
+      const double bc = std::max(prev_v, next_v);
+      const double be = total_rate_ - std::min(prev_v, next_v);
+      const double exact = (bc + be) * (next_t - prev_t);
+      if (!have_run) {
+        run = MajorantSegment{next_t, bc, be};
+        run_start = prev_t;
+        run_exact = exact;
+        have_run = true;
+      } else {
+        const double merged_bc = std::max(run.bound_c, bc);
+        const double merged_be = std::max(run.bound_e, be);
+        const double merged_integral =
+            (merged_bc + merged_be) * (next_t - run_start);
+        if (next_t - run_start < min_span ||
+            merged_integral <= kCoalesceSlack * (run_exact + exact)) {
+          run.t_end = next_t;
+          run.bound_c = merged_bc;
+          run.bound_e = merged_be;
+          run_exact += exact;
+        } else {
+          envelope_.push_back(run);
+          run = MajorantSegment{next_t, bc, be};
+          run_start = prev_t;
+          run_exact = exact;
+        }
+      }
+    }
+    prev_v = next_v;
+  }
+  if (have_run) envelope_.push_back(run);
 }
 
 physics::Propensities BiasPropensity::at(double t) const {
@@ -161,83 +225,32 @@ double BiasPropensity::rate_bound(double t0, double t1) const {
 
 RateMajorant BiasPropensity::majorant(double t0, double t1) const {
   const auto& ts = lambda_c_of_t_.times();
-  const auto& vs = lambda_c_of_t_.values();
-  if (ts.size() < 2 || t1 <= ts.front() || t0 >= ts.back()) {
+  if (envelope_.empty() || t1 <= ts.front() || t0 >= ts.back()) {
     // Constant tabulation (or the window misses it entirely): one segment
     // with the exact per-state rates.
     const double lc = std::clamp(lambda_c_of_t_.eval(t0), 0.0, total_rate_);
     return RateMajorant::single(t1, lc, total_rate_ - lc);
   }
 
-  // Per tabulation interval λ_c is linear, so [min, max] over the clipped
-  // interval is attained at its endpoints: bound_c = max, bound_e = Λ - min
-  // are exact. Greedy coalescing then merges neighbours while the merged
-  // envelope integral stays within kCoalesceSlack of the exact one, so flat
-  // bias regions collapse to one segment and fast edges keep only the
-  // resolution they pay for.
-  constexpr double kCoalesceSlack = 1.1;
-  auto value_at = [&](double t) {
-    return std::clamp(lambda_c_of_t_.eval(t), 0.0, total_rate_);
-  };
-
-  std::vector<MajorantSegment> segments;
-  double run_start = t0;          // current run's start time
-  double run_exact = 0.0;         // ∫(bound_c + bound_e)dt of the exact run
-  MajorantSegment run{t0, 0.0, 0.0};
-  bool have_run = false;
-
-  double prev_t = t0;
-  double prev_v = value_at(t0);
-  const auto first = std::upper_bound(ts.begin(), ts.end(), t0);
-  auto idx = static_cast<std::size_t>(first - ts.begin());
-  for (;;) {
-    double next_t;
-    double next_v;
-    if (idx < ts.size() && ts[idx] < t1) {
-      next_t = ts[idx];
-      next_v = std::clamp(vs[idx], 0.0, total_rate_);
-      ++idx;
-    } else {
-      next_t = t1;
-      next_v = value_at(t1);
+  // Clip the precomputed envelope. The first overlapping segment's bounds
+  // dominate [t0, its end] even when t0 predates the tabulation (λ_c is
+  // constant there at its front value, which that segment already covers);
+  // any tail past the tabulation is constant at the back value.
+  std::vector<MajorantSegment> clipped;
+  for (const auto& seg : envelope_) {
+    if (seg.t_end <= t0) continue;
+    clipped.push_back(seg);
+    if (seg.t_end >= t1) {
+      clipped.back().t_end = t1;
+      break;
     }
-    if (next_t > prev_t) {
-      const double bc = std::max(prev_v, next_v);
-      const double be = total_rate_ - std::min(prev_v, next_v);
-      const double exact = (bc + be) * (next_t - prev_t);
-      if (!have_run) {
-        run = MajorantSegment{next_t, bc, be};
-        run_start = prev_t;
-        run_exact = exact;
-        have_run = true;
-      } else {
-        const double merged_bc = std::max(run.bound_c, bc);
-        const double merged_be = std::max(run.bound_e, be);
-        const double merged_integral =
-            (merged_bc + merged_be) * (next_t - run_start);
-        if (merged_integral <= kCoalesceSlack * (run_exact + exact)) {
-          run.t_end = next_t;
-          run.bound_c = merged_bc;
-          run.bound_e = merged_be;
-          run_exact += exact;
-        } else {
-          segments.push_back(run);
-          run = MajorantSegment{next_t, bc, be};
-          run_start = prev_t;
-          run_exact = exact;
-        }
-      }
-    }
-    prev_t = next_t;
-    prev_v = next_v;
-    if (next_t >= t1) break;
   }
-  if (have_run) segments.push_back(run);
-  if (segments.empty()) {
-    return RateMajorant::single(t1, total_rate_, total_rate_);
+  if (clipped.empty() || clipped.back().t_end < t1) {
+    const double lc =
+        std::clamp(lambda_c_of_t_.values().back(), 0.0, total_rate_);
+    clipped.push_back(MajorantSegment{t1, lc, total_rate_ - lc});
   }
-  segments.back().t_end = std::max(segments.back().t_end, t1);
-  return RateMajorant(std::move(segments));
+  return RateMajorant(std::move(clipped));
 }
 
 }  // namespace samurai::core

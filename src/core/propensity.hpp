@@ -137,6 +137,11 @@ class FunctionalPropensity final : public PropensityFunction {
 /// constant (paper Eq. 1), so per tabulation segment λ_c is linear and
 /// λ_e = Λ - λ_c: both `rate_bound` (windowed max of max(λ_c, λ_e)) and
 /// the per-segment `majorant` are exact for the tabulated propensities.
+///
+/// The coalesced envelope over the full tabulation span is built once at
+/// construction (riding the pass that tabulates λ_c anyway); `majorant`
+/// clips it, so a simulate call costs O(envelope segments), not another
+/// walk over every tabulation point.
 class BiasPropensity final : public PropensityFunction {
  public:
   BiasPropensity(const physics::SrhModel& model, const physics::Trap& trap,
@@ -155,8 +160,13 @@ class BiasPropensity final : public PropensityFunction {
   const Pwl& lambda_c_table() const noexcept { return lambda_c_of_t_; }
 
  private:
+  void build_envelope();
+
   double total_rate_;
   Pwl lambda_c_of_t_;  ///< interpolated λ_c(t); λ_e = Λ - λ_c
+  /// Precomputed coalesced envelope over [times.front(), times.back()];
+  /// empty when the tabulation is constant.
+  std::vector<MajorantSegment> envelope_;
 };
 
 }  // namespace samurai::core

@@ -117,9 +117,15 @@ class RngBlock {
  private:
   void refill(util::Rng& rng, double bound, double remaining,
               std::uint64_t& refills) noexcept {
+    // Size by the expected candidates left in this segment, but never
+    // below twice the previous block: a simulate call that keeps draining
+    // small blocks (many short majorant segments, each expecting < 1
+    // candidate) grows geometrically to the cap instead of paying one
+    // fill-call pair per handful of draws.
     const double expected = std::min(bound * remaining, 4096.0);
     const std::size_t n = std::min(
-        kCapacity, static_cast<std::size_t>(expected) + 4);
+        kCapacity,
+        std::max(static_cast<std::size_t>(expected) + 4, 2 * size_));
     rng.fill_exponential_unit(exp_.data(), n);
     rng.fill_uniform(uni_.data(), n);
     size_ = n;
@@ -202,6 +208,15 @@ physics::TrapState run_envelope(const Eval& eval, const RateMajorant& majorant,
   double t = t0;
   std::size_t si = 0;
   while (si < segments.size() && segments[si].t_end <= t0) ++si;
+  // One unit-exponential budget is carried across segments and bound
+  // changes: candidates form a Poisson process with the envelope's
+  // piecewise-constant intensity, so by time-rescaling the integrated
+  // envelope mass between candidates is Exp(1). A segment therefore costs
+  // RNG only when it actually produces a candidate — crossing many short
+  // majorant segments of a slow trap consumes budget, not stream.
+  bool have_draw = false;
+  double budget = 0.0;    // remaining Exp(1) mass until the next candidate
+  double accept_u = 0.0;  // the uniform paired with that candidate
   while (t < tf) {
     if (si >= segments.size()) {
       throw std::invalid_argument(
@@ -217,18 +232,27 @@ physics::TrapState run_envelope(const Eval& eval, const RateMajorant& majorant,
     for (;;) {
       if (!(bound > 0.0)) {
         // Frozen for the current state on this segment: certified no
-        // events, so skip to the segment end without drawing.
+        // events (zero intensity mass), so skip to the segment end with
+        // the budget untouched.
         t = seg_end;
         break;
       }
-      const auto pair = block.draw(rng, bound, seg_end - t, local.rng_refills);
-      const double step = pair.exp1 / bound;
-      if (step >= seg_end - t) {  // candidate past the segment (line 9)
+      if (!have_draw) {
+        const auto pair =
+            block.draw(rng, bound, seg_end - t, local.rng_refills);
+        budget = pair.exp1;
+        accept_u = pair.uniform;
+        have_draw = true;
+      }
+      const double capacity = bound * (seg_end - t);
+      if (budget >= capacity) {  // candidate past the segment (line 9)
+        budget -= capacity;
         local.envelope_integral += bound * (seg_end - mark);
         t = seg_end;
         break;
       }
-      t += step;
+      t += budget / bound;
+      have_draw = false;
       ++local.candidates;
       if (++candidates_total > options.max_candidates) {
         local.envelope_integral += bound * (t - mark);
@@ -244,7 +268,7 @@ physics::TrapState run_envelope(const Eval& eval, const RateMajorant& majorant,
         throw std::runtime_error("uniformisation: propensity exceeds bound "
                                  "— thinning would be biased");
       }
-      if (pair.uniform * bound < lambda_next) {  // line 15
+      if (accept_u * bound < lambda_next) {  // line 15
         switches.push_back(t);
         state = toggled(state);
         ++local.accepted;
@@ -292,17 +316,27 @@ TrapTrajectory simulate_windows(const PropensityFunction& propensity,
   double start = t0;
   auto run_to = [&](double end) {
     if (!(end > start)) return;
-    const double window_bound =
-        options.rate_bound ? *options.rate_bound
-                           : propensity.rate_bound(start, end);
-    if (!(window_bound >= 0.0) || !std::isfinite(window_bound)) {
-      throw std::invalid_argument("uniformisation: invalid rate bound");
+    RateMajorant majorant;
+    double window_bound;
+    if (fixed) {
+      window_bound = options.rate_bound ? *options.rate_bound
+                                        : propensity.rate_bound(start, end);
+      if (!(window_bound >= 0.0) || !std::isfinite(window_bound)) {
+        throw std::invalid_argument("uniformisation: invalid rate bound");
+      }
+      majorant = RateMajorant::single(end, window_bound, window_bound);
+    } else {
+      majorant = propensity.majorant(start, end);
+      // The fixed-bound comparison integral, read off the envelope instead
+      // of a second rate_bound() scan: segment bounds are maxima of exact
+      // per-interval bounds, so their maximum is the windowed rate bound.
+      window_bound = 0.0;
+      for (const auto& seg : majorant.segments()) {
+        window_bound = std::max({window_bound, seg.bound_c, seg.bound_e});
+      }
     }
     local.fixed_bound_integral +=
         window_bound * options.bound_safety * (end - start);
-    const RateMajorant majorant =
-        fixed ? RateMajorant::single(end, window_bound, window_bound)
-              : propensity.majorant(start, end);
     state = run_envelope(eval, majorant, start, end, state,
                          options.bound_safety, rng, block, options,
                          candidates_total, local, switches);

@@ -24,7 +24,10 @@ namespace samurai::spice {
   X(steps_accepted)                   \
   X(steps_rejected)                   \
   X(transients)                       \
-  X(workspace_allocations)
+  X(workspace_allocations)            \
+  X(sp_symbolic_analyses)             \
+  X(sp_numeric_refactors)             \
+  X(sp_solves)
 
 void SolverStats::merge(const SolverStats& other) {
 #define X(field) field += other.field;
@@ -76,15 +79,12 @@ void solver_stats_accumulate(const SolverStats& stats) {
 
 // -------------------------------------------------------- NewtonWorkspace
 
-void NewtonWorkspace::attach(Circuit& circuit) {
+void NewtonWorkspace::attach(Circuit& circuit, SolverKind solver) {
   circuit_ = &circuit;
   const std::size_t n = circuit.system_size();
-  if (n != n_) {
+  const bool resized = n != n_;
+  if (resized) {
     n_ = n;
-    jacobian_.resize(n);
-    base_jac_.resize(n);
-    scratch_jac_.resize(n);
-    lu_.resize(n);
     pivots_.assign(n, 0);
     residual_.assign(n, 0.0);
     base_res_.assign(n, 0.0);
@@ -103,6 +103,85 @@ void NewtonWorkspace::attach(Circuit& circuit) {
   }
   base_valid_ = false;
   lu_valid_ = false;
+
+  use_sparse_ = solver == SolverKind::kSparse ||
+                (solver == SolverKind::kAuto && n >= kSparseAutoThreshold);
+  if (!use_sparse_) {
+    // Dense buffers are sized lazily so a sparse-only workspace never
+    // pays the O(n²) allocations. A same-size engine switch still counts
+    // the reallocation it causes.
+    bool dense_alloc = false;
+    dense_alloc |= jacobian_.resize(n);
+    dense_alloc |= base_jac_.resize(n);
+    dense_alloc |= lu_.resize(n);
+    if (dense_alloc && !resized) ++stats_.workspace_allocations;
+    sp_lu_.invalidate();
+    return;
+  }
+
+  // Record the three stamp programs at x = 0 with values discarded. A
+  // device's stamp sequence is fixed per (scope, a0 == 0) — see
+  // Device::load — so the linear program is recorded twice (transient
+  // a0 != 0, DC a0 == 0) and the nonlinear one once. base_res_ doubles as
+  // a throwaway residual sink; every solve re-zeroes it anyway.
+  sp_coords_.clear();
+  LoadContext record_ctx;
+  record_ctx.x = zero_x_;
+  record_ctx.residual = &base_res_;
+  StampSink recorder;
+  recorder.bind_record(&sp_coords_);
+  record_ctx.jacobian = &recorder;
+  record_ctx.a0 = 1.0;
+  record_ctx.scope = LoadScope::kLinear;
+  for (Device* device : devices_) device->load(record_ctx);
+  sp_lin_tr_count_ = sp_coords_.size();
+  record_ctx.a0 = 0.0;
+  for (Device* device : devices_) device->load(record_ctx);
+  sp_lin_dc_count_ = sp_coords_.size() - sp_lin_tr_count_;
+  record_ctx.a0 = 1.0;
+  record_ctx.scope = LoadScope::kNonlinear;
+  for (Device* device : nonlinear_devices_) device->load(record_ctx);
+  sp_nl_count_ = sp_coords_.size() - sp_lin_tr_count_ - sp_lin_dc_count_;
+
+  // Pattern = union of all programs + full diagonal, shared by the base
+  // and the per-iteration Jacobian so values copy with one memcpy. The
+  // symbolic LU survives whenever the pattern is unchanged — Monte-Carlo
+  // repetitions re-attach, re-record and re-resolve, but analyse once.
+  const bool pattern_changed = sp_base_.build_pattern(n, sp_coords_);
+  if (pattern_changed) {
+    sp_jac_.copy_pattern_from(sp_base_);
+    sp_lu_.invalidate();
+    if (!resized) ++stats_.workspace_allocations;
+  } else {
+    sp_jac_.set_zero();
+  }
+
+  // Resolve each program's (row, col) pairs to value-slot pointers once;
+  // per-iteration stamping is then pure pointer chasing.
+  auto resolve = [this](std::vector<double*>& slots, SparseMatrix& matrix,
+                        std::size_t first, std::size_t count) {
+    slots.clear();
+    slots.reserve(count);
+    for (std::size_t i = first; i < first + count; ++i) {
+      double* slot = matrix.slot(sp_coords_[i].first, sp_coords_[i].second);
+      if (slot == nullptr) {
+        throw std::logic_error("NewtonWorkspace: recorded stamp missing "
+                               "from the sparse pattern");
+      }
+      slots.push_back(slot);
+    }
+  };
+  resolve(sp_lin_tr_slots_, sp_base_, 0, sp_lin_tr_count_);
+  resolve(sp_lin_dc_slots_, sp_base_, sp_lin_tr_count_, sp_lin_dc_count_);
+  resolve(sp_nl_slots_, sp_jac_, sp_lin_tr_count_ + sp_lin_dc_count_,
+          sp_nl_count_);
+  sp_diag_slots_.clear();
+  sp_diag_slots_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sp_diag_slots_.push_back(sp_base_.slot(static_cast<int>(i),
+                                           static_cast<int>(i)));
+  }
+  std::fill(base_res_.begin(), base_res_.end(), 0.0);
 }
 
 namespace detail {
@@ -124,17 +203,22 @@ struct NewtonDriver {
     const std::size_t n = ws.n_;
     const std::size_t nodes = ws.circuit_->num_nodes();
     SolverStats& st = ws.stats_;
+    const bool sparse = ws.use_sparse_;
 
     // ---- Linear base for this solve. The Jacobian part depends only on
     // (a0, ci, gmin, pins) and is reused across solves via memcpy; the
     // residual offset f_lin(0) depends on time and companion history, so
-    // it is rebuilt once per solve (with the Jacobian stamps diverted into
-    // a scratch sink on cache hits).
+    // it is rebuilt once per solve (with the Jacobian stamps discarded on
+    // cache hits). The sparse path replays the recorded linear program —
+    // picked by a0 == 0, since charge branches drop out of the DC program
+    // — through its resolved slot pointers.
     const bool jac_cached = options.cache_linear_stamps && ws.base_valid_ &&
                             ws.base_a0_ == a0 && ws.base_ci_ == ci &&
                             ws.base_gmin_ == gmin && !ws.base_had_pins_ &&
                             pins.empty();
     std::fill(ws.base_res_.begin(), ws.base_res_.end(), 0.0);
+    const std::size_t lin_count =
+        a0 == 0.0 ? ws.sp_lin_dc_count_ : ws.sp_lin_tr_count_;
     LoadContext base_ctx;
     base_ctx.time = time;
     base_ctx.a0 = a0;
@@ -142,22 +226,43 @@ struct NewtonDriver {
     base_ctx.x = ws.zero_x_;
     base_ctx.residual = &ws.base_res_;
     base_ctx.scope = LoadScope::kLinear;
+    base_ctx.jacobian = &ws.sp_sink_;
     if (jac_cached) {
-      base_ctx.jacobian = &ws.scratch_jac_;
+      ws.sp_sink_.bind_discard();
       ++st.linear_cache_hits;
+    } else if (sparse) {
+      ws.sp_base_.set_zero();
+      const auto& slots =
+          a0 == 0.0 ? ws.sp_lin_dc_slots_ : ws.sp_lin_tr_slots_;
+      ws.sp_sink_.bind_slots(slots.data(), slots.size());
     } else {
       ws.base_jac_.set_zero();
-      base_ctx.jacobian = &ws.base_jac_;
+      ws.sp_sink_.bind_dense(&ws.base_jac_);
     }
     for (Device* device : ws.devices_) device->load(base_ctx);
     st.device_loads += ws.devices_.size();
+    if (sparse && !jac_cached && ws.sp_sink_.cursor() != lin_count) {
+      throw std::logic_error("sparse solve: linear stamp program desync");
+    }
     if (!jac_cached) {
-      for (std::size_t i = 0; i < nodes; ++i) ws.base_jac_.at(i, i) += gmin;
-      for (const auto& [node, value] : pins) {
-        (void)value;
-        if (node < 0) continue;
-        const auto i = static_cast<std::size_t>(node);
-        ws.base_jac_.at(i, i) += 1.0;
+      if (sparse) {
+        for (std::size_t i = 0; i < nodes; ++i) {
+          *ws.sp_diag_slots_[i] += gmin;
+        }
+        for (const auto& [node, value] : pins) {
+          (void)value;
+          if (node >= 0) {
+            *ws.sp_diag_slots_[static_cast<std::size_t>(node)] += 1.0;
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < nodes; ++i) ws.base_jac_.at(i, i) += gmin;
+        for (const auto& [node, value] : pins) {
+          (void)value;
+          if (node < 0) continue;
+          const auto i = static_cast<std::size_t>(node);
+          ws.base_jac_.at(i, i) += 1.0;
+        }
       }
       ws.base_valid_ = true;
       ws.base_a0_ = a0;
@@ -177,30 +282,54 @@ struct NewtonDriver {
       ++st.newton_iterations;
 
       // residual = f_lin(0) + A_lin·x, then the nonlinear stamps on top of
-      // a memcpy of the cached base Jacobian.
-      const double* base = ws.base_jac_.data();
-      double* jac = ws.jacobian_.data();
-      for (std::size_t i = 0; i < n; ++i) {
-        const double* row = base + i * n;
-        double* jrow = jac + i * n;
-        double acc = ws.base_res_[i];
-        for (std::size_t j = 0; j < n; ++j) {
-          const double v = row[j];
-          jrow[j] = v;
-          acc += v * x[j];
+      // a copy of the cached base Jacobian — a fused row-wise memcpy +
+      // matvec on the dense path, a CSR value memcpy + sparse matvec on
+      // the sparse one.
+      if (sparse) {
+        ws.sp_jac_.copy_values_from(ws.sp_base_);
+        const auto& row_ptr = ws.sp_jac_.row_ptr();
+        const auto& cols = ws.sp_jac_.cols();
+        const auto& vals = ws.sp_jac_.values();
+        for (std::size_t i = 0; i < n; ++i) {
+          double acc = ws.base_res_[i];
+          const auto row_end = static_cast<std::size_t>(row_ptr[i + 1]);
+          for (auto k = static_cast<std::size_t>(row_ptr[i]); k < row_end;
+               ++k) {
+            acc += vals[k] * x[static_cast<std::size_t>(cols[k])];
+          }
+          ws.residual_[i] = acc;
         }
-        ws.residual_[i] = acc;
+        ws.sp_sink_.bind_slots(ws.sp_nl_slots_.data(),
+                               ws.sp_nl_slots_.size());
+      } else {
+        const double* base = ws.base_jac_.data();
+        double* jac = ws.jacobian_.data();
+        for (std::size_t i = 0; i < n; ++i) {
+          const double* row = base + i * n;
+          double* jrow = jac + i * n;
+          double acc = ws.base_res_[i];
+          for (std::size_t j = 0; j < n; ++j) {
+            const double v = row[j];
+            jrow[j] = v;
+            acc += v * x[j];
+          }
+          ws.residual_[i] = acc;
+        }
+        ws.sp_sink_.bind_dense(&ws.jacobian_);
       }
       LoadContext ctx;
       ctx.time = time;
       ctx.a0 = a0;
       ctx.ci = ci;
-      ctx.jacobian = &ws.jacobian_;
+      ctx.jacobian = &ws.sp_sink_;
       ctx.residual = &ws.residual_;
       ctx.x = x;
       ctx.scope = LoadScope::kNonlinear;
       for (Device* device : ws.nonlinear_devices_) device->load(ctx);
       st.device_loads += ws.nonlinear_devices_.size();
+      if (sparse && ws.sp_sink_.cursor() != ws.sp_nl_count_) {
+        throw std::logic_error("sparse solve: nonlinear stamp program desync");
+      }
 
       // Residual norms: node rows are KCL sums (amperes), branch rows are
       // source voltage equations (volts) — both must be checked, each
@@ -228,20 +357,37 @@ struct NewtonDriver {
       const bool bypass = options.reuse_lu && ws.lu_valid_ && iter > 0 &&
                           scaled < options.bypass_contraction * prev_scaled;
       if (!bypass) {
-        // Fused copy + scan: max|J| feeds lu_factor's scale-relative pivot
-        // threshold without a second pass over the matrix.
-        const double* src = ws.jacobian_.data();
-        double* dst = ws.lu_.data();
-        double jac_scale = 0.0;
-        for (std::size_t k = 0; k < n * n; ++k) {
-          const double v = src[k];
-          dst[k] = v;
-          jac_scale = std::max(jac_scale, std::abs(v));
-        }
         ++st.lu_factorizations;
-        if (!lu_factor(ws.lu_, ws.pivots_, jac_scale)) {
-          ws.lu_valid_ = false;
-          return outcome;  // singular
+        if (sparse) {
+          // The sparse engine reuses its symbolic analysis (pivot order +
+          // fill pattern) and only redoes the O(fill-nnz) numeric sweep;
+          // was_analysis reports the rare full re-analyses.
+          bool was_analysis = false;
+          if (!ws.sp_lu_.factor(ws.sp_jac_, ws.sp_jac_.value_max_abs(),
+                                &was_analysis)) {
+            ws.lu_valid_ = false;
+            return outcome;  // singular
+          }
+          if (was_analysis) {
+            ++st.sp_symbolic_analyses;
+          } else {
+            ++st.sp_numeric_refactors;
+          }
+        } else {
+          // Fused copy + scan: max|J| feeds lu_factor's scale-relative
+          // pivot threshold without a second pass over the matrix.
+          const double* src = ws.jacobian_.data();
+          double* dst = ws.lu_.data();
+          double jac_scale = 0.0;
+          for (std::size_t k = 0; k < n * n; ++k) {
+            const double v = src[k];
+            dst[k] = v;
+            jac_scale = std::max(jac_scale, std::abs(v));
+          }
+          if (!lu_factor(ws.lu_, ws.pivots_, jac_scale)) {
+            ws.lu_valid_ = false;
+            return outcome;  // singular
+          }
         }
         ws.lu_valid_ = true;
       } else {
@@ -249,7 +395,12 @@ struct NewtonDriver {
       }
       prev_scaled = scaled;
       std::copy(ws.residual_.begin(), ws.residual_.end(), ws.delta_.begin());
-      lu_solve_factored(ws.lu_, ws.pivots_, ws.delta_);
+      if (sparse) {
+        ws.sp_lu_.solve(ws.delta_);
+        ++st.sp_solves;
+      } else {
+        lu_solve_factored(ws.lu_, ws.pivots_, ws.delta_);
+      }
       ++st.lu_solves;
       // Damp: clamp the largest node-voltage update. Branch-current rows
       // get a relative+absolute convergence check of their own.
@@ -337,7 +488,7 @@ struct NewtonDriver {
 
 DcResult dc_operating_point(Circuit& circuit, const DcOptions& options) {
   NewtonWorkspace workspace;
-  workspace.attach(circuit);
+  workspace.attach(circuit, options.solver);
   DcResult result = detail::NewtonDriver::dc(workspace, circuit, options);
   result.stats = workspace.stats();
   detail::solver_stats_accumulate(result.stats);
@@ -404,7 +555,7 @@ TransientResult NewtonDriver::run_transient(Circuit& circuit,
     throw std::invalid_argument("transient: t_stop <= t_start");
   }
   const SolverStats stats_before = ws.stats_;
-  ws.attach(circuit);
+  ws.attach(circuit, options.solver);
   SolverStats& st = ws.stats_;
 
   const std::size_t nodes = circuit.num_nodes();

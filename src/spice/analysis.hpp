@@ -28,8 +28,8 @@ namespace samurai::spice {
 /// state through every sample type.
 struct SolverStats {
   std::uint64_t newton_iterations = 0;
-  std::uint64_t lu_factorizations = 0;
-  std::uint64_t lu_solves = 0;
+  std::uint64_t lu_factorizations = 0;  ///< factorizations on either engine
+  std::uint64_t lu_solves = 0;          ///< triangular solves, either engine
   std::uint64_t bypass_hits = 0;        ///< solves against stale LU factors
   std::uint64_t device_loads = 0;       ///< individual Device::load calls
   std::uint64_t linear_cache_hits = 0;  ///< solves reusing the base Jacobian
@@ -39,6 +39,15 @@ struct SolverStats {
   /// Workspace buffer (re)allocations. Exactly one per circuit binding; a
   /// steady-state time-stepping loop must add zero (asserted in tests).
   std::uint64_t workspace_allocations = 0;
+  // Sparse-engine share of the work (zero on pure dense runs). A
+  // factorization on the sparse path is either a symbolic analysis
+  // (pivot-order + fill discovery — once per topology, plus numeric
+  // fallback re-analyses) or a static-pattern numeric refactorization;
+  // the two sum to the sparse part of lu_factorizations and their ratio
+  // is the symbolic-reuse rate the design banks on.
+  std::uint64_t sp_symbolic_analyses = 0;
+  std::uint64_t sp_numeric_refactors = 0;
+  std::uint64_t sp_solves = 0;  ///< sparse part of lu_solves
 
   void merge(const SolverStats& other);
   /// Counter-wise `this - other` (for before/after deltas).
@@ -55,6 +64,20 @@ struct NewtonDriver;
 void solver_stats_accumulate(const SolverStats& stats);
 }  // namespace detail
 
+/// Linear-solver engine selection. kAuto picks by system size: dense
+/// partial-pivot LU below kSparseAutoThreshold unknowns (cell-scale
+/// circuits, where dense is faster and is the regression oracle), the
+/// CSR/stamp-pointer sparse path at or above it (column-scale circuits,
+/// where dense O(n³) factorization is the wall). The explicit kinds exist
+/// for equivalence tests and benchmarks that pin one engine.
+enum class SolverKind { kAuto, kDense, kSparse };
+
+/// kAuto crossover, in MNA unknowns. A 6T cell is ~11 unknowns (dense), a
+/// shared-bitline column is 7·N + 10 (sparse from 8 cells up). The exact
+/// value is uncritical: both engines solve the same system to Newton
+/// tolerance, so crossing it changes cost, never results.
+inline constexpr std::size_t kSparseAutoThreshold = 50;
+
 /// Reusable per-circuit solver scratch: Jacobian, cached linear base,
 /// residual, delta, LU factors and pivots, predictor buffers, and the
 /// device list split into linear/nonlinear groups. Bind with attach();
@@ -67,20 +90,26 @@ class NewtonWorkspace {
 
   /// Bind to `circuit`: size all buffers, split the device list, and
   /// invalidate the linear-stamp and LU caches (stale factors from another
-  /// circuit must never leak into a fresh solve).
-  void attach(Circuit& circuit);
+  /// circuit must never leak into a fresh solve). `solver` picks the
+  /// linear engine (kAuto: by system size). On the sparse path the stamp
+  /// programs are re-recorded and re-resolved, but the symbolic LU
+  /// analysis survives the re-attach whenever the new circuit's Jacobian
+  /// pattern is unchanged — the cross-repetition reuse that makes
+  /// Monte-Carlo campaigns pay for the analysis exactly once.
+  void attach(Circuit& circuit, SolverKind solver = SolverKind::kAuto);
 
   const SolverStats& stats() const noexcept { return stats_; }
+  /// True when the last attach selected the sparse engine.
+  bool uses_sparse() const noexcept { return use_sparse_; }
 
  private:
   friend struct detail::NewtonDriver;
 
   Circuit* circuit_ = nullptr;
   std::size_t n_ = 0;
-  DenseMatrix jacobian_;     ///< full Jacobian assembled per iteration
-  DenseMatrix base_jac_;     ///< cached linear stamps (+ gmin, pins)
-  DenseMatrix scratch_jac_;  ///< stamp sink when the base is cache-valid
-  DenseMatrix lu_;           ///< live LU factors (modified-Newton reuse)
+  DenseMatrix jacobian_;  ///< full Jacobian assembled per iteration
+  DenseMatrix base_jac_;  ///< cached linear stamps (+ gmin, pins)
+  DenseMatrix lu_;        ///< live LU factors (modified-Newton reuse)
   std::vector<std::size_t> pivots_;
   std::vector<double> residual_;
   std::vector<double> base_res_;  ///< linear residual offset f_lin(0)
@@ -98,6 +127,24 @@ class NewtonWorkspace {
   double base_gmin_ = 0.0;
   bool base_had_pins_ = false;
   bool lu_valid_ = false;
+  // Sparse engine state (engaged when use_sparse_): the base/full Jacobian
+  // pair shares one CSR pattern, the recorded stamp programs are replayed
+  // through resolved value-slot pointers, and sp_lu_ carries the symbolic
+  // factorization across iterations, steps and re-attaches (DESIGN.md
+  // §12).
+  bool use_sparse_ = false;
+  SparseMatrix sp_base_;  ///< cached linear stamps (+ gmin, pins)
+  SparseMatrix sp_jac_;   ///< full Jacobian assembled per iteration
+  SparseLu sp_lu_;
+  std::vector<std::pair<int, int>> sp_coords_;  ///< recorded programs
+  std::size_t sp_lin_tr_count_ = 0;  ///< linear program length, a0 != 0
+  std::size_t sp_lin_dc_count_ = 0;  ///< linear program length, a0 == 0
+  std::size_t sp_nl_count_ = 0;      ///< nonlinear program length
+  std::vector<double*> sp_lin_tr_slots_;  ///< into sp_base_
+  std::vector<double*> sp_lin_dc_slots_;  ///< into sp_base_
+  std::vector<double*> sp_nl_slots_;      ///< into sp_jac_
+  std::vector<double*> sp_diag_slots_;    ///< sp_base_ diagonal (gmin/pins)
+  StampSink sp_sink_;
   SolverStats stats_;
 };
 
@@ -127,6 +174,9 @@ struct DcOptions {
   /// SRAM cell is placed in a chosen bistable basin.
   std::map<std::string, double> nodeset;
   double gmin = 1e-12;  ///< conductance from every node to ground
+  /// Linear-engine override for standalone DC solves (transients use
+  /// TransientOptions::solver for the whole run, including their DC).
+  SolverKind solver = SolverKind::kAuto;
 };
 
 struct DcResult {
@@ -149,6 +199,10 @@ struct TransientOptions {
   IntegrationMethod method = IntegrationMethod::kTrapezoidal;
   NewtonOptions newton;
   DcOptions dc;            ///< initial operating point (nodeset etc.)
+  /// Linear-engine selection for the whole transient (initial DC
+  /// included). kAuto sizes it: dense below kSparseAutoThreshold
+  /// unknowns, sparse at or above.
+  SolverKind solver = SolverKind::kAuto;
   double lte_reltol = 2e-3;
   double lte_abstol = 1e-5;
   /// Extra mandatory time points (e.g. RTN switch instants).

@@ -20,7 +20,7 @@
 
 namespace samurai::spice {
 
-/// Ground node id. Stamps to ground are dropped by DenseMatrix::stamp.
+/// Ground node id. Stamps to ground are dropped by StampSink::stamp.
 inline constexpr int kGround = -1;
 
 /// Which part of a device the solver is asking for. The transient fast
@@ -38,7 +38,9 @@ struct LoadContext {
   double time = 0.0;
   double a0 = 0.0;  ///< companion coefficient, 0 in DC
   double ci = 0.0;  ///< history-current coefficient (0 for BE, -1 for TRAP)
-  DenseMatrix* jacobian = nullptr;
+  /// Jacobian stamping target. Dense solves bind it to a DenseMatrix;
+  /// the sparse path binds recorded slot-pointer programs (see StampSink).
+  StampSink* jacobian = nullptr;
   std::vector<double>* residual = nullptr;
   std::span<const double> x;
   LoadScope scope = LoadScope::kAll;
@@ -57,6 +59,14 @@ class Device {
   /// `ctx.scope`: a kLinear call must stamp exactly the affine-in-x part
   /// (so that at x = 0 the residual is the device's constant offset), a
   /// kNonlinear call exactly the rest, and kAll both.
+  ///
+  /// Stamp-sequence contract (sparse slot replay): for a fixed scope and
+  /// a fixed truth value of `a0 == 0`, the sequence of jacobian->stamp
+  /// calls — count, order and (row, col) targets — must not depend on
+  /// `ctx.x`, `ctx.time` or the stamped values. The sparse solver records
+  /// each program once per topology and replays it through resolved
+  /// value-slot pointers; a data-dependent stamp sequence would desync
+  /// the replay cursor (checked after every device loop).
   virtual void load(const LoadContext& ctx) = 0;
 
   /// True when the device's *entire* load is affine in x with a Jacobian

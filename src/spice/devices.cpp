@@ -50,7 +50,10 @@ double Capacitor::voltage(std::span<const double> x) const {
 
 void Capacitor::load(const LoadContext& ctx) {
   if (ctx.scope == LoadScope::kNonlinear) return;
-  if (ctx.a0 == 0.0) return;  // DC: open circuit
+  // DC: open circuit. The early return drops this device's stamps from
+  // the a0 == 0 program entirely, which is why the sparse solver records
+  // separate stamp programs per (scope, a0 == 0) — see Device::load.
+  if (ctx.a0 == 0.0) return;
   const double q = c_ * voltage(ctx.x);
   const double i = ctx.a0 * (q - q_prev_) + ctx.ci * i_prev_;
   const double geq = ctx.a0 * c_;

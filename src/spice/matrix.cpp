@@ -73,4 +73,406 @@ bool lu_solve(DenseMatrix& a, std::span<double> b) {
   return true;
 }
 
+// ------------------------------------------------------------ SparseMatrix
+
+bool SparseMatrix::build_pattern(std::size_t n,
+                                 std::span<const std::pair<int, int>> coords) {
+  // Key = row << 32 | col: sorting the keys sorts row-major, and the full
+  // diagonal is seeded first so every row has a pivot slot.
+  keys_.clear();
+  keys_.reserve(coords.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys_.push_back((static_cast<std::uint64_t>(i) << 32) | i);
+  }
+  for (const auto& [row, col] : coords) {
+    if (row < 0 || col < 0) continue;  // ground
+    if (static_cast<std::size_t>(row) >= n ||
+        static_cast<std::size_t>(col) >= n) {
+      throw std::out_of_range("SparseMatrix: stamp outside the system");
+    }
+    keys_.push_back((static_cast<std::uint64_t>(row) << 32) |
+                    static_cast<std::uint32_t>(col));
+  }
+  std::sort(keys_.begin(), keys_.end());
+  keys_.erase(std::unique(keys_.begin(), keys_.end()), keys_.end());
+
+  scratch_row_ptr_.assign(n + 1, 0);
+  scratch_cols_.clear();
+  scratch_cols_.reserve(keys_.size());
+  for (const std::uint64_t key : keys_) {
+    const auto row = static_cast<std::size_t>(key >> 32);
+    ++scratch_row_ptr_[row + 1];
+    scratch_cols_.push_back(static_cast<int>(key & 0xFFFFFFFFu));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch_row_ptr_[i + 1] += scratch_row_ptr_[i];
+  }
+
+  const bool changed = n != n_ || scratch_row_ptr_ != row_ptr_ ||
+                       scratch_cols_ != cols_;
+  if (changed) {
+    n_ = n;
+    row_ptr_.swap(scratch_row_ptr_);
+    cols_.swap(scratch_cols_);
+    values_.assign(cols_.size(), 0.0);
+  } else {
+    set_zero();
+  }
+  return changed;
+}
+
+void SparseMatrix::copy_pattern_from(const SparseMatrix& other) {
+  n_ = other.n_;
+  row_ptr_.assign(other.row_ptr_.begin(), other.row_ptr_.end());
+  cols_.assign(other.cols_.begin(), other.cols_.end());
+  values_.assign(cols_.size(), 0.0);
+}
+
+double* SparseMatrix::slot(int row, int col) {
+  if (row < 0 || col < 0 || static_cast<std::size_t>(row) >= n_) {
+    return nullptr;
+  }
+  const auto begin = cols_.begin() + row_ptr_[static_cast<std::size_t>(row)];
+  const auto end = cols_.begin() + row_ptr_[static_cast<std::size_t>(row) + 1];
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return nullptr;
+  return values_.data() + (it - cols_.begin());
+}
+
+double SparseMatrix::value_max_abs() const {
+  double scale = 0.0;
+  for (const double v : values_) scale = std::max(scale, std::abs(v));
+  return scale;
+}
+
+void SparseMatrix::to_dense(DenseMatrix& out) const {
+  out.resize(n_);
+  out.set_zero();
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (int idx = row_ptr_[i]; idx < row_ptr_[i + 1]; ++idx) {
+      out.at(i, static_cast<std::size_t>(cols_[static_cast<std::size_t>(idx)])) =
+          values_[static_cast<std::size_t>(idx)];
+    }
+  }
+}
+
+// ---------------------------------------------------------------- SparseLu
+
+namespace {
+
+/// Relative pivot tolerance for the discovery factorization: an entry
+/// qualifies as a pivot when it is at least this fraction of its active
+/// column's largest entry (threshold partial pivoting, Spice3-style).
+/// Among qualifying entries the smallest Markowitz cost wins, so fill
+/// stays low without ever eliminating against a relatively tiny pivot —
+/// crucial for MNA branch rows, whose gmin-scale diagonals sit next to
+/// O(1) incidence entries. When nothing qualifies, the largest entry above
+/// the singularity threshold is taken instead (progress over fill
+/// optimality).
+constexpr double kPivotRelTol = 1e-2;
+
+double singularity_threshold(double scale, std::size_t n) {
+  return std::max(scale * static_cast<double>(n) *
+                      std::numeric_limits<double>::epsilon(),
+                  std::numeric_limits<double>::min());
+}
+
+}  // namespace
+
+double SparseLu::resolve_scale(const SparseMatrix& a, double scale_hint) {
+  return scale_hint >= 0.0 ? scale_hint : a.value_max_abs();
+}
+
+bool SparseLu::pattern_matches(const SparseMatrix& a) const {
+  return analyzed_ && a.size() == n_ && a.row_ptr() == a_row_ptr_ &&
+         a.cols() == a_cols_;
+}
+
+bool SparseLu::factor(const SparseMatrix& a, double scale_hint,
+                      bool* was_analysis) {
+  if (was_analysis) *was_analysis = false;
+  const std::size_t n = a.size();
+  if (n == 0) {
+    analyzed_ = true;
+    n_ = 0;
+    a_row_ptr_.assign(1, 0);
+    a_cols_.clear();
+    lu_row_ptr_.assign(1, 0);
+    lu_cols_.clear();
+    lu_vals_.clear();
+    return true;
+  }
+  const double scale = resolve_scale(a, scale_hint);
+  if (scale == 0.0) return false;  // zero matrix
+  const double threshold = singularity_threshold(scale, n);
+  if (pattern_matches(a)) {
+    if (refactor(a, threshold)) return true;
+    // Static pivots degraded numerically: re-analyse with fresh pivoting.
+  }
+  if (was_analysis) *was_analysis = true;
+  analyzed_ = analyze(a, threshold);
+  return analyzed_;
+}
+
+bool SparseLu::analyze(const SparseMatrix& a, double threshold) {
+  const std::size_t n = a.size();
+  n_ = n;
+  // Dense working copy with structure tracked separately from values:
+  // a numerically cancelled entry stays in the pattern, so the recorded
+  // fill is a superset of every future refactorization's fill.
+  dense_.assign(n * n, 0.0);
+  struct_.assign(n * n, 0);
+  row_active_.assign(n, 1);
+  col_active_.assign(n, 1);
+  row_cnt_.assign(n, 0);
+  col_cnt_.assign(n, 0);
+  const auto& arp = a.row_ptr();
+  const auto& acols = a.cols();
+  const auto& avals = a.values();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int idx = arp[i]; idx < arp[i + 1]; ++idx) {
+      const auto j = static_cast<std::size_t>(acols[static_cast<std::size_t>(idx)]);
+      dense_[i * n + j] = avals[static_cast<std::size_t>(idx)];
+      if (!struct_[i * n + j]) {
+        struct_[i * n + j] = 1;
+        ++row_cnt_[i];
+        ++col_cnt_[j];
+      }
+    }
+  }
+
+  row_perm_.assign(n, 0);
+  row_perm_inv_.assign(n, 0);
+  col_perm_.assign(n, 0);
+  col_perm_inv_.assign(n, 0);
+  // col_max doubles as scratch: candidates_ is reserved for the harvest.
+  std::vector<double>& col_max = pb_;
+  col_max.assign(n, 0.0);
+  for (std::size_t step = 0; step < n; ++step) {
+    // Threshold Markowitz: among active entries within kPivotRelTol of
+    // their column's largest magnitude, pick the smallest Markowitz cost
+    // (r-1)(c-1); ties go to the larger magnitude, then the lower index —
+    // a deterministic pivot order.
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!col_active_[c]) continue;
+      double m = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (row_active_[i] && struct_[i * n + c]) {
+          m = std::max(m, std::abs(dense_[i * n + c]));
+        }
+      }
+      col_max[c] = m;
+    }
+    std::size_t pr = n, pc = n;
+    std::uint64_t best_cost = 0;
+    double best_mag = -1.0;
+    // Fallback: largest entry above the singularity threshold, used when
+    // nothing passes the relative test.
+    std::size_t fr = n, fc = n;
+    double fallback_mag = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!row_active_[i]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!col_active_[j] || !struct_[i * n + j]) continue;
+        const double mag = std::abs(dense_[i * n + j]);
+        if (mag < threshold) continue;
+        if (mag > fallback_mag) {
+          fallback_mag = mag;
+          fr = i;
+          fc = j;
+        }
+        if (mag < kPivotRelTol * col_max[j]) continue;
+        const std::uint64_t cost =
+            static_cast<std::uint64_t>(row_cnt_[i] - 1) *
+            static_cast<std::uint64_t>(col_cnt_[j] - 1);
+        if (pr == n || cost < best_cost ||
+            (cost == best_cost && mag > best_mag)) {
+          best_cost = cost;
+          best_mag = mag;
+          pr = i;
+          pc = j;
+        }
+      }
+    }
+    if (pr == n) {
+      pr = fr;
+      pc = fc;
+    }
+    if (pr == n) return false;  // no usable pivot: singular
+
+    row_perm_[step] = pr;
+    row_perm_inv_[pr] = step;
+    col_perm_[step] = pc;
+    col_perm_inv_[pc] = step;
+    row_active_[pr] = 0;
+    col_active_[pc] = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (col_active_[j] && struct_[pr * n + j]) --col_cnt_[j];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (row_active_[i] && struct_[i * n + pc]) --row_cnt_[i];
+    }
+    const double inv = 1.0 / dense_[pr * n + pc];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!row_active_[i] || !struct_[i * n + pc]) continue;
+      const double l = dense_[i * n + pc] * inv;
+      dense_[i * n + pc] = l;  // multiplier: the L entry of row i, step col
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!col_active_[j] || !struct_[pr * n + j]) continue;
+        if (!struct_[i * n + j]) {
+          struct_[i * n + j] = 1;  // fill-in
+          ++row_cnt_[i];
+          ++col_cnt_[j];
+        }
+        dense_[i * n + j] -= l * dense_[pr * n + j];
+      }
+    }
+  }
+
+  // Harvest the permuted L+U pattern and this factorization's values.
+  // Row k of the factors is original row row_perm_[k]; its structural
+  // entries map to permuted columns col_perm_inv_[c] and are emitted in
+  // ascending permuted-column order.
+  lu_row_ptr_.assign(n + 1, 0);
+  lu_diag_.assign(n, 0);
+  recip_diag_.assign(n, 0.0);
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < n * n; ++i) nnz += struct_[i];
+  lu_cols_.clear();
+  lu_cols_.reserve(nnz);
+  lu_vals_.clear();
+  lu_vals_.reserve(nnz);
+  candidates_.clear();  // reuse as (permuted col, dense index) sorter
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t r = row_perm_[k];
+    candidates_.clear();
+    for (std::size_t c = 0; c < n; ++c) {
+      if (struct_[r * n + c]) {
+        candidates_.emplace_back(col_perm_inv_[c], r * n + c);
+      }
+    }
+    std::sort(candidates_.begin(), candidates_.end());
+    for (const auto& [kc, di] : candidates_) {
+      if (kc == k) lu_diag_[k] = static_cast<int>(lu_cols_.size());
+      lu_cols_.push_back(static_cast<int>(kc));
+      lu_vals_.push_back(dense_[di]);
+    }
+    lu_row_ptr_[k + 1] = static_cast<int>(lu_cols_.size());
+    const double pivot = dense_[r * n + col_perm_[k]];
+    if (std::abs(pivot) < threshold) return false;
+    recip_diag_[k] = 1.0 / pivot;
+  }
+
+  // Scatter map for refactorizations, and the pattern identity key.
+  a_row_ptr_.assign(arp.begin(), arp.end());
+  a_cols_.assign(acols.begin(), acols.end());
+  a_to_lu_.assign(acols.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = row_perm_inv_[i];
+    for (int idx = arp[i]; idx < arp[i + 1]; ++idx) {
+      const auto kc = static_cast<int>(col_perm_inv_[static_cast<std::size_t>(
+          acols[static_cast<std::size_t>(idx)])]);
+      const auto begin = lu_cols_.begin() + lu_row_ptr_[k];
+      const auto end = lu_cols_.begin() + lu_row_ptr_[k + 1];
+      const auto it = std::lower_bound(begin, end, kc);
+      a_to_lu_[static_cast<std::size_t>(idx)] =
+          static_cast<int>(it - lu_cols_.begin());
+    }
+  }
+  pos_.assign(n, -1);
+  pb_.assign(n, 0.0);
+  return true;
+}
+
+bool SparseLu::refactor(const SparseMatrix& a, double threshold) {
+  const std::size_t n = n_;
+  std::fill(lu_vals_.begin(), lu_vals_.end(), 0.0);
+  const auto& avals = a.values();
+  for (std::size_t e = 0; e < avals.size(); ++e) {
+    lu_vals_[static_cast<std::size_t>(a_to_lu_[e])] += avals[e];
+  }
+  // Up-looking sweep over the static pattern, rows in permuted order. For
+  // row k, each L entry (column j < k, ascending) becomes the multiplier
+  // l = v / U(j,j) and subtracts l × (U row j) from the row; the pattern
+  // is closed under elimination by construction, so every target position
+  // exists (the pos_ guard only skips positions a cancellation-proof
+  // superset makes structurally absent — never silently wrong values).
+  for (std::size_t k = 0; k < n; ++k) {
+    const int row_begin = lu_row_ptr_[k];
+    const int row_end = lu_row_ptr_[k + 1];
+    for (int idx = row_begin; idx < row_end; ++idx) {
+      pos_[static_cast<std::size_t>(lu_cols_[static_cast<std::size_t>(idx)])] =
+          idx;
+    }
+    const int diag = lu_diag_[k];
+    for (int idx = row_begin; idx < diag; ++idx) {
+      const auto j =
+          static_cast<std::size_t>(lu_cols_[static_cast<std::size_t>(idx)]);
+      const double l =
+          lu_vals_[static_cast<std::size_t>(idx)] * recip_diag_[j];
+      lu_vals_[static_cast<std::size_t>(idx)] = l;
+      if (l == 0.0) continue;
+      for (int u = lu_diag_[j] + 1; u < lu_row_ptr_[j + 1]; ++u) {
+        const int p =
+            pos_[static_cast<std::size_t>(lu_cols_[static_cast<std::size_t>(u)])];
+        if (p >= 0) {
+          lu_vals_[static_cast<std::size_t>(p)] -=
+              l * lu_vals_[static_cast<std::size_t>(u)];
+        }
+      }
+    }
+    for (int idx = row_begin; idx < row_end; ++idx) {
+      pos_[static_cast<std::size_t>(lu_cols_[static_cast<std::size_t>(idx)])] =
+          -1;
+    }
+    const double pivot = lu_vals_[static_cast<std::size_t>(diag)];
+    if (std::abs(pivot) < threshold) {
+      // Clear the row map before bailing (pos_ must stay all -1).
+      return false;
+    }
+    recip_diag_[k] = 1.0 / pivot;
+  }
+  return true;
+}
+
+void SparseLu::solve(std::span<double> b) const {
+  const std::size_t n = n_;
+  if (b.size() != n) {
+    throw std::invalid_argument("SparseLu::solve: size mismatch");
+  }
+  if (!analyzed_) throw std::logic_error("SparseLu::solve: not factored");
+  // Solving (P A Q) y = P b with x = Q y: permute the rhs by the row
+  // permutation, sweep L (unit lower) then U (reciprocal diagonal), and
+  // scatter back through the column permutation.
+  for (std::size_t k = 0; k < n; ++k) pb_[k] = b[row_perm_[k]];
+  for (std::size_t k = 0; k < n; ++k) {
+    double sum = pb_[k];
+    for (int idx = lu_row_ptr_[k]; idx < lu_diag_[k]; ++idx) {
+      sum -= lu_vals_[static_cast<std::size_t>(idx)] *
+             pb_[static_cast<std::size_t>(lu_cols_[static_cast<std::size_t>(idx)])];
+    }
+    pb_[k] = sum;
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    double sum = pb_[k];
+    for (int idx = lu_diag_[k] + 1; idx < lu_row_ptr_[k + 1]; ++idx) {
+      sum -= lu_vals_[static_cast<std::size_t>(idx)] *
+             pb_[static_cast<std::size_t>(lu_cols_[static_cast<std::size_t>(idx)])];
+    }
+    pb_[k] = sum * recip_diag_[k];
+  }
+  for (std::size_t k = 0; k < n; ++k) b[col_perm_[k]] = pb_[k];
+}
+
+bool sparse_lu_solve(const SparseMatrix& a, std::span<double> b,
+                     double scale_hint) {
+  if (b.size() != a.size()) {
+    throw std::invalid_argument("sparse_lu_solve: size mismatch");
+  }
+  SparseLu lu;
+  if (!lu.factor(a, scale_hint)) return false;
+  lu.solve(b);
+  return true;
+}
+
 }  // namespace samurai::spice

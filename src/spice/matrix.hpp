@@ -1,18 +1,28 @@
-// Dense linear algebra for MNA systems. SRAM-cell-scale circuits have a
-// dozen unknowns, so dense LU with partial pivoting is both simpler and
-// faster than any sparse machinery; array-level analyses simulate cells
-// independently rather than as one giant matrix.
+// Linear algebra for MNA systems, in two sizes.
 //
-// The factorization and the triangular solves are exposed separately so
+// SRAM-cell-scale circuits have a dozen unknowns, where dense LU with
+// partial pivoting is both simpler and faster than any sparse machinery —
+// that path is DenseMatrix / lu_factor below and survives unchanged as the
+// regression oracle. Whole-column circuits (hundreds of unknowns, a few
+// entries per row) go through SparseMatrix / SparseLu: CSR storage with
+// stamp programs resolved to direct value-slot pointers once per topology,
+// and a fill-reducing LU whose symbolic analysis (pivot order + fill
+// pattern) is computed once and reused across Newton iterations, time
+// steps and Monte-Carlo repetitions. See DESIGN.md §12.
+//
+// Both engines expose factorization and triangular solves separately so
 // the Newton loop can keep a factorization alive across iterations and
 // steps (modified-Newton "bypass"): factor once, then re-solve against the
-// stale factors while the residual keeps contracting.
+// stale factors while the residual keeps contracting. Both use the same
+// scale-relative singularity threshold (see lu_factor).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <stdexcept>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace samurai::spice {
@@ -108,5 +118,215 @@ inline void lu_solve_factored(const DenseMatrix& lu,
 /// One-shot convenience: factor + solve. A and b are destroyed; returns
 /// false if the matrix is singular (see lu_factor).
 bool lu_solve(DenseMatrix& a, std::span<double> b);
+
+// ------------------------------------------------------------------ sparse
+
+/// CSR matrix whose pattern is fixed between build_pattern calls. Entries
+/// are addressed by stable value-slot pointers (slot), so device stamp
+/// programs resolve their (row, col) pairs to pointers once per topology
+/// and per-iteration stamping is pointer chasing — no hashing, no search.
+class SparseMatrix {
+ public:
+  std::size_t size() const noexcept { return n_; }
+  std::size_t nnz() const noexcept { return cols_.size(); }
+
+  /// Rebuild the pattern from coordinate pairs (duplicates are fine;
+  /// ground stamps must already be filtered out). The full diagonal is
+  /// always included so gmin/nodeset-pin injection and pivoting have a
+  /// slot on every row. Values are zeroed. Returns true when the pattern
+  /// actually changed — callers invalidate symbolic factorizations (and
+  /// count a workspace reallocation) only in that case.
+  bool build_pattern(std::size_t n,
+                     std::span<const std::pair<int, int>> coords);
+
+  /// Adopt another matrix's pattern (shared topology, separate values).
+  void copy_pattern_from(const SparseMatrix& other);
+
+  void set_zero() { std::fill(values_.begin(), values_.end(), 0.0); }
+
+  /// Overwrite this matrix's values with `other`'s (same pattern): the
+  /// sparse analogue of DenseMatrix::copy_from.
+  void copy_values_from(const SparseMatrix& other) {
+    std::memcpy(values_.data(), other.values_.data(),
+                values_.size() * sizeof(double));
+  }
+
+  /// Stable pointer to the value slot at (row, col); nullptr when the
+  /// entry is not in the pattern or addresses ground. Valid until the
+  /// next build_pattern call.
+  double* slot(int row, int col);
+
+  double value_max_abs() const;
+
+  const std::vector<int>& row_ptr() const noexcept { return row_ptr_; }
+  const std::vector<int>& cols() const noexcept { return cols_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+  std::vector<double>& values() noexcept { return values_; }
+
+  /// Dense copy (tests and the one-time discovery factorization).
+  void to_dense(DenseMatrix& out) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<int> row_ptr_;    ///< n + 1 offsets
+  std::vector<int> cols_;       ///< column index per entry, sorted per row
+  std::vector<double> values_;  ///< one value per entry
+  // Retained scratch so a same-pattern rebuild is allocation-free.
+  std::vector<std::uint64_t> keys_;
+  std::vector<int> scratch_row_ptr_;
+  std::vector<int> scratch_cols_;
+};
+
+/// Sparse LU with threshold-Markowitz (fill-reducing) pivoting and a
+/// reusable symbolic factorization.
+///
+/// The first factor() call runs a *discovery* factorization on a dense
+/// working copy: at each step it picks, among the numerically acceptable
+/// entries of the active submatrix (|v| within kPivotRelTol of its active
+/// column's largest entry — the Spice3-style stability test), the one with
+/// the smallest Markowitz cost (r-1)(c-1), tracking structure separately
+/// from values so accidental cancellation cannot shrink the recorded
+/// pattern. Pivots may be off-diagonal — MNA branch rows (voltage sources)
+/// have structurally zero diagonals, so the row and column permutations
+/// are independent. The permutation pair and permuted L+U fill pattern are
+/// kept;
+/// later factor() calls on the same pattern are *static-pattern numeric
+/// refactorizations* — scatter, one up-looking sweep, no pivot search —
+/// which is what makes per-step factorization cheap on the Newton hot
+/// path. A refactorization whose static pivots degrade numerically falls
+/// back to a fresh analysis automatically.
+///
+/// The singularity test mirrors lu_factor exactly: a pivot counts as zero
+/// below max(scale · n · ε, DBL_MIN) where `scale` is the max-abs entry of
+/// the input (or `scale_hint` when non-negative, skipping the scan).
+class SparseLu {
+ public:
+  /// Drop all symbolic state (stale factors from another topology must
+  /// never leak into a fresh solve).
+  void invalidate() noexcept { analyzed_ = false; }
+  bool analyzed() const noexcept { return analyzed_; }
+  /// Entries in L+U including fill-in (after a successful analysis).
+  std::size_t fill_nnz() const noexcept { return lu_cols_.size(); }
+
+  /// Factor `a`. Reuses the stored symbolic analysis when `a`'s pattern
+  /// matches; analyses from scratch otherwise (or when static pivoting
+  /// fails). Returns false when the matrix is numerically singular. When
+  /// `was_analysis` is non-null it reports whether this call performed a
+  /// fresh symbolic analysis (vs a numeric refactorization only).
+  bool factor(const SparseMatrix& a, double scale_hint = -1.0,
+              bool* was_analysis = nullptr);
+
+  /// Solve A x = b in place against the live factors (cheap, O(fill)).
+  void solve(std::span<double> b) const;
+
+ private:
+  bool pattern_matches(const SparseMatrix& a) const;
+  bool analyze(const SparseMatrix& a, double threshold);
+  bool refactor(const SparseMatrix& a, double threshold);
+  static double resolve_scale(const SparseMatrix& a, double scale_hint);
+
+  bool analyzed_ = false;
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_perm_;      ///< step -> original row
+  std::vector<std::size_t> row_perm_inv_;  ///< original row -> step
+  std::vector<std::size_t> col_perm_;      ///< step -> original column
+  std::vector<std::size_t> col_perm_inv_;  ///< original column -> step
+  // Permuted CSR of L+U (columns in permuted indices, ascending, diagonal
+  // always present).
+  std::vector<int> lu_row_ptr_;
+  std::vector<int> lu_cols_;
+  std::vector<double> lu_vals_;
+  std::vector<int> lu_diag_;          ///< entry index of the diagonal per row
+  std::vector<double> recip_diag_;    ///< 1 / U(k,k): solve multiplies
+  std::vector<int> a_to_lu_;          ///< A entry -> lu_vals_ scatter map
+  // Copy of the analysed A pattern (refactor-vs-analyse decision).
+  std::vector<int> a_row_ptr_;
+  std::vector<int> a_cols_;
+  // Retained scratch (discovery working matrix, refactor row map, rhs).
+  std::vector<double> dense_;
+  std::vector<unsigned char> struct_;
+  std::vector<unsigned char> row_active_;
+  std::vector<unsigned char> col_active_;
+  std::vector<int> row_cnt_;
+  std::vector<int> col_cnt_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> candidates_;
+  std::vector<int> pos_;
+  mutable std::vector<double> pb_;
+};
+
+/// One-shot convenience mirroring lu_solve: factor + solve. Returns false
+/// if the matrix is singular (same scale-relative contract as lu_factor).
+bool sparse_lu_solve(const SparseMatrix& a, std::span<double> b,
+                     double scale_hint = -1.0);
+
+// -------------------------------------------------------------- stamp sink
+
+/// Polymorphic-by-mode stamping target handed to Device::load as
+/// LoadContext::jacobian. Devices always call `stamp(row, col, value)`;
+/// what happens depends on how the sink is bound:
+///
+///  - dense:   forward into a DenseMatrix (the classic path),
+///  - record:  append (row, col) to a coordinate list, ignoring values —
+///             used once per topology to capture each stamp *program*,
+///  - slots:   `*slots[cursor++] += value` — replay of a recorded program
+///             against resolved CSR value-slot pointers (the sparse hot
+///             path: no hashing, no bounds search),
+///  - discard: drop everything (cache-hit passes that only need residuals).
+///
+/// Ground stamps (negative row or col) are skipped in *every* mode with
+/// the same test, so a recorded program and its replay always walk the
+/// same stamp sequence. The cursor is checked against the program length
+/// after each device loop; devices must therefore emit a deterministic
+/// stamp sequence for a fixed (scope, a0 == 0) — see Device::load.
+class StampSink {
+ public:
+  void bind_dense(DenseMatrix* dense) noexcept {
+    mode_ = Mode::kDense;
+    dense_ = dense;
+  }
+  void bind_record(std::vector<std::pair<int, int>>* coords) noexcept {
+    mode_ = Mode::kRecord;
+    coords_ = coords;
+  }
+  void bind_slots(double* const* slots, std::size_t count) noexcept {
+    mode_ = Mode::kSlots;
+    slots_ = slots;
+    slot_count_ = count;
+    cursor_ = 0;
+  }
+  void bind_discard() noexcept { mode_ = Mode::kDiscard; }
+
+  /// Stamps consumed since the last bind_slots (program-length check).
+  std::size_t cursor() const noexcept { return cursor_; }
+
+  void stamp(int row, int col, double value) {
+    if (row < 0 || col < 0) return;  // ground
+    switch (mode_) {
+      case Mode::kDense:
+        dense_->stamp(row, col, value);
+        break;
+      case Mode::kSlots:
+        if (cursor_ >= slot_count_) {
+          throw std::logic_error("StampSink: stamp program overrun");
+        }
+        *slots_[cursor_++] += value;
+        break;
+      case Mode::kRecord:
+        coords_->emplace_back(row, col);
+        break;
+      case Mode::kDiscard:
+        break;
+    }
+  }
+
+ private:
+  enum class Mode { kDense, kSlots, kRecord, kDiscard };
+  Mode mode_ = Mode::kDiscard;
+  DenseMatrix* dense_ = nullptr;
+  std::vector<std::pair<int, int>>* coords_ = nullptr;
+  double* const* slots_ = nullptr;
+  std::size_t slot_count_ = 0;
+  std::size_t cursor_ = 0;
+};
 
 }  // namespace samurai::spice

@@ -42,9 +42,15 @@ RtnTransientResult run_rtn_transient(
     const TransientOptions& options, const std::vector<RtnRequest>& requests) {
   RtnTransientResult result;
 
+  // One workspace for both passes: the injected circuit adds only current
+  // sources (no Jacobian stamps), so its sparse pattern matches the
+  // nominal one and the symbolic LU analysis from pass 1 is reused — and
+  // on either engine the pass-2 attach reallocates nothing.
+  NewtonWorkspace workspace;
+
   // Pass 1: nominal run.
   auto nominal_circuit = build();
-  result.nominal = transient(*nominal_circuit, options);
+  result.nominal = transient(*nominal_circuit, options, workspace);
 
   // SAMURAI per tagged device.
   result.traces.reserve(requests.size());
@@ -92,7 +98,7 @@ RtnTransientResult run_rtn_transient(
     rtn_circuit->add<CurrentSource>("Irtn_" + trace.device, mosfet->drain(),
                                     mosfet->source(), trace.i_rtn.scaled(-1.0));
   }
-  result.with_rtn = transient(*rtn_circuit, options);
+  result.with_rtn = transient(*rtn_circuit, options, workspace);
   return result;
 }
 

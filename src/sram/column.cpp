@@ -7,11 +7,13 @@
 
 namespace samurai::sram {
 
-namespace {
-
-std::string cell_prefix(std::size_t index) {
+std::string column_cell_prefix(std::size_t index) {
   return "c" + std::to_string(index) + "_";
 }
+
+namespace {
+
+std::string cell_prefix(std::size_t index) { return column_cell_prefix(index); }
 
 /// Build the control waveforms for the op sequence.
 struct ColumnWaves {
@@ -201,9 +203,7 @@ ColumnReport check_column(const spice::TransientResult& result,
   return report;
 }
 
-ColumnRtnResult run_column_rtn(const ColumnConfig& config, std::uint64_t seed,
-                               double rtn_scale) {
-  // Transient options with the column's initial conditions.
+spice::TransientOptions column_transient_options(const ColumnConfig& config) {
   spice::TransientOptions options;
   options.t_start = 0.0;
   options.t_stop = static_cast<double>(config.ops.size()) *
@@ -220,6 +220,12 @@ ColumnRtnResult run_column_rtn(const ColumnConfig& config, std::uint64_t seed,
     options.dc.nodeset[cell_prefix(i) + "qb"] = bit ? 0.0 : v_dd;
     options.dc.nodeset[cell_prefix(i) + "vdd"] = v_dd;
   }
+  return options;
+}
+
+ColumnRtnResult run_column_rtn(const ColumnConfig& config, std::uint64_t seed,
+                               double rtn_scale) {
+  spice::TransientOptions options = column_transient_options(config);
 
   // One RTN request per cell transistor, each with its own stream.
   std::vector<spice::RtnRequest> requests;

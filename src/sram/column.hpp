@@ -97,6 +97,16 @@ ColumnReport check_column(const spice::TransientResult& result,
                           const ColumnConfig& config,
                           const ColumnBuild& build);
 
+/// Transient options matching a build_column circuit: run window from the
+/// op count, dt_max from the slot period, and nodesets placing every cell
+/// in its initial_bits basin with the bitlines precharged high. Shared by
+/// run_column_rtn, the coupled column and the solver benchmarks (which
+/// additionally pin TransientOptions::solver per engine).
+spice::TransientOptions column_transient_options(const ColumnConfig& config);
+
+/// Name of cell i's devices/nodes prefix inside a column ("c<i>_").
+std::string column_cell_prefix(std::size_t index);
+
 struct ColumnRtnResult {
   spice::RtnTransientResult rtn;  ///< nominal + injected transients
   ColumnReport nominal_report;

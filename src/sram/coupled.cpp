@@ -170,4 +170,93 @@ CoupledResult run_coupled(const MethodologyConfig& config) {
   return result;
 }
 
+CoupledColumnResult run_coupled_column(const ColumnConfig& config,
+                                       std::uint64_t seed, double rtn_scale,
+                                       const physics::TrapProfileOptions& profile,
+                                       spice::SolverKind solver) {
+  CoupledColumnResult result;
+
+  spice::Circuit circuit;
+  const ColumnBuild build = build_column(circuit, config);
+
+  const physics::SrhModel srh(config.tech);
+  util::Rng rng(seed);
+
+  // One live transistor per cell device, 6 N total, streams split per
+  // (cell, transistor) so adding cells never perturbs existing streams.
+  auto live = std::make_shared<std::vector<LiveTransistor>>();
+  live->reserve(6 * config.num_cells);
+  for (std::size_t cell = 0; cell < config.num_cells; ++cell) {
+    for (int m = 1; m <= 6; ++m) {
+      LiveTransistor transistor;
+      transistor.name =
+          column_cell_prefix(cell) + "M" + std::to_string(m);
+      transistor.mosfet = build.cells[cell].mosfet(m);
+      util::Rng profile_rng =
+          rng.split(cell * 6007 + static_cast<std::uint64_t>(m) * 101);
+      const auto traps = physics::sample_trap_profile(
+          config.tech, transistor_geometry(config.tech, config.sizing, m),
+          profile_rng, profile);
+      transistor.traps.reserve(traps.size());
+      for (std::size_t i = 0; i < traps.size(); ++i) {
+        LiveTrap live_trap;
+        live_trap.trap = traps[i];
+        live_trap.state = traps[i].init_state;
+        live_trap.rng = rng.split(cell * 6007 +
+                                  static_cast<std::uint64_t>(m) * 977 + 13)
+                            .split(i + 1);
+        transistor.traps.push_back(std::move(live_trap));
+      }
+      result.num_traps += transistor.traps.size();
+      live->push_back(std::move(transistor));
+    }
+  }
+
+  for (std::size_t i = 0; i < live->size(); ++i) {
+    auto& transistor = (*live)[i];
+    circuit.add<spice::CallbackCurrentSource>(
+        "Irtn_" + transistor.name, transistor.mosfet->drain(),
+        transistor.mosfet->source(),
+        [live, i](double) { return (*live)[i].injection; });
+  }
+
+  spice::TransientOptions options = column_transient_options(config);
+  options.solver = solver;
+
+  double prev_t = 0.0;
+  options.on_step = [&, live](double t, std::span<const double> x) {
+    for (auto& transistor : *live) {
+      const auto* fet = transistor.mosfet;
+      const double vd = node_voltage(x, fet->drain());
+      const double vg = node_voltage(x, fet->gate());
+      const double vs = node_voltage(x, fet->source());
+      const bool nmos = fet->model().type() == physics::MosType::kNmos;
+      const double v_eff = nmos ? vg - std::min(vd, vs) : std::max(vd, vs) - vg;
+      std::size_t filled = 0;
+      for (auto& live_trap : transistor.traps) {
+        const auto p = srh.propensities(live_trap.trap, v_eff);
+        advance_trap(live_trap, p, prev_t, t);
+        if (live_trap.state == physics::TrapState::kFilled) ++filled;
+      }
+      const double i_d = fet->model().evaluate(vg - vs, vd - vs).i_d;
+      const physics::MosDevice equivalent(config.tech, physics::MosType::kNmos,
+                                          fet->model().geometry());
+      const double amp = core::rtn_amplitude(equivalent, v_eff, i_d);
+      const double sign = i_d >= 0.0 ? 1.0 : -1.0;
+      transistor.injection = -rtn_scale * sign * amp *
+                             static_cast<double>(filled);
+    }
+    prev_t = t;
+  };
+
+  result.transient = spice::transient(circuit, options);
+  result.report = check_column(result.transient, config, build);
+  for (const auto& transistor : *live) {
+    for (const auto& live_trap : transistor.traps) {
+      result.switch_events += live_trap.switch_times.size();
+    }
+  }
+  return result;
+}
+
 }  // namespace samurai::sram

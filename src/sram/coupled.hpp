@@ -18,6 +18,7 @@
 #include "core/trajectory.hpp"
 #include "physics/trap.hpp"
 #include "physics/trap_profile.hpp"
+#include "sram/column.hpp"
 #include "sram/methodology.hpp"
 
 namespace samurai::sram {
@@ -36,5 +37,24 @@ struct CoupledResult {
 /// Run the coupled simulation with the same configuration surface as the
 /// staged methodology. `config.rtn_scale` scales the injected amplitude.
 CoupledResult run_coupled(const MethodologyConfig& config);
+
+struct CoupledColumnResult {
+  spice::TransientResult transient;  ///< the coupled column run
+  ColumnReport report;
+  std::size_t num_traps = 0;       ///< traps sampled across all cells
+  std::uint64_t switch_events = 0; ///< total trap transitions during the run
+};
+
+/// Coupled RTN over a whole shared-bitline column: one MNA system holding
+/// all N cells of a build_column circuit (solved on the sparse engine above
+/// the auto threshold), where every cell transistor carries live trap
+/// chains advanced after each accepted step at its actual instantaneous
+/// node voltages — so a cell's RTN back-action reaches its neighbours
+/// through the shared bitlines within the same run. `solver` pins the
+/// linear engine (benchmarks); kAuto sizes it from the column.
+CoupledColumnResult run_coupled_column(
+    const ColumnConfig& config, std::uint64_t seed, double rtn_scale,
+    const physics::TrapProfileOptions& profile = {},
+    spice::SolverKind solver = spice::SolverKind::kAuto);
 
 }  // namespace samurai::sram

@@ -176,5 +176,198 @@ TEST(LuFactor, ZeroAndEmptyMatrices) {
   EXPECT_TRUE(pivots.empty());
 }
 
+// ------------------------------------------------------------------ sparse
+
+namespace {
+
+/// Random sparse-ish test matrix: tridiagonal-plus-random-extras pattern,
+/// diagonally dominated. Returns the coordinate list used for the pattern.
+std::vector<std::pair<int, int>> fill_random_sparse(SparseMatrix& m,
+                                                    std::size_t n,
+                                                    util::Rng& rng) {
+  std::vector<std::pair<int, int>> coords;
+  for (std::size_t i = 0; i < n; ++i) {
+    coords.emplace_back(static_cast<int>(i), static_cast<int>(i));
+    if (i + 1 < n) {
+      coords.emplace_back(static_cast<int>(i), static_cast<int>(i + 1));
+      coords.emplace_back(static_cast<int>(i + 1), static_cast<int>(i));
+    }
+    const auto j = static_cast<std::size_t>(rng.uniform(0.0, 1.0) * n) % n;
+    if (j != i) coords.emplace_back(static_cast<int>(i), static_cast<int>(j));
+  }
+  m.build_pattern(n, coords);
+  for (const auto& [r, c] : coords) {
+    *m.slot(r, c) += rng.uniform(-1.0, 1.0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    *m.slot(static_cast<int>(i), static_cast<int>(i)) += 4.0;
+  }
+  return coords;
+}
+
+}  // namespace
+
+TEST(SparseMatrix, PatternAndSlots) {
+  SparseMatrix m;
+  std::vector<std::pair<int, int>> coords = {
+      {0, 0}, {0, 2}, {2, 0}, {0, 2},  // duplicate is fine
+      {-1, 1}, {1, -1},                // ground: must be ignored
+  };
+  EXPECT_TRUE(m.build_pattern(3, coords));
+  // Full diagonal always present even though (1,1) and (2,2) were never
+  // stamped.
+  EXPECT_EQ(m.nnz(), 5u);  // (0,0) (0,2) (1,1) (2,0) (2,2)
+  ASSERT_NE(m.slot(1, 1), nullptr);
+  EXPECT_EQ(m.slot(0, 1), nullptr);  // not in pattern
+  EXPECT_EQ(m.slot(-1, 0), nullptr);  // ground
+  *m.slot(0, 2) += 2.0;
+  *m.slot(0, 2) += 1.5;
+  DenseMatrix d;
+  m.to_dense(d);
+  EXPECT_DOUBLE_EQ(d.at(0, 2), 3.5);
+  // Same coords again: pattern unchanged, values zeroed.
+  EXPECT_FALSE(m.build_pattern(3, coords));
+  m.to_dense(d);
+  EXPECT_DOUBLE_EQ(d.at(0, 2), 0.0);
+  // New coordinate: pattern changes.
+  coords.emplace_back(1, 2);
+  EXPECT_TRUE(m.build_pattern(3, coords));
+  EXPECT_EQ(m.nnz(), 6u);
+}
+
+TEST(SparseLu, RandomSystemsMatchDense) {
+  util::Rng rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(trial);
+    SparseMatrix a;
+    fill_random_sparse(a, n, rng);
+    DenseMatrix ad;
+    a.to_dense(ad);
+    std::vector<double> x_true(n), b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) x_true[i] = rng.uniform(-5.0, 5.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += ad.at(i, j) * x_true[j];
+    }
+    std::vector<double> b_dense = b;
+    ASSERT_TRUE(sparse_lu_solve(a, b));
+    ASSERT_TRUE(lu_solve(ad, b_dense));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(b[i], x_true[i], 1e-9);
+      EXPECT_NEAR(b[i], b_dense[i], 1e-9);
+    }
+  }
+}
+
+TEST(SparseLu, SymbolicReuseAcrossRefactors) {
+  util::Rng rng(47);
+  const std::size_t n = 12;
+  SparseMatrix a;
+  fill_random_sparse(a, n, rng);
+  SparseLu lu;
+  bool was_analysis = false;
+  ASSERT_TRUE(lu.factor(a, -1.0, &was_analysis));
+  EXPECT_TRUE(was_analysis);
+  const std::size_t fill = lu.fill_nnz();
+  // New values, same pattern: numeric refactorization only, same fill.
+  for (int round = 0; round < 3; ++round) {
+    for (double& v : a.values()) v += rng.uniform(-0.1, 0.1);
+    std::vector<double> x_true(n), b(n, 0.0);
+    DenseMatrix ad;
+    a.to_dense(ad);
+    for (std::size_t i = 0; i < n; ++i) x_true[i] = rng.uniform(-2.0, 2.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += ad.at(i, j) * x_true[j];
+    }
+    ASSERT_TRUE(lu.factor(a, -1.0, &was_analysis));
+    EXPECT_FALSE(was_analysis) << "round " << round;
+    EXPECT_EQ(lu.fill_nnz(), fill);
+    lu.solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(SparseLu, RequiresOffDiagonalPivotFill) {
+  // Structurally zero diagonal entry that only becomes usable through
+  // fill-in — the voltage-source branch-row shape from MNA. The diagonal
+  // slot exists (build_pattern guarantees it) but holds 0.
+  SparseMatrix a;
+  std::vector<std::pair<int, int>> coords = {
+      {0, 0}, {0, 1}, {1, 0},  // (1,1) stays numerically zero
+  };
+  a.build_pattern(2, coords);
+  *a.slot(0, 0) = 1e-12;  // gmin-scale leak, as on a wl branch row
+  *a.slot(0, 1) = 1.0;
+  *a.slot(1, 0) = 1.0;
+  std::vector<double> b = {2.0, 3.0};
+  ASSERT_TRUE(sparse_lu_solve(a, b));
+  // x1 = 2 - 1e-12*3 ≈ 2, x0 = 3.
+  EXPECT_NEAR(b[0], 3.0, 1e-9);
+  EXPECT_NEAR(b[1], 2.0, 1e-9);
+}
+
+TEST(SparseLu, ScaleRelativeSingularityAcceptsTinyUnits) {
+  // Same well-posed fF/µA-scale system as the dense contract test: both
+  // engines share the scale-relative threshold, so neither may reject it.
+  SparseMatrix a;
+  std::vector<std::pair<int, int>> coords = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  a.build_pattern(2, coords);
+  *a.slot(0, 0) = 2e-15;
+  *a.slot(0, 1) = 1e-15;
+  *a.slot(1, 0) = 1e-15;
+  *a.slot(1, 1) = 3e-15;
+  std::vector<double> b = {5e-15, 10e-15};
+  ASSERT_TRUE(sparse_lu_solve(a, b));
+  EXPECT_NEAR(b[0], 1.0, 1e-9);
+  EXPECT_NEAR(b[1], 3.0, 1e-9);
+}
+
+TEST(SparseLu, ScaleRelativeSingularityRejectsScaledSingular) {
+  // Same rank-1 matrix as the dense contract test, at three scales.
+  for (const double s : {1e-12, 1.0, 1e12}) {
+    SparseMatrix a;
+    std::vector<std::pair<int, int>> coords = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    a.build_pattern(2, coords);
+    *a.slot(0, 0) = 1.0 * s;
+    *a.slot(0, 1) = 2.0 * s;
+    *a.slot(1, 0) = 2.0 * s;
+    *a.slot(1, 1) = 4.0 * s;
+    std::vector<double> b = {1.0, 2.0};
+    EXPECT_FALSE(sparse_lu_solve(a, b)) << "scale " << s;
+  }
+}
+
+TEST(SparseLu, ScaleHintMatchesInternalScan) {
+  util::Rng rng(53);
+  const std::size_t n = 9;
+  SparseMatrix a;
+  fill_random_sparse(a, n, rng);
+  std::vector<double> x_true(n), b(n, 0.0);
+  DenseMatrix ad;
+  a.to_dense(ad);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = rng.uniform(-2.0, 2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += ad.at(i, j) * x_true[j];
+  }
+  std::vector<double> b_hint = b;
+  SparseLu lu1, lu2;
+  ASSERT_TRUE(lu1.factor(a));
+  ASSERT_TRUE(lu2.factor(a, a.value_max_abs()));
+  EXPECT_EQ(lu1.fill_nnz(), lu2.fill_nnz());
+  lu1.solve(b);
+  lu2.solve(b_hint);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(b[i], b_hint[i]);
+}
+
+TEST(SparseLu, ZeroAndEmptyMatrices) {
+  SparseMatrix zero;
+  zero.build_pattern(3, std::vector<std::pair<int, int>>{{0, 1}, {1, 2}});
+  std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(sparse_lu_solve(zero, b));  // all-zero values: singular
+  SparseMatrix empty;
+  empty.build_pattern(0, std::vector<std::pair<int, int>>{});
+  std::vector<double> b0;
+  EXPECT_TRUE(sparse_lu_solve(empty, b0));  // 0x0: trivially factored
+}
+
 }  // namespace
 }  // namespace samurai::spice
