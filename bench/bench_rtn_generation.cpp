@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <stdexcept>
 #include <vector>
 
 #include "core/rtn_generator.hpp"
@@ -37,36 +38,29 @@ sram::MethodologyConfig base_config() {
   return config;
 }
 
-/// One transistor's ready-to-simulate workload.
-struct DeviceWorkload {
-  physics::MosDevice device;
-  std::vector<physics::Trap> traps;
-  core::Pwl v_gs;
-  core::Pwl i_d;
-};
-
 struct ModeReport {
   double ms_per_pass = 0.0;  ///< best-of-batches mean wall per pass
   core::UniformisationStats stats;  ///< aggregate over every timed pass
   double candidates_per_sec = 0.0;  ///< aggregate candidates / total wall
 };
 
-/// One pass = generate_device_rtn for all six transistors, mirroring the
-/// methodology's phase-2 seeding so pass p is deterministic and both modes
-/// consume identical per-trap streams.
-void run_pass(const physics::SrhModel& srh,
-              const std::vector<DeviceWorkload>& workloads, double t_end,
-              bool use_majorant, std::uint64_t pass) {
+/// One pass = generate for all six transistors' prebuilt workloads,
+/// mirroring the methodology's phase-2 seeding so pass p is deterministic
+/// and both modes consume identical per-trap streams. The propensity
+/// tabulations (all surface-potential work) live in the workloads, built
+/// once in setup: a pass times Algorithm 1 plus the render walk — the part
+/// the majorant actually accelerates, and the part a Monte-Carlo campaign
+/// re-runs per sample.
+void run_pass(const std::vector<core::DeviceRtnWorkload>& workloads,
+              double t_end, bool use_majorant, std::uint64_t pass) {
   core::RtnGeneratorOptions gen;
   gen.t0 = 0.0;
   gen.tf = t_end;
   gen.uniformisation.use_majorant = use_majorant;
   util::Rng rng(0xB5EFu + pass);
   for (std::size_t m = 0; m < workloads.size(); ++m) {
-    const auto& w = workloads[m];
     util::Rng trap_rng = rng.split(m * 977 + 13);
-    (void)core::generate_device_rtn(srh, w.device, w.traps, w.v_gs, w.i_d,
-                                    trap_rng, gen);
+    (void)workloads[m].generate(trap_rng, gen);
   }
 }
 
@@ -77,19 +71,19 @@ void run_pass(const physics::SrhModel& srh,
 /// separate blocks hands a systematic few-percent penalty to whichever
 /// block runs while the clock is still ramping. The ~20 ns clock reads
 /// are noise against the ~10 ms passes.
-void run_batch(const physics::SrhModel& srh,
-               const std::vector<DeviceWorkload>& workloads, double t_end,
-               int passes, std::uint64_t& pass, ModeReport& majorant,
-               ModeReport& fixed, double& wall_majorant, double& wall_fixed) {
+void run_batch(const std::vector<core::DeviceRtnWorkload>& workloads,
+               double t_end, int passes, std::uint64_t& pass,
+               ModeReport& majorant, ModeReport& fixed,
+               double& wall_majorant, double& wall_fixed) {
   double seconds_m = 0.0;
   double seconds_f = 0.0;
   for (int p = 0; p < passes; ++p) {
     const auto s0 = core::uniformisation_stats_snapshot();
     const auto a = std::chrono::steady_clock::now();
-    run_pass(srh, workloads, t_end, /*use_majorant=*/true, pass);
+    run_pass(workloads, t_end, /*use_majorant=*/true, pass);
     const auto b = std::chrono::steady_clock::now();
     const auto s1 = core::uniformisation_stats_snapshot();
-    run_pass(srh, workloads, t_end, /*use_majorant=*/false, pass);
+    run_pass(workloads, t_end, /*use_majorant=*/false, pass);
     const auto c = std::chrono::steady_clock::now();
     const auto s2 = core::uniformisation_stats_snapshot();
     seconds_m += std::chrono::duration<double>(b - a).count();
@@ -128,7 +122,13 @@ void print_mode_json(const char* key, const ModeReport& r,
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const bool quick = cli.has("quick");
-  const int passes = static_cast<int>(cli.get_int("passes", quick ? 5 : 40));
+  int passes = 0;
+  try {
+    passes = static_cast<int>(cli.get_count("passes", quick ? 5 : 40));
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "bench_rtn_generation: %s\n", err.what());
+    return 2;
+  }
   const int batches = quick ? 2 : 5;
 
   // Setup: one methodology run extracts the six bias/current waveforms and
@@ -136,15 +136,16 @@ int main(int argc, char** argv) {
   const auto config = base_config();
   const auto setup = sram::run_methodology(config);
   const physics::SrhModel srh(config.tech);
-  std::vector<DeviceWorkload> workloads;
+  std::vector<core::DeviceRtnWorkload> workloads;
   std::size_t total_traps = 0;
   for (int m = 1; m <= 6; ++m) {
     const auto& entry = setup.rtn[static_cast<std::size_t>(m - 1)];
-    workloads.push_back(DeviceWorkload{
+    workloads.emplace_back(
+        srh,
         physics::MosDevice(config.tech, physics::MosType::kNmos,
                            sram::transistor_geometry(config.tech,
                                                      config.sizing, m)),
-        entry.traps, entry.v_gs, entry.i_d});
+        entry.traps, entry.v_gs, entry.i_d);
     total_traps += entry.traps.size();
   }
   const double t_end = setup.pattern.t_end;
@@ -157,13 +158,13 @@ int main(int argc, char** argv) {
 
   ModeReport majorant, fixed;
   majorant.ms_per_pass = fixed.ms_per_pass = 1e300;
-  run_pass(srh, workloads, t_end, /*use_majorant=*/true, 0);   // warmup
-  run_pass(srh, workloads, t_end, /*use_majorant=*/false, 0);  // warmup
+  run_pass(workloads, t_end, /*use_majorant=*/true, 0);   // warmup
+  run_pass(workloads, t_end, /*use_majorant=*/false, 0);  // warmup
   std::uint64_t pass = 1;
   double wall_m = 0.0;
   double wall_f = 0.0;
   for (int b = 0; b < batches; ++b) {
-    run_batch(srh, workloads, t_end, passes, pass, majorant, fixed, wall_m,
+    run_batch(workloads, t_end, passes, pass, majorant, fixed, wall_m,
               wall_f);
   }
   majorant.candidates_per_sec =
@@ -207,11 +208,17 @@ int main(int argc, char** argv) {
                 reduction);
     return 1;
   }
-  // The envelope must not cost wall clock: candidates saved have to at
-  // least pay for the majorant construction and segment walk. Quick mode
-  // times too few passes for a tight line — gate it loosely so scheduler
-  // noise cannot flake the smoke test.
-  const double speedup_floor = quick ? 0.7 : 1.0;
+  // A pass times only the sampler (propensities are prebuilt in the
+  // workloads), so the candidates the envelope saves must show up as wall
+  // clock: the contract is a 1.3x speedup over fixed-bound thinning.
+  // Quick mode times too few passes for a tight line — gate it loosely so
+  // scheduler noise cannot flake the smoke test, and say so.
+  const double speedup_floor = quick ? 0.7 : 1.3;
+  if (quick) {
+    std::printf("note: speedup gate relaxed to %.1fx in quick mode "
+                "(full gate: 1.3x)\n",
+                speedup_floor);
+  }
   if (speedup < speedup_floor) {
     std::printf("\nFAIL: majorant wall speedup %.2fx below the %.1fx "
                 "contract\n",

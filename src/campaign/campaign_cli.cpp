@@ -5,10 +5,12 @@
 //   samurai_campaign status --dir out/
 //
 // `run` starts a campaign described by a manifest file or by flags
-// (--kind importance|array-yield|vmin, --samples, --shard, --seed,
-// --threads, --target-rhw, --min-samples, --node, --vdd, --bits, --scale,
-// --sigma-vt, --shift, --rtn-seeds, --v-lo, --v-hi, --resolution,
-// --nominal-only, --slow-as-fail, --name). Without --dir the campaign runs
+// (--kind importance|array-yield|vmin, --samples, --shard, --batch,
+// --seed, --threads, --target-rhw, --min-samples, --node, --vdd, --bits,
+// --scale, --sigma-vt, --shift, --rtn-seeds, --v-lo, --v-hi,
+// --resolution, --nominal-only, --slow-as-fail, --name). --batch K > 1
+// runs nominal-only importance samples through the lock-step batched
+// transient engine, K lanes at a time (requires --nominal-only). Without --dir the campaign runs
 // in memory (no checkpoint, no resume). Every subcommand ends with one
 // machine-readable JSON summary line on stdout.
 #include <cstdio>
@@ -42,6 +44,7 @@ campaign::Manifest manifest_from_flags(const util::Cli& cli) {
   manifest.seed = cli.get_seed("seed", 31);
   manifest.budget = static_cast<std::uint64_t>(cli.get_int("samples", 1000));
   manifest.shard_size = static_cast<std::uint64_t>(cli.get_int("shard", 100));
+  manifest.batch = static_cast<std::uint64_t>(cli.get_count("batch", 1));
   manifest.threads = static_cast<std::uint64_t>(cli.get_int("threads", 1));
   manifest.target_rel_half_width = cli.get_double("target-rhw", 0.0);
   manifest.confidence_z = cli.get_double("confidence-z", manifest.confidence_z);

@@ -35,6 +35,12 @@ void Manifest::validate() const {
   if (kind == CampaignKind::kImportance && !(sigma_vt > 0.0)) {
     throw std::invalid_argument("manifest: sigma_vt must be > 0");
   }
+  if (batch == 0) throw std::invalid_argument("manifest: batch must be > 0");
+  if (batch > 1 && (kind != CampaignKind::kImportance || with_rtn)) {
+    throw std::invalid_argument(
+        "manifest: batch > 1 requires kind = importance with with_rtn = "
+        "false (only the nominal-only workload batches)");
+  }
   if (target_rel_half_width < 0.0) {
     throw std::invalid_argument("manifest: target_rel_half_width must be >= 0");
   }
@@ -66,6 +72,7 @@ std::string Manifest::to_json() const {
   json.add_u64("budget", budget);
   json.add_u64("shard_size", shard_size);
   json.add_u64("threads", threads);
+  json.add_u64("batch", batch);
   json.add("target_rel_half_width", target_rel_half_width);
   json.add("confidence_z", confidence_z);
   json.add_u64("min_samples", min_samples);
@@ -97,6 +104,7 @@ Manifest Manifest::from_json(const std::string& text) {
   manifest.budget = json.get_u64("budget", manifest.budget);
   manifest.shard_size = json.get_u64("shard_size", manifest.shard_size);
   manifest.threads = json.get_u64("threads", manifest.threads);
+  manifest.batch = json.get_u64("batch", manifest.batch);
   manifest.target_rel_half_width =
       json.get_double("target_rel_half_width", manifest.target_rel_half_width);
   manifest.confidence_z = json.get_double("confidence_z", manifest.confidence_z);

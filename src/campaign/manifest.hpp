@@ -30,6 +30,15 @@ struct Manifest {
   std::uint64_t budget = 1000;    ///< total sample budget
   std::uint64_t shard_size = 100; ///< samples per shard (checkpoint grain)
   std::uint64_t threads = 1;      ///< worker threads within a shard
+  /// Monte-Carlo lanes per batched transient call. 1 = scalar samples.
+  /// > 1 routes each group of `batch` consecutive sample indices through
+  /// the lock-step batched fixed-grid engine (spice/batch.hpp); only valid
+  /// for kImportance with with_rtn = false (the nominal-only workload whose
+  /// lanes share one topology and breakpoint set). Sample outcomes are
+  /// independent of the grouping, so `batch` is a throughput knob — but the
+  /// batched path integrates on the fixed grid, so estimates match scalar
+  /// fixed-grid runs, not adaptive-step ones.
+  std::uint64_t batch = 1;
 
   // Sequential early stopping: stop once the relative confidence-interval
   // half-width (z·SE / estimate) drops to the target. 0 = run the budget.

@@ -169,6 +169,9 @@ std::string CampaignResult::to_json() const {
   json.add_u64("sp_symbolic_analyses", solver.sp_symbolic_analyses);
   json.add_u64("sp_numeric_refactors", solver.sp_numeric_refactors);
   json.add_u64("sp_solves", solver.sp_solves);
+  json.add_u64("bt_batches", solver.bt_batches);
+  json.add_u64("bt_lanes", solver.bt_lanes);
+  json.add_u64("bt_steps", solver.bt_steps);
   json.add_u64("rtn_candidates", rtn.candidates);
   json.add_u64("rtn_accepted", rtn.accepted);
   json.add_u64("rtn_segments", rtn.segments);

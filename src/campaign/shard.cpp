@@ -138,12 +138,37 @@ ShardResult run_shard(const Manifest& manifest, const ShardSpec& spec) {
   const sram::ArrayConfig array = array_config_from(manifest);
 
   std::vector<SampleOutcome> outcomes(static_cast<std::size_t>(spec.count));
-  util::parallel_for_indexed(
-      static_cast<std::size_t>(spec.count),
-      [&](std::size_t n) {
-        outcomes[n] = evaluate(manifest, importance, array, spec.first + n);
-      },
-      static_cast<std::size_t>(manifest.threads));
+  if (manifest.kind == CampaignKind::kImportance && manifest.batch > 1) {
+    // Batched importance path: consecutive global indices are grouped into
+    // lanes of one lock-step transient each. Each group writes only its
+    // own outcome slots and a sample's verdict is independent of its
+    // group-mates (all lanes share one breakpoint set, so the step plan
+    // never depends on the grouping) — the thread-count and shard-size
+    // independence of the scalar path carries over.
+    const auto batch = static_cast<std::size_t>(manifest.batch);
+    const auto count = static_cast<std::size_t>(spec.count);
+    const std::size_t groups = (count + batch - 1) / batch;
+    util::parallel_for_indexed(
+        groups,
+        [&](std::size_t g) {
+          const std::size_t lo = g * batch;
+          const std::size_t n = std::min(batch, count - lo);
+          const auto samples = sram::evaluate_importance_batch(
+              importance, static_cast<std::size_t>(spec.first) + lo, n);
+          for (std::size_t j = 0; j < n; ++j) {
+            outcomes[lo + j].weight = samples[j].weight;
+            outcomes[lo + j].failed = samples[j].failed;
+          }
+        },
+        static_cast<std::size_t>(manifest.threads));
+  } else {
+    util::parallel_for_indexed(
+        static_cast<std::size_t>(spec.count),
+        [&](std::size_t n) {
+          outcomes[n] = evaluate(manifest, importance, array, spec.first + n);
+        },
+        static_cast<std::size_t>(manifest.threads));
+  }
 
   ShardResult result;
   result.index = spec.index;
@@ -198,6 +223,9 @@ std::string ShardResult::to_json() const {
   json.add_u64("sp_symbolic_analyses", solver.sp_symbolic_analyses);
   json.add_u64("sp_numeric_refactors", solver.sp_numeric_refactors);
   json.add_u64("sp_solves", solver.sp_solves);
+  json.add_u64("bt_batches", solver.bt_batches);
+  json.add_u64("bt_lanes", solver.bt_lanes);
+  json.add_u64("bt_steps", solver.bt_steps);
   json.add_u64("rtn_candidates", rtn.candidates);
   json.add_u64("rtn_accepted", rtn.accepted);
   json.add_u64("rtn_segments", rtn.segments);
@@ -246,6 +274,11 @@ ShardResult ShardResult::from_json(const std::string& line) {
   result.solver.sp_numeric_refactors =
       json.get_u64("sp_numeric_refactors", 0);
   result.solver.sp_solves = json.get_u64("sp_solves", 0);
+  // Batched-engine counters default to zero so scalar-era ledgers still
+  // parse (their batched share really is zero).
+  result.solver.bt_batches = json.get_u64("bt_batches", 0);
+  result.solver.bt_lanes = json.get_u64("bt_lanes", 0);
+  result.solver.bt_steps = json.get_u64("bt_steps", 0);
   // Sampler counters default to zero so pre-counter ledgers still parse.
   result.rtn.candidates = json.get_u64("rtn_candidates", 0);
   result.rtn.accepted = json.get_u64("rtn_accepted", 0);

@@ -93,17 +93,14 @@ RateMajorant FunctionalPropensity::majorant(double t0, double t1) const {
   return RateMajorant(std::move(clipped));
 }
 
-BiasPropensity::BiasPropensity(const physics::SrhModel& model,
-                               const physics::Trap& trap, const Pwl& v_gs,
-                               double max_bias_step) {
+BiasSchedule BiasSchedule::build(const Pwl& v_gs, double max_bias_step) {
   if (!(max_bias_step > 0.0)) {
-    throw std::invalid_argument("BiasPropensity: max_bias_step must be > 0");
+    throw std::invalid_argument("BiasSchedule: max_bias_step must be > 0");
   }
-  total_rate_ = model.total_rate(trap);
-
   // Refine the bias breakpoints so each segment's voltage change is below
-  // max_bias_step, then tabulate λ_c at every refined point.
-  std::vector<double> times;
+  // max_bias_step.
+  BiasSchedule schedule;
+  std::vector<double>& times = schedule.times;
   if (v_gs.is_constant() || v_gs.times().size() < 2) {
     times.push_back(v_gs.times().empty() ? 0.0 : v_gs.times().front());
   } else {
@@ -122,13 +119,31 @@ BiasPropensity::BiasPropensity(const physics::SrhModel& model,
       }
     }
   }
+  schedule.bias.reserve(times.size());
+  for (double t : times) schedule.bias.push_back(v_gs.eval(t));
+  return schedule;
+}
 
-  std::vector<double> lc;
-  lc.reserve(times.size());
-  for (double t : times) {
-    lc.push_back(model.propensities(trap, v_gs.eval(t)).lambda_c);
+BiasPropensity::BiasPropensity(const physics::SrhModel& model,
+                               const physics::Trap& trap, const Pwl& v_gs,
+                               double max_bias_step)
+    : BiasPropensity(model, trap, BiasSchedule::build(v_gs, max_bias_step)) {}
+
+BiasPropensity::BiasPropensity(const physics::SrhModel& model,
+                               const physics::Trap& trap,
+                               const BiasSchedule& schedule) {
+  if (schedule.times.empty() ||
+      schedule.times.size() != schedule.bias.size()) {
+    throw std::invalid_argument("BiasPropensity: malformed schedule");
   }
-  lambda_c_of_t_ = Pwl(std::move(times), std::move(lc));
+  total_rate_ = model.total_rate(trap);
+  // Tabulate λ_c at every schedule point: the only per-trap cost.
+  std::vector<double> lc;
+  lc.reserve(schedule.times.size());
+  for (double bias : schedule.bias) {
+    lc.push_back(model.propensities(trap, bias).lambda_c);
+  }
+  lambda_c_of_t_ = Pwl(schedule.times, std::move(lc));
   build_envelope();
 }
 

@@ -127,6 +127,20 @@ class FunctionalPropensity final : public PropensityFunction {
   std::vector<MajorantSegment> envelope_;  ///< optional; empty = fallback
 };
 
+/// Refined per-device bias schedule: the tabulation time grid (bias
+/// breakpoints subdivided so no segment's voltage change exceeds
+/// `max_bias_step`) together with the bias value at each point. The
+/// schedule depends only on (V_gs, max_bias_step) — never on the trap —
+/// so a device's traps share one schedule and each pays only its own SRH
+/// evaluations; BiasPropensity built from a schedule is bit-identical to
+/// one built from the waveform directly.
+struct BiasSchedule {
+  std::vector<double> times;
+  std::vector<double> bias;  ///< v_gs.eval(times[i])
+
+  static BiasSchedule build(const Pwl& v_gs, double max_bias_step);
+};
+
 /// SRH trap propensities under a time-varying gate bias V_gs(t).
 ///
 /// Evaluating the surface-potential solve per candidate event would be
@@ -146,6 +160,13 @@ class BiasPropensity final : public PropensityFunction {
  public:
   BiasPropensity(const physics::SrhModel& model, const physics::Trap& trap,
                  const Pwl& v_gs, double max_bias_step = 0.01);
+
+  /// Tabulate from a prebuilt schedule (one SRH evaluation per schedule
+  /// point). Equivalent to the waveform constructor with the (v_gs,
+  /// max_bias_step) the schedule was built from — devices with many traps
+  /// build the schedule once and amortise the waveform refinement.
+  BiasPropensity(const physics::SrhModel& model, const physics::Trap& trap,
+                 const BiasSchedule& schedule);
 
   physics::Propensities at(double t) const override;
   double rate_bound(double t0, double t1) const override;

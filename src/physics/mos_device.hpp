@@ -6,6 +6,9 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
 
 #include "physics/technology.hpp"
 
@@ -23,6 +26,21 @@ struct MosOperatingPoint {
   double g_m;   ///< dI/dVgs, S
   double g_ds;  ///< dI/dVds, S
   double g_mb;  ///< dI/dVbs, S (simplified body effect)
+};
+
+/// The bias-independent constants the DC model actually consumes, packed
+/// so the evaluation kernel is a pure function of (constants, voltages).
+/// `MosDevice::evaluate` and the batched SoA evaluator (`MosBatch`) both
+/// call the same kernel, so a batched lane is bit-identical to the scalar
+/// device it mirrors.
+struct MosEvalConstants {
+  double sign;          ///< +1 NMOS, -1 PMOS (mirror transform)
+  double v_th;          ///< |V_th| including local variation shift
+  double body_k;        ///< linearised body-effect coefficient
+  double inv_slope_n;   ///< 1 / n
+  double inv_2phi_t;    ///< 1 / (2 φ_t)
+  double spec;          ///< EKV specific current 2 n μ C_ox (W/L) φ_t²
+  double lambda_clm;    ///< channel-length modulation coefficient
 };
 
 class MosDevice {
@@ -54,6 +72,17 @@ class MosDevice {
   const MosGeometry& geometry() const noexcept { return geom_; }
   MosType type() const noexcept { return type_; }
   const Technology& tech() const noexcept { return tech_; }
+
+  /// The kernel constants of this device (see MosEvalConstants).
+  MosEvalConstants eval_constants() const noexcept {
+    return {type_ == MosType::kNmos ? 1.0 : -1.0,
+            v_th_,
+            body_k_,
+            inv_slope_n_,
+            inv_2phi_t_,
+            spec_,
+            lambda_clm_};
+  }
 
  private:
   Technology tech_;
@@ -101,42 +130,99 @@ inline double softplus(double x) {
 
 }  // namespace detail
 
-inline MosOperatingPoint MosDevice::evaluate(double v_gs, double v_ds,
-                                             double v_bs) const {
+/// The shared DC evaluation kernel: a pure function of the packed
+/// constants and the terminal voltages, with no branches beyond the
+/// softplus cutoffs — the SIMD-clean form the batched evaluator loops
+/// over. Keep this the *only* implementation of the model: scalar and
+/// batched paths must stay bit-identical.
+inline MosOperatingPoint mos_evaluate(const MosEvalConstants& c, double v_gs,
+                                      double v_ds, double v_bs) {
   // PMOS is the mirrored NMOS: evaluate with negated voltages and negate
   // the current and gds/gm signs appropriately.
-  const double sign = type_ == MosType::kNmos ? 1.0 : -1.0;
-  const double vgs = sign * v_gs;
-  const double vds = sign * v_ds;
-  const double vbs = sign * v_bs;
+  const double vgs = c.sign * v_gs;
+  const double vds = c.sign * v_ds;
+  const double vbs = c.sign * v_bs;
 
-  const double v_th_eff = v_th_ - body_k_ * vbs;
-  const double v_p = (vgs - v_th_eff) * inv_slope_n_;
+  const double v_th_eff = c.v_th - c.body_k * vbs;
+  const double v_p = (vgs - v_th_eff) * c.inv_slope_n;
 
-  const double xf = v_p * inv_2phi_t_;
-  const double xr = (v_p - vds) * inv_2phi_t_;
+  const double xf = v_p * c.inv_2phi_t;
+  const double xr = (v_p - vds) * c.inv_2phi_t;
   const auto f = detail::softplus_sigmoid(xf);
   const auto r = detail::softplus_sigmoid(xr);
-  const double i_spec = spec_ * (f.soft * f.soft - r.soft * r.soft);
-  const double clm = 1.0 + lambda_clm_ * std::max(vds, 0.0);
+  const double i_spec = c.spec * (f.soft * f.soft - r.soft * r.soft);
+  const double clm = 1.0 + c.lambda_clm * std::max(vds, 0.0);
 
   MosOperatingPoint op;
-  op.i_d = sign * i_spec * clm;
+  op.i_d = c.sign * i_spec * clm;
 
   // d(lf^2)/dx = 2 lf σ(x); chain through x derivatives.
   const double dlf2 = 2.0 * f.soft * f.sig;
   const double dlr2 = 2.0 * r.soft * r.sig;
   const double gm_core =
-      spec_ * (dlf2 - dlr2) * inv_slope_n_ * inv_2phi_t_ * clm;
-  const double gds_core = spec_ * dlr2 * inv_2phi_t_ * clm +
-                          i_spec * (vds > 0.0 ? lambda_clm_ : 0.0);
+      c.spec * (dlf2 - dlr2) * c.inv_slope_n * c.inv_2phi_t * clm;
+  const double gds_core = c.spec * dlr2 * c.inv_2phi_t * clm +
+                          i_spec * (vds > 0.0 ? c.lambda_clm : 0.0);
   // gm and gds are derivatives wrt the device's own (mirrored) voltages;
   // the double sign flip (current and voltage) cancels, so conductances
   // are the same for both polarities.
   op.g_m = gm_core;
   op.g_ds = gds_core;
-  op.g_mb = gm_core * body_k_;
+  op.g_mb = gm_core * c.body_k;
   return op;
 }
+
+inline MosOperatingPoint MosDevice::evaluate(double v_gs, double v_ds,
+                                             double v_bs) const {
+  return mos_evaluate(eval_constants(), v_gs, v_ds, v_bs);
+}
+
+/// Structure-of-arrays evaluator for one transistor *slot* replicated
+/// across K Monte-Carlo lanes (same topology position, per-lane threshold
+/// shifts). The batched transient engine gathers the active lanes'
+/// terminal voltages into the compacted input arrays, evaluates them in
+/// one contiguous sweep of `mos_evaluate`, and scatters the operating
+/// points back into each lane's stamps. Constants are stored SoA per lane
+/// and gathered by lane id, so a lane that converges early simply drops
+/// out of the compacted range.
+class MosBatch {
+ public:
+  /// Bind one device per lane (all must share sign/geometry-independent
+  /// semantics — callers guarantee they occupy the same circuit slot).
+  void assign(std::span<const MosDevice* const> devices) {
+    constants_.clear();
+    constants_.reserve(devices.size());
+    for (const MosDevice* device : devices) {
+      constants_.push_back(device->eval_constants());
+    }
+    vgs_.resize(devices.size());
+    vds_.resize(devices.size());
+    vbs_.resize(devices.size());
+    ops_.resize(devices.size());
+  }
+
+  std::size_t lanes() const noexcept { return constants_.size(); }
+
+  /// Compacted inputs: position j holds the j-th *active* lane's voltages.
+  double* vgs() noexcept { return vgs_.data(); }
+  double* vds() noexcept { return vds_.data(); }
+  double* vbs() noexcept { return vbs_.data(); }
+
+  /// Evaluate compacted positions [0, count); `lane_ids[j]` names the lane
+  /// whose constants position j uses. Results land at the same positions.
+  void evaluate(const std::size_t* lane_ids, std::size_t count) {
+    for (std::size_t j = 0; j < count; ++j) {
+      ops_[j] = mos_evaluate(constants_[lane_ids[j]], vgs_[j], vds_[j],
+                             vbs_[j]);
+    }
+  }
+
+  const MosOperatingPoint& op(std::size_t j) const noexcept { return ops_[j]; }
+
+ private:
+  std::vector<MosEvalConstants> constants_;  ///< per lane
+  std::vector<double> vgs_, vds_, vbs_;      ///< compacted inputs
+  std::vector<MosOperatingPoint> ops_;       ///< compacted outputs
+};
 
 }  // namespace samurai::physics

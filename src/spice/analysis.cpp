@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "spice/newton_driver.hpp"
 #include "util/grid.hpp"
 
 namespace samurai::spice {
@@ -27,7 +28,10 @@ namespace samurai::spice {
   X(workspace_allocations)            \
   X(sp_symbolic_analyses)             \
   X(sp_numeric_refactors)             \
-  X(sp_solves)
+  X(sp_solves)                        \
+  X(bt_batches)                       \
+  X(bt_lanes)                         \
+  X(bt_steps)
 
 void SolverStats::merge(const SolverStats& other) {
 #define X(field) field += other.field;
@@ -186,303 +190,329 @@ void NewtonWorkspace::attach(Circuit& circuit, SolverKind solver) {
 
 namespace detail {
 
-struct NewtonOutcome {
-  bool converged = false;
-  int iterations = 0;
-};
+void NewtonDriver::prepare_base(NewtonWorkspace& ws, double time, double a0,
+                                double ci, const NewtonOptions& options,
+                                double gmin,
+                                const std::vector<std::pair<int, double>>& pins) {
+  const std::size_t nodes = ws.circuit_->num_nodes();
+  SolverStats& st = ws.stats_;
+  const bool sparse = ws.use_sparse_;
 
-struct NewtonDriver {
-  /// One Newton solve of the MNA system at fixed (time, a0, ci),
-  /// warm-started from and returning in `x`. `pins` adds a 1 S conductance
-  /// from node id to a target voltage (nodeset); `gmin` leaks every node
-  /// to ground. Allocation-free given an attached workspace.
-  static NewtonOutcome solve(NewtonWorkspace& ws, std::vector<double>& x,
-                             double time, double a0, double ci,
-                             const NewtonOptions& options, double gmin,
-                             const std::vector<std::pair<int, double>>& pins) {
-    const std::size_t n = ws.n_;
-    const std::size_t nodes = ws.circuit_->num_nodes();
-    SolverStats& st = ws.stats_;
-    const bool sparse = ws.use_sparse_;
-
-    // ---- Linear base for this solve. The Jacobian part depends only on
-    // (a0, ci, gmin, pins) and is reused across solves via memcpy; the
-    // residual offset f_lin(0) depends on time and companion history, so
-    // it is rebuilt once per solve (with the Jacobian stamps discarded on
-    // cache hits). The sparse path replays the recorded linear program —
-    // picked by a0 == 0, since charge branches drop out of the DC program
-    // — through its resolved slot pointers.
-    const bool jac_cached = options.cache_linear_stamps && ws.base_valid_ &&
-                            ws.base_a0_ == a0 && ws.base_ci_ == ci &&
-                            ws.base_gmin_ == gmin && !ws.base_had_pins_ &&
-                            pins.empty();
-    std::fill(ws.base_res_.begin(), ws.base_res_.end(), 0.0);
-    const std::size_t lin_count =
-        a0 == 0.0 ? ws.sp_lin_dc_count_ : ws.sp_lin_tr_count_;
-    LoadContext base_ctx;
-    base_ctx.time = time;
-    base_ctx.a0 = a0;
-    base_ctx.ci = ci;
-    base_ctx.x = ws.zero_x_;
-    base_ctx.residual = &ws.base_res_;
-    base_ctx.scope = LoadScope::kLinear;
-    base_ctx.jacobian = &ws.sp_sink_;
-    if (jac_cached) {
-      ws.sp_sink_.bind_discard();
-      ++st.linear_cache_hits;
-    } else if (sparse) {
-      ws.sp_base_.set_zero();
-      const auto& slots =
-          a0 == 0.0 ? ws.sp_lin_dc_slots_ : ws.sp_lin_tr_slots_;
-      ws.sp_sink_.bind_slots(slots.data(), slots.size());
-    } else {
-      ws.base_jac_.set_zero();
-      ws.sp_sink_.bind_dense(&ws.base_jac_);
-    }
-    for (Device* device : ws.devices_) device->load(base_ctx);
-    st.device_loads += ws.devices_.size();
-    if (sparse && !jac_cached && ws.sp_sink_.cursor() != lin_count) {
-      throw std::logic_error("sparse solve: linear stamp program desync");
-    }
-    if (!jac_cached) {
-      if (sparse) {
-        for (std::size_t i = 0; i < nodes; ++i) {
-          *ws.sp_diag_slots_[i] += gmin;
-        }
-        for (const auto& [node, value] : pins) {
-          (void)value;
-          if (node >= 0) {
-            *ws.sp_diag_slots_[static_cast<std::size_t>(node)] += 1.0;
-          }
-        }
-      } else {
-        for (std::size_t i = 0; i < nodes; ++i) ws.base_jac_.at(i, i) += gmin;
-        for (const auto& [node, value] : pins) {
-          (void)value;
-          if (node < 0) continue;
-          const auto i = static_cast<std::size_t>(node);
-          ws.base_jac_.at(i, i) += 1.0;
-        }
-      }
-      ws.base_valid_ = true;
-      ws.base_a0_ = a0;
-      ws.base_ci_ = ci;
-      ws.base_gmin_ = gmin;
-      ws.base_had_pins_ = !pins.empty();
-    }
-    // Pin residual offset: 1 S · (x - value) has constant part -value.
-    for (const auto& [node, value] : pins) {
-      if (node >= 0) ws.base_res_[static_cast<std::size_t>(node)] -= value;
-    }
-
-    NewtonOutcome outcome;
-    double prev_scaled = std::numeric_limits<double>::infinity();
-    for (int iter = 0; iter < options.max_iterations; ++iter) {
-      outcome.iterations = iter + 1;
-      ++st.newton_iterations;
-
-      // residual = f_lin(0) + A_lin·x, then the nonlinear stamps on top of
-      // a copy of the cached base Jacobian — a fused row-wise memcpy +
-      // matvec on the dense path, a CSR value memcpy + sparse matvec on
-      // the sparse one.
-      if (sparse) {
-        ws.sp_jac_.copy_values_from(ws.sp_base_);
-        const auto& row_ptr = ws.sp_jac_.row_ptr();
-        const auto& cols = ws.sp_jac_.cols();
-        const auto& vals = ws.sp_jac_.values();
-        for (std::size_t i = 0; i < n; ++i) {
-          double acc = ws.base_res_[i];
-          const auto row_end = static_cast<std::size_t>(row_ptr[i + 1]);
-          for (auto k = static_cast<std::size_t>(row_ptr[i]); k < row_end;
-               ++k) {
-            acc += vals[k] * x[static_cast<std::size_t>(cols[k])];
-          }
-          ws.residual_[i] = acc;
-        }
-        ws.sp_sink_.bind_slots(ws.sp_nl_slots_.data(),
-                               ws.sp_nl_slots_.size());
-      } else {
-        const double* base = ws.base_jac_.data();
-        double* jac = ws.jacobian_.data();
-        for (std::size_t i = 0; i < n; ++i) {
-          const double* row = base + i * n;
-          double* jrow = jac + i * n;
-          double acc = ws.base_res_[i];
-          for (std::size_t j = 0; j < n; ++j) {
-            const double v = row[j];
-            jrow[j] = v;
-            acc += v * x[j];
-          }
-          ws.residual_[i] = acc;
-        }
-        ws.sp_sink_.bind_dense(&ws.jacobian_);
-      }
-      LoadContext ctx;
-      ctx.time = time;
-      ctx.a0 = a0;
-      ctx.ci = ci;
-      ctx.jacobian = &ws.sp_sink_;
-      ctx.residual = &ws.residual_;
-      ctx.x = x;
-      ctx.scope = LoadScope::kNonlinear;
-      for (Device* device : ws.nonlinear_devices_) device->load(ctx);
-      st.device_loads += ws.nonlinear_devices_.size();
-      if (sparse && ws.sp_sink_.cursor() != ws.sp_nl_count_) {
-        throw std::logic_error("sparse solve: nonlinear stamp program desync");
-      }
-
-      // Residual norms: node rows are KCL sums (amperes), branch rows are
-      // source voltage equations (volts) — both must be checked, each
-      // against its own tolerance (a branch current can be arbitrarily
-      // wrong while every node row looks converged).
-      double max_residual = 0.0;
-      for (std::size_t i = 0; i < nodes; ++i) {
-        max_residual = std::max(max_residual, std::abs(ws.residual_[i]));
-      }
-      double max_branch_residual = 0.0;
-      for (std::size_t i = nodes; i < n; ++i) {
-        max_branch_residual =
-            std::max(max_branch_residual, std::abs(ws.residual_[i]));
-      }
-      const double scaled = std::max(max_residual / options.abstol,
-                                     max_branch_residual / options.vntol);
-
-      // Modified-Newton bypass: within a solve, re-solve against the stale
-      // factorization while the scaled residual keeps contracting;
-      // refactorize on stall. The first iteration always factors: across
-      // steps the companion coefficient a0 = O(1/h) rescales the capacitive
-      // Jacobian block, so a stale cross-step factorization degrades
-      // Newton to slow linear convergence and costs far more in extra
-      // MOSFET evaluations than the O(n^3) factorization it saves.
-      const bool bypass = options.reuse_lu && ws.lu_valid_ && iter > 0 &&
-                          scaled < options.bypass_contraction * prev_scaled;
-      if (!bypass) {
-        ++st.lu_factorizations;
-        if (sparse) {
-          // The sparse engine reuses its symbolic analysis (pivot order +
-          // fill pattern) and only redoes the O(fill-nnz) numeric sweep;
-          // was_analysis reports the rare full re-analyses.
-          bool was_analysis = false;
-          if (!ws.sp_lu_.factor(ws.sp_jac_, ws.sp_jac_.value_max_abs(),
-                                &was_analysis)) {
-            ws.lu_valid_ = false;
-            return outcome;  // singular
-          }
-          if (was_analysis) {
-            ++st.sp_symbolic_analyses;
-          } else {
-            ++st.sp_numeric_refactors;
-          }
-        } else {
-          // Fused copy + scan: max|J| feeds lu_factor's scale-relative
-          // pivot threshold without a second pass over the matrix.
-          const double* src = ws.jacobian_.data();
-          double* dst = ws.lu_.data();
-          double jac_scale = 0.0;
-          for (std::size_t k = 0; k < n * n; ++k) {
-            const double v = src[k];
-            dst[k] = v;
-            jac_scale = std::max(jac_scale, std::abs(v));
-          }
-          if (!lu_factor(ws.lu_, ws.pivots_, jac_scale)) {
-            ws.lu_valid_ = false;
-            return outcome;  // singular
-          }
-        }
-        ws.lu_valid_ = true;
-      } else {
-        ++st.bypass_hits;
-      }
-      prev_scaled = scaled;
-      std::copy(ws.residual_.begin(), ws.residual_.end(), ws.delta_.begin());
-      if (sparse) {
-        ws.sp_lu_.solve(ws.delta_);
-        ++st.sp_solves;
-      } else {
-        lu_solve_factored(ws.lu_, ws.pivots_, ws.delta_);
-      }
-      ++st.lu_solves;
-      // Damp: clamp the largest node-voltage update. Branch-current rows
-      // get a relative+absolute convergence check of their own.
-      double max_dv = 0.0;
-      for (std::size_t i = 0; i < nodes; ++i) {
-        max_dv = std::max(max_dv, std::abs(ws.delta_[i]));
-      }
-      double max_di = 0.0;
-      double max_i = 0.0;
-      for (std::size_t i = nodes; i < n; ++i) {
-        max_di = std::max(max_di, std::abs(ws.delta_[i]));
-        max_i = std::max(max_i, std::abs(x[i]));
-      }
-      const double damp =
-          max_dv > options.dv_limit ? options.dv_limit / max_dv : 1.0;
-      for (std::size_t i = 0; i < n; ++i) x[i] -= damp * ws.delta_[i];
-
-      const double itol = options.abstol + options.reltol * max_i;
-      if (damp == 1.0 && max_dv < options.vntol && max_di < itol &&
-          max_residual < options.abstol &&
-          max_branch_residual < options.vntol) {
-        outcome.converged = true;
-        return outcome;
-      }
-    }
-    return outcome;
+  // ---- Linear base for this solve. The Jacobian part depends only on
+  // (a0, ci, gmin, pins) and is reused across solves via memcpy; the
+  // residual offset f_lin(0) depends on time and companion history, so
+  // it is rebuilt once per solve (with the Jacobian stamps discarded on
+  // cache hits). The sparse path replays the recorded linear program —
+  // picked by a0 == 0, since charge branches drop out of the DC program
+  // — through its resolved slot pointers.
+  const bool jac_cached = options.cache_linear_stamps && ws.base_valid_ &&
+                          ws.base_a0_ == a0 && ws.base_ci_ == ci &&
+                          ws.base_gmin_ == gmin && !ws.base_had_pins_ &&
+                          pins.empty();
+  std::fill(ws.base_res_.begin(), ws.base_res_.end(), 0.0);
+  const std::size_t lin_count =
+      a0 == 0.0 ? ws.sp_lin_dc_count_ : ws.sp_lin_tr_count_;
+  LoadContext base_ctx;
+  base_ctx.time = time;
+  base_ctx.a0 = a0;
+  base_ctx.ci = ci;
+  base_ctx.x = ws.zero_x_;
+  base_ctx.residual = &ws.base_res_;
+  base_ctx.scope = LoadScope::kLinear;
+  base_ctx.jacobian = &ws.sp_sink_;
+  if (jac_cached) {
+    ws.sp_sink_.bind_discard();
+    ++st.linear_cache_hits;
+  } else if (sparse) {
+    ws.sp_base_.set_zero();
+    const auto& slots =
+        a0 == 0.0 ? ws.sp_lin_dc_slots_ : ws.sp_lin_tr_slots_;
+    ws.sp_sink_.bind_slots(slots.data(), slots.size());
+  } else {
+    ws.base_jac_.set_zero();
+    ws.sp_sink_.bind_dense(&ws.base_jac_);
   }
-
-  static std::vector<std::pair<int, double>> resolve_pins(
-      Circuit& circuit, const std::map<std::string, double>& nodeset) {
-    std::vector<std::pair<int, double>> pins;
-    pins.reserve(nodeset.size());
-    for (const auto& [name, value] : nodeset) {
-      pins.emplace_back(circuit.find_node(name), value);
-    }
-    return pins;
+  for (Device* device : ws.devices_) device->load(base_ctx);
+  st.device_loads += ws.devices_.size();
+  if (sparse && !jac_cached && ws.sp_sink_.cursor() != lin_count) {
+    throw std::logic_error("sparse solve: linear stamp program desync");
   }
-
-  /// DC operating point against an already-attached workspace.
-  static DcResult dc(NewtonWorkspace& ws, Circuit& circuit,
-                     const DcOptions& options) {
-    DcResult result;
-    result.x.assign(circuit.system_size(), 0.0);
-    const auto pins = resolve_pins(circuit, options.nodeset);
-
-    // Phase 1: solve with nodeset pins engaged (if any).
-    if (!pins.empty()) {
+  if (!jac_cached) {
+    if (sparse) {
+      for (std::size_t i = 0; i < nodes; ++i) {
+        *ws.sp_diag_slots_[i] += gmin;
+      }
       for (const auto& [node, value] : pins) {
-        if (node >= 0) result.x[static_cast<std::size_t>(node)] = value;
-      }
-      solve(ws, result.x, 0.0, 0.0, 0.0, options.newton,
-            std::max(options.gmin, 1e-9), pins);
-    }
-
-    // Phase 2: plain Newton; on failure, gmin-step from 1e-2 down.
-    auto outcome = solve(ws, result.x, 0.0, 0.0, 0.0, options.newton,
-                         options.gmin, {});
-    if (!outcome.converged) {
-      std::vector<double> x = result.x;
-      bool ladder_ok = true;
-      for (double gmin = 1e-2; gmin >= options.gmin; gmin *= 0.1) {
-        const auto step =
-            solve(ws, x, 0.0, 0.0, 0.0, options.newton, gmin, pins);
-        if (!step.converged) {
-          ladder_ok = false;
-          break;
+        (void)value;
+        if (node >= 0) {
+          *ws.sp_diag_slots_[static_cast<std::size_t>(node)] += 1.0;
         }
       }
-      if (ladder_ok) {
-        outcome = solve(ws, x, 0.0, 0.0, 0.0, options.newton, options.gmin, {});
-        if (outcome.converged) result.x = x;
+    } else {
+      for (std::size_t i = 0; i < nodes; ++i) ws.base_jac_.at(i, i) += gmin;
+      for (const auto& [node, value] : pins) {
+        (void)value;
+        if (node < 0) continue;
+        const auto i = static_cast<std::size_t>(node);
+        ws.base_jac_.at(i, i) += 1.0;
       }
     }
-    result.converged = outcome.converged;
-    result.iterations = outcome.iterations;
-    return result;
+    ws.base_valid_ = true;
+    ws.base_a0_ = a0;
+    ws.base_ci_ = ci;
+    ws.base_gmin_ = gmin;
+    ws.base_had_pins_ = !pins.empty();
+  }
+  // Pin residual offset: 1 S · (x - value) has constant part -value.
+  for (const auto& [node, value] : pins) {
+    if (node >= 0) ws.base_res_[static_cast<std::size_t>(node)] -= value;
+  }
+}
+
+void NewtonDriver::assemble_linear(NewtonWorkspace& ws,
+                                   std::span<const double> x) {
+  const std::size_t n = ws.n_;
+  // residual = f_lin(0) + A_lin·x, then the nonlinear stamps on top of
+  // a copy of the cached base Jacobian — a fused row-wise memcpy +
+  // matvec on the dense path, a CSR value memcpy + sparse matvec on
+  // the sparse one.
+  if (ws.use_sparse_) {
+    ws.sp_jac_.copy_values_from(ws.sp_base_);
+    const auto& row_ptr = ws.sp_jac_.row_ptr();
+    const auto& cols = ws.sp_jac_.cols();
+    const auto& vals = ws.sp_jac_.values();
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = ws.base_res_[i];
+      const auto row_end = static_cast<std::size_t>(row_ptr[i + 1]);
+      for (auto k = static_cast<std::size_t>(row_ptr[i]); k < row_end;
+           ++k) {
+        acc += vals[k] * x[static_cast<std::size_t>(cols[k])];
+      }
+      ws.residual_[i] = acc;
+    }
+    ws.sp_sink_.bind_slots(ws.sp_nl_slots_.data(),
+                           ws.sp_nl_slots_.size());
+  } else {
+    const double* base = ws.base_jac_.data();
+    double* jac = ws.jacobian_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = base + i * n;
+      double* jrow = jac + i * n;
+      double acc = ws.base_res_[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        const double v = row[j];
+        jrow[j] = v;
+        acc += v * x[j];
+      }
+      ws.residual_[i] = acc;
+    }
+    ws.sp_sink_.bind_dense(&ws.jacobian_);
+  }
+}
+
+LoadContext NewtonDriver::nonlinear_context(NewtonWorkspace& ws,
+                                            std::span<const double> x,
+                                            double time, double a0,
+                                            double ci) {
+  LoadContext ctx;
+  ctx.time = time;
+  ctx.a0 = a0;
+  ctx.ci = ci;
+  ctx.jacobian = &ws.sp_sink_;
+  ctx.residual = &ws.residual_;
+  ctx.x = x;
+  ctx.scope = LoadScope::kNonlinear;
+  return ctx;
+}
+
+IterationResult NewtonDriver::finish_iteration(NewtonWorkspace& ws,
+                                               std::vector<double>& x,
+                                               const NewtonOptions& options,
+                                               int iter, double& prev_scaled) {
+  const std::size_t n = ws.n_;
+  const std::size_t nodes = ws.circuit_->num_nodes();
+  SolverStats& st = ws.stats_;
+  const bool sparse = ws.use_sparse_;
+  IterationResult result;
+
+  // Residual norms: node rows are KCL sums (amperes), branch rows are
+  // source voltage equations (volts) — both must be checked, each
+  // against its own tolerance (a branch current can be arbitrarily
+  // wrong while every node row looks converged).
+  double max_residual = 0.0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    max_residual = std::max(max_residual, std::abs(ws.residual_[i]));
+  }
+  double max_branch_residual = 0.0;
+  for (std::size_t i = nodes; i < n; ++i) {
+    max_branch_residual =
+        std::max(max_branch_residual, std::abs(ws.residual_[i]));
+  }
+  const double scaled = std::max(max_residual / options.abstol,
+                                 max_branch_residual / options.vntol);
+
+  // Modified-Newton bypass: within a solve, re-solve against the stale
+  // factorization while the scaled residual keeps contracting;
+  // refactorize on stall. The first iteration always factors: across
+  // steps the companion coefficient a0 = O(1/h) rescales the capacitive
+  // Jacobian block, so a stale cross-step factorization degrades
+  // Newton to slow linear convergence and costs far more in extra
+  // MOSFET evaluations than the O(n^3) factorization it saves.
+  const bool bypass = options.reuse_lu && ws.lu_valid_ && iter > 0 &&
+                      scaled < options.bypass_contraction * prev_scaled;
+  if (!bypass) {
+    ++st.lu_factorizations;
+    if (sparse) {
+      // The sparse engine reuses its symbolic analysis (pivot order +
+      // fill pattern) and only redoes the O(fill-nnz) numeric sweep;
+      // was_analysis reports the rare full re-analyses.
+      bool was_analysis = false;
+      if (!ws.sp_lu_.factor(ws.sp_jac_, ws.sp_jac_.value_max_abs(),
+                            &was_analysis)) {
+        ws.lu_valid_ = false;
+        result.singular = true;
+        return result;
+      }
+      if (was_analysis) {
+        ++st.sp_symbolic_analyses;
+      } else {
+        ++st.sp_numeric_refactors;
+      }
+    } else {
+      // Fused copy + scan: max|J| feeds lu_factor's scale-relative
+      // pivot threshold without a second pass over the matrix.
+      const double* src = ws.jacobian_.data();
+      double* dst = ws.lu_.data();
+      double jac_scale = 0.0;
+      for (std::size_t k = 0; k < n * n; ++k) {
+        const double v = src[k];
+        dst[k] = v;
+        jac_scale = std::max(jac_scale, std::abs(v));
+      }
+      if (!lu_factor(ws.lu_, ws.pivots_, jac_scale)) {
+        ws.lu_valid_ = false;
+        result.singular = true;
+        return result;
+      }
+    }
+    ws.lu_valid_ = true;
+  } else {
+    ++st.bypass_hits;
+  }
+  prev_scaled = scaled;
+  std::copy(ws.residual_.begin(), ws.residual_.end(), ws.delta_.begin());
+  if (sparse) {
+    ws.sp_lu_.solve(ws.delta_);
+    ++st.sp_solves;
+  } else {
+    lu_solve_factored(ws.lu_, ws.pivots_, ws.delta_);
+  }
+  ++st.lu_solves;
+  // Damp: clamp the largest node-voltage update. Branch-current rows
+  // get a relative+absolute convergence check of their own.
+  double max_dv = 0.0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    max_dv = std::max(max_dv, std::abs(ws.delta_[i]));
+  }
+  double max_di = 0.0;
+  double max_i = 0.0;
+  for (std::size_t i = nodes; i < n; ++i) {
+    max_di = std::max(max_di, std::abs(ws.delta_[i]));
+    max_i = std::max(max_i, std::abs(x[i]));
+  }
+  const double damp =
+      max_dv > options.dv_limit ? options.dv_limit / max_dv : 1.0;
+  for (std::size_t i = 0; i < n; ++i) x[i] -= damp * ws.delta_[i];
+
+  const double itol = options.abstol + options.reltol * max_i;
+  if (damp == 1.0 && max_dv < options.vntol && max_di < itol &&
+      max_residual < options.abstol &&
+      max_branch_residual < options.vntol) {
+    result.converged = true;
+  }
+  return result;
+}
+
+NewtonOutcome NewtonDriver::solve(NewtonWorkspace& ws, std::vector<double>& x,
+                                  double time, double a0, double ci,
+                                  const NewtonOptions& options, double gmin,
+                                  const std::vector<std::pair<int, double>>& pins) {
+  SolverStats& st = ws.stats_;
+  prepare_base(ws, time, a0, ci, options, gmin, pins);
+
+  NewtonOutcome outcome;
+  double prev_scaled = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    outcome.iterations = iter + 1;
+    ++st.newton_iterations;
+
+    assemble_linear(ws, x);
+    LoadContext ctx = nonlinear_context(ws, x, time, a0, ci);
+    for (Device* device : ws.nonlinear_devices_) device->load(ctx);
+    st.device_loads += ws.nonlinear_devices_.size();
+    if (ws.use_sparse_ && ws.sp_sink_.cursor() != ws.sp_nl_count_) {
+      throw std::logic_error("sparse solve: nonlinear stamp program desync");
+    }
+
+    const IterationResult r = finish_iteration(ws, x, options, iter,
+                                               prev_scaled);
+    if (r.singular) return outcome;
+    if (r.converged) {
+      outcome.converged = true;
+      return outcome;
+    }
+  }
+  return outcome;
+}
+
+std::vector<std::pair<int, double>> NewtonDriver::resolve_pins(
+    Circuit& circuit, const std::map<std::string, double>& nodeset) {
+  std::vector<std::pair<int, double>> pins;
+  pins.reserve(nodeset.size());
+  for (const auto& [name, value] : nodeset) {
+    pins.emplace_back(circuit.find_node(name), value);
+  }
+  return pins;
+}
+
+DcResult NewtonDriver::dc(NewtonWorkspace& ws, Circuit& circuit,
+                          const DcOptions& options) {
+  DcResult result;
+  result.x.assign(circuit.system_size(), 0.0);
+  const auto pins = resolve_pins(circuit, options.nodeset);
+
+  // Phase 1: solve with nodeset pins engaged (if any).
+  if (!pins.empty()) {
+    for (const auto& [node, value] : pins) {
+      if (node >= 0) result.x[static_cast<std::size_t>(node)] = value;
+    }
+    solve(ws, result.x, 0.0, 0.0, 0.0, options.newton,
+          std::max(options.gmin, 1e-9), pins);
   }
 
-  static TransientResult run_transient(Circuit& circuit,
-                                       const TransientOptions& options,
-                                       NewtonWorkspace& ws);
-};
+  // Phase 2: plain Newton; on failure, gmin-step from 1e-2 down.
+  auto outcome = solve(ws, result.x, 0.0, 0.0, 0.0, options.newton,
+                       options.gmin, {});
+  if (!outcome.converged) {
+    std::vector<double> x = result.x;
+    bool ladder_ok = true;
+    for (double gmin = 1e-2; gmin >= options.gmin; gmin *= 0.1) {
+      const auto step =
+          solve(ws, x, 0.0, 0.0, 0.0, options.newton, gmin, pins);
+      if (!step.converged) {
+        ladder_ok = false;
+        break;
+      }
+    }
+    if (ladder_ok) {
+      outcome = solve(ws, x, 0.0, 0.0, 0.0, options.newton, options.gmin, {});
+      if (outcome.converged) result.x = x;
+    }
+  }
+  result.converged = outcome.converged;
+  result.iterations = outcome.iterations;
+  return result;
+}
 
 }  // namespace detail
 
@@ -506,6 +536,11 @@ void TransientResult::record(double t, std::span<const double> x,
   for (std::size_t i = 0; i < num_nodes && i < samples_.size(); ++i) {
     samples_[i].push_back(x[i]);
   }
+}
+
+void TransientResult::reserve(std::size_t points) {
+  times_.reserve(points);
+  for (auto& samples : samples_) samples.reserve(points);
 }
 
 std::size_t TransientResult::node_index(const std::string& node) const {
@@ -548,6 +583,62 @@ core::Pwl TransientResult::voltage_between(const std::string& a,
 
 namespace detail {
 
+std::vector<double> NewtonDriver::collect_breakpoints(
+    Circuit& circuit, const TransientOptions& options) {
+  const double span = options.t_stop - options.t_start;
+  // Breakpoints: source corners + caller extras, clipped to the window.
+  std::vector<double> breakpoints = options.extra_breakpoints;
+  for (const auto& device : circuit.devices()) {
+    device->collect_breakpoints(breakpoints);
+  }
+  breakpoints.push_back(options.t_stop);
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end(),
+                                [&](double a, double b) {
+                                  return std::abs(a - b) < span * 1e-12;
+                                }),
+                    breakpoints.end());
+  return breakpoints;
+}
+
+std::vector<GridStep> NewtonDriver::plan_fixed_grid(
+    const TransientOptions& options, double dt_max,
+    std::span<const double> breakpoints) {
+  const double span = options.t_stop - options.t_start;
+  std::vector<GridStep> plan;
+  plan.reserve(static_cast<std::size_t>(span / dt_max) + breakpoints.size() +
+               2);
+  double t = options.t_start;
+  bool after_discontinuity = true;  // force BE on the first step
+  std::size_t bp_index = 0;
+  while (bp_index < breakpoints.size() &&
+         breakpoints[bp_index] <= t + span * 1e-12) {
+    ++bp_index;
+  }
+  while (t < options.t_stop - span * 1e-12) {
+    bool hit_breakpoint = false;
+    double step = dt_max;
+    if (bp_index < breakpoints.size()) {
+      const double to_bp = breakpoints[bp_index] - t;
+      if (step >= to_bp - options.dt_min) {
+        step = to_bp;
+        hit_breakpoint = true;
+      }
+    }
+    if (t + step > options.t_stop) step = options.t_stop - t;
+    if (!(step > 0.0)) {
+      throw std::runtime_error("transient: fixed-grid step underflow");
+    }
+    const bool use_be = after_discontinuity ||
+                        options.method == IntegrationMethod::kBackwardEuler;
+    t += step;
+    plan.push_back(GridStep{t, step, use_be, hit_breakpoint});
+    after_discontinuity = hit_breakpoint;
+    if (hit_breakpoint) ++bp_index;
+  }
+  return plan;
+}
+
 TransientResult NewtonDriver::run_transient(Circuit& circuit,
                                             const TransientOptions& options,
                                             NewtonWorkspace& ws) {
@@ -571,20 +662,58 @@ TransientResult NewtonDriver::run_transient(Circuit& circuit,
   for (auto& device : circuit.devices()) device->reset_history();
   for (auto& device : circuit.devices()) device->commit(x, 0.0, 0.0);
 
-  // Breakpoints: source corners + caller extras, clipped to the window.
-  std::vector<double> breakpoints = options.extra_breakpoints;
-  for (const auto& device : circuit.devices()) {
-    device->collect_breakpoints(breakpoints);
-  }
-  breakpoints.push_back(options.t_stop);
-  std::sort(breakpoints.begin(), breakpoints.end());
-  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end(),
-                                [&](double a, double b) {
-                                  return std::abs(a - b) < span * 1e-12;
-                                }),
-                    breakpoints.end());
+  const std::vector<double> breakpoints = collect_breakpoints(circuit, options);
 
   TransientResult result(circuit.node_names());
+
+  if (options.fixed_grid) {
+    // Fixed-grid mode: the step sequence is planned up front (identical
+    // for any run with the same options — the batched engine's lock-step
+    // contract), Newton failures throw instead of rejecting, and the LTE
+    // machinery is skipped entirely.
+    const auto plan = plan_fixed_grid(options, dt_max, breakpoints);
+    result.reserve(plan.size() + 1);
+    result.record(options.t_start, x, nodes);
+    std::vector<double>& x_prev = ws.x_prev_;
+    std::vector<double>& x_pred = ws.x_pred_;
+    std::vector<double>& x_new = ws.x_new_;
+    x_prev = x;
+    double dt_prev = 0.0;
+    bool after_discontinuity = true;
+    for (const GridStep& gs : plan) {
+      const double a0 = gs.use_be ? 1.0 / gs.step : 2.0 / gs.step;
+      const double ci = gs.use_be ? 0.0 : -1.0;
+      const bool have_predictor = dt_prev > 0.0 && !after_discontinuity;
+      x_new = x;
+      if (have_predictor) {
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          x_pred[i] = x[i] + (x[i] - x_prev[i]) * (gs.step / dt_prev);
+          x_new[i] = x_pred[i];
+        }
+      }
+      const auto outcome = solve(ws, x_new, gs.t_next, a0, ci, options.newton,
+                                 options.dc.gmin, {});
+      if (!outcome.converged) {
+        throw std::runtime_error(
+            "transient: Newton did not converge on the fixed grid at t=" +
+            std::to_string(gs.t_next));
+      }
+      ++st.steps_accepted;
+      for (auto& device : circuit.devices()) device->commit(x_new, a0, ci);
+      x_prev = x;
+      x.swap(x_new);
+      dt_prev = gs.step;
+      result.record(gs.t_next, x, nodes);
+      if (options.on_step) options.on_step(gs.t_next, x);
+      after_discontinuity = gs.hit_breakpoint;
+    }
+    ++st.transients;
+    const SolverStats delta = ws.stats_.since(stats_before);
+    result.set_stats(delta);
+    solver_stats_accumulate(delta);
+    return result;
+  }
+
   result.record(options.t_start, x, nodes);
 
   double t = options.t_start;

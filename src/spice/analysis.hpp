@@ -48,6 +48,13 @@ struct SolverStats {
   std::uint64_t sp_symbolic_analyses = 0;
   std::uint64_t sp_numeric_refactors = 0;
   std::uint64_t sp_solves = 0;  ///< sparse part of lu_solves
+  // Batched-engine share of the work (zero when every transient ran
+  // scalar). Lanes of a batched run also count in the scalar fields
+  // (transients, steps_accepted, ...) exactly as their scalar twins
+  // would, so these three only attribute runs to the batched driver.
+  std::uint64_t bt_batches = 0;  ///< batched fixed-grid transient calls
+  std::uint64_t bt_lanes = 0;    ///< Monte-Carlo lanes across those calls
+  std::uint64_t bt_steps = 0;    ///< accepted steps summed over lanes
 
   void merge(const SolverStats& other);
   /// Counter-wise `this - other` (for before/after deltas).
@@ -205,6 +212,20 @@ struct TransientOptions {
   SolverKind solver = SolverKind::kAuto;
   double lte_reltol = 2e-3;
   double lte_abstol = 1e-5;
+  /// Fixed-grid step mode: march dt_max-sized steps clipped to each
+  /// breakpoint, with no LTE estimation, no step rejection and no
+  /// controller (dt_initial is ignored; a Newton failure throws instead
+  /// of shrinking the step). The accepted-step sequence is then a pure
+  /// function of (t_start, t_stop, dt_max, breakpoints), which is the
+  /// lock-step contract the batched engine builds on: every lane of a
+  /// batch — and a scalar rerun with the same options — takes *exactly*
+  /// the same steps. See DESIGN.md §13.
+  bool fixed_grid = false;
+  /// Monte-Carlo lane count hint for campaign-level batching: how many
+  /// samples the campaign runner should march through one
+  /// transient_batch() call (spice/batch.hpp). 1 = scalar path. The
+  /// scalar transient() ignores it.
+  std::size_t batch = 1;
   /// Extra mandatory time points (e.g. RTN switch instants).
   std::vector<double> extra_breakpoints;
   /// Called after every accepted step with (t, solution). This is the
@@ -219,6 +240,10 @@ class TransientResult {
   explicit TransientResult(std::vector<std::string> node_names);
 
   void record(double t, std::span<const double> x, std::size_t num_nodes);
+
+  /// Pre-size the per-node sample buffers (the fixed-grid drivers know
+  /// the exact point count up front, so recording never reallocates).
+  void reserve(std::size_t points);
 
   const std::vector<double>& times() const noexcept { return times_; }
   const std::vector<std::string>& node_names() const noexcept { return names_; }

@@ -31,6 +31,7 @@ void Resistor::load(const LoadContext& ctx) {
   const double i = g_ * v;
   add_residual(*ctx.residual, p_, i);
   add_residual(*ctx.residual, n_, -i);
+  if (ctx.jacobian->discarding()) return;
   ctx.jacobian->stamp(p_, p_, g_);
   ctx.jacobian->stamp(p_, n_, -g_);
   ctx.jacobian->stamp(n_, p_, -g_);
@@ -56,9 +57,10 @@ void Capacitor::load(const LoadContext& ctx) {
   if (ctx.a0 == 0.0) return;
   const double q = c_ * voltage(ctx.x);
   const double i = ctx.a0 * (q - q_prev_) + ctx.ci * i_prev_;
-  const double geq = ctx.a0 * c_;
   add_residual(*ctx.residual, p_, i);
   add_residual(*ctx.residual, n_, -i);
+  if (ctx.jacobian->discarding()) return;
+  const double geq = ctx.a0 * c_;
   ctx.jacobian->stamp(p_, p_, geq);
   ctx.jacobian->stamp(p_, n_, -geq);
   ctx.jacobian->stamp(n_, p_, -geq);
@@ -102,11 +104,12 @@ void VoltageSource::load(const LoadContext& ctx) {
   // KCL: branch current leaves the + node and enters the - node.
   add_residual(*ctx.residual, p_, i_branch);
   add_residual(*ctx.residual, n_, -i_branch);
-  ctx.jacobian->stamp(p_, br, 1.0);
-  ctx.jacobian->stamp(n_, br, -1.0);
   // Branch equation: v(p) - v(n) = V(t).
   const double v = node_value(ctx.x, p_) - node_value(ctx.x, n_);
   add_residual(*ctx.residual, br, v - waveform_.eval(ctx.time));
+  if (ctx.jacobian->discarding()) return;
+  ctx.jacobian->stamp(p_, br, 1.0);
+  ctx.jacobian->stamp(n_, br, -1.0);
   ctx.jacobian->stamp(br, p_, 1.0);
   ctx.jacobian->stamp(br, n_, -1.0);
 }
@@ -183,9 +186,10 @@ void Mosfet::load_charge(const LoadContext& ctx, ChargeElement& e) {
   if (ctx.a0 == 0.0) return;
   const double q = e.cap * elem_voltage(e, ctx.x);
   const double i = ctx.a0 * (q - e.q_prev) + ctx.ci * e.i_prev;
-  const double geq = ctx.a0 * e.cap;
   add_residual(*ctx.residual, e.p, i);
   add_residual(*ctx.residual, e.n, -i);
+  if (ctx.jacobian->discarding()) return;
+  const double geq = ctx.a0 * e.cap;
   ctx.jacobian->stamp(e.p, e.p, geq);
   ctx.jacobian->stamp(e.p, e.n, -geq);
   ctx.jacobian->stamp(e.n, e.p, -geq);
@@ -213,7 +217,11 @@ void Mosfet::load(const LoadContext& ctx) {
   const double vs = node_value(ctx.x, s_);
   const double vb = node_value(ctx.x, b_);
   const auto op = model_.evaluate(vg - vs, vd - vs, vb - vs);
+  stamp_channel(ctx, op);
+}
 
+void Mosfet::stamp_channel(const LoadContext& ctx,
+                           const physics::MosOperatingPoint& op) const {
   // Channel current i_d flows drain -> source inside the device, so it
   // leaves the drain node and enters the source node.
   add_residual(*ctx.residual, d_, op.i_d);

@@ -107,6 +107,14 @@ class Mosfet final : public Device {
   void commit(std::span<const double> x, double a0, double ci) override;
   void reset_history() override;
 
+  /// Stamp the channel (residual + 8 Jacobian entries) for an operating
+  /// point that was already evaluated — the batched transient engine
+  /// evaluates all lanes' channels in one SoA sweep, then replays each
+  /// lane's stamps in device order through this hook. `load` goes through
+  /// the same code, so the two paths emit identical stamp sequences.
+  void stamp_channel(const LoadContext& ctx,
+                     const physics::MosOperatingPoint& op) const;
+
   const physics::MosDevice& model() const noexcept { return model_; }
   int drain() const noexcept { return d_; }
   int gate() const noexcept { return g_; }

@@ -219,6 +219,17 @@ class SparseLu {
   /// Solve A x = b in place against the live factors (cheap, O(fill)).
   void solve(std::span<double> b) const;
 
+  /// Adopt `other`'s symbolic analysis (permutations, fill pattern,
+  /// scatter map and the analysed A-pattern copy), so this object's next
+  /// factor() of a same-pattern matrix is a static-pattern numeric
+  /// refactorization instead of a discovery analysis. This is how the
+  /// batched transient engine pays for exactly one symbolic analysis
+  /// across all K Monte-Carlo lanes: lane 0 analyses, the rest adopt.
+  /// Numeric values are overwritten by the adopter's first factor().
+  void adopt_analysis_from(const SparseLu& other) {
+    if (this != &other) *this = other;
+  }
+
  private:
   bool pattern_matches(const SparseMatrix& a) const;
   bool analyze(const SparseMatrix& a, double threshold);
@@ -295,6 +306,12 @@ class StampSink {
     cursor_ = 0;
   }
   void bind_discard() noexcept { mode_ = Mode::kDiscard; }
+
+  /// True when stamps are being dropped (cache-hit residual passes).
+  /// Devices whose Jacobian entries are value-independent may skip the
+  /// stamp calls entirely in this mode — the stamp-sequence determinism
+  /// contract only applies to record/slots modes, which track a cursor.
+  bool discarding() const noexcept { return mode_ == Mode::kDiscard; }
 
   /// Stamps consumed since the last bind_slots (program-length check).
   std::size_t cursor() const noexcept { return cursor_; }

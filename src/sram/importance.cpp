@@ -40,6 +40,53 @@ ImportanceSample evaluate_importance_sample(const ImportanceConfig& config,
   return sample;
 }
 
+std::vector<ImportanceSample> evaluate_importance_batch(
+    const ImportanceConfig& config, std::size_t first, std::size_t count) {
+  if (config.with_rtn) {
+    throw std::invalid_argument(
+        "evaluate_importance_batch: with_rtn samples couple to per-sample "
+        "RTN traces and must run through evaluate_importance_sample");
+  }
+  std::vector<ImportanceSample> samples(count);
+  if (count == 0) return samples;
+
+  // Reproduce each sample's draws exactly as evaluate_importance_sample
+  // does: same split stream, same draw order, same accumulation — the
+  // weights must stay bit-identical to the scalar evaluator's.
+  const util::Rng rng(config.seed);
+  const double inv_two_var = 1.0 / (2.0 * config.sigma_vt * config.sigma_vt);
+  std::vector<MethodologyConfig> cells;
+  cells.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    util::Rng sample_rng = rng.split(first + i + 1);
+    MethodologyConfig cell = config.cell;
+    cell.seed = sample_rng.next_u64();
+    double log_weight = 0.0;
+    for (int m = 1; m <= 6; ++m) {
+      const std::string name = "M" + std::to_string(m);
+      const auto it = config.shift.find(name);
+      const double shift = it == config.shift.end() ? 0.0 : it->second;
+      const double x = sample_rng.normal(shift, config.sigma_vt);
+      cell.vth_shifts[name] = x;
+      log_weight += (shift * shift - 2.0 * shift * x) * inv_two_var;
+    }
+    samples[i].weight = std::exp(log_weight);
+    cells.push_back(std::move(cell));
+  }
+
+  spice::BatchWorkspace workspace;
+  const NominalBatchRun run = run_nominal_batch(cells, workspace);
+  DetectorOptions detector = config.cell.detector;
+  detector.v_dd = config.cell.tech.v_dd;
+  for (std::size_t i = 0; i < count; ++i) {
+    const PatternReport report = check_pattern(
+        run.results[i].voltage(run.q_node), run.pattern, detector);
+    samples[i].failed =
+        report.any_error || (config.count_slow_as_fail && report.any_slow);
+  }
+  return samples;
+}
+
 ImportanceResult estimate_failure_probability(const ImportanceConfig& config) {
   if (!(config.sigma_vt > 0.0) || config.samples == 0) {
     throw std::invalid_argument("importance sampling: bad configuration");

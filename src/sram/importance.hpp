@@ -60,4 +60,17 @@ struct ImportanceSample {
 ImportanceSample evaluate_importance_sample(const ImportanceConfig& config,
                                             std::size_t index);
 
+/// Evaluate samples [first, first + count) of the same stream through the
+/// batched fixed-grid transient engine. Requires `config.with_rtn == false`
+/// (the RTN-injected run couples each lane to its own generated traces and
+/// stays scalar): the verdict then depends only on the nominal transient,
+/// so the whole SAMURAI phase is skipped and K cells share one lock-step
+/// solve. Each sample draws its V_T offsets from exactly the stream
+/// `evaluate_importance_sample` uses, so weights are bit-identical to the
+/// scalar evaluator; verdicts come from the fixed-grid (not adaptive)
+/// nominal waveform and are independent of how indices are grouped into
+/// batches (all lanes share one breakpoint set, hence one step plan).
+std::vector<ImportanceSample> evaluate_importance_batch(
+    const ImportanceConfig& config, std::size_t first, std::size_t count);
+
 }  // namespace samurai::sram

@@ -76,6 +76,40 @@ NominalRun run_nominal(const MethodologyConfig& config,
   return run;
 }
 
+NominalBatchRun run_nominal_batch(std::span<const MethodologyConfig> configs,
+                                  spice::BatchWorkspace& workspace) {
+  if (configs.empty()) {
+    throw std::invalid_argument("run_nominal_batch: no configs");
+  }
+  if (configs[0].ops.empty()) {
+    throw std::invalid_argument("run_nominal_batch: empty op pattern");
+  }
+  NominalBatchRun run;
+  const MethodologyConfig& head = configs[0];
+  run.pattern = build_pattern(head.ops, head.tech.v_dd, head.timing);
+
+  // One circuit per lane. The lanes share pattern/tech/sizing, so every
+  // cell gets identical wiring and waveforms; only the vth_shifts (and so
+  // the MOSFET models) differ — exactly what the batch engine vectorises.
+  std::vector<spice::Circuit> circuits(configs.size());
+  std::vector<spice::Circuit*> lanes(configs.size());
+  SramCellHandles handles;
+  for (std::size_t k = 0; k < configs.size(); ++k) {
+    handles = build_6t_cell(circuits[k], configs[k].tech, configs[k].sizing,
+                            "", configs[k].vth_shifts);
+    attach_sources(circuits[k], handles, run.pattern, configs[k].tech.v_dd,
+                   "");
+    lanes[k] = &circuits[k];
+  }
+  run.q_node = handles.q;
+  run.qb_node = handles.qb;
+
+  auto options = make_transient_options(head, run.pattern, handles);
+  options.fixed_grid = true;
+  run.results = spice::transient_batch(lanes, options, workspace);
+  return run;
+}
+
 MethodologyResult run_methodology(const MethodologyConfig& config) {
   MethodologyResult result;
   // One workspace for both transients: the RTN-injected cell only adds

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "physics/trap.hpp"
 #include "physics/trap_profile.hpp"
 #include "spice/analysis.hpp"
+#include "spice/batch.hpp"
 #include "sram/cell.hpp"
 #include "sram/detector.hpp"
 #include "sram/pattern.hpp"
@@ -88,6 +90,23 @@ NominalRun run_nominal(const MethodologyConfig& config,
 NominalRun run_nominal(const MethodologyConfig& config,
                        spice::NewtonWorkspace& workspace,
                        const std::string& prefix = "");
+
+/// Batched phase 1: the nominal transients of K variation samples marched
+/// in lock-step through the batched fixed-grid engine (spice/batch.hpp).
+struct NominalBatchRun {
+  PatternWaveforms pattern;
+  std::vector<spice::TransientResult> results;  ///< index-aligned with configs
+  std::string q_node, qb_node;  ///< node names (identical across lanes)
+};
+
+/// Run every config's nominal cell through one spice::transient_batch call.
+/// All configs must share pattern, timing, technology and sizing — they are
+/// Monte-Carlo samples of one workload differing only in `vth_shifts` (and
+/// seed); the batch engine enforces the resulting topology equality. Forces
+/// `fixed_grid`, so results differ from the adaptive-step run_nominal by
+/// integration error only (the step plan is the deterministic fixed grid).
+NominalBatchRun run_nominal_batch(std::span<const MethodologyConfig> configs,
+                                  spice::BatchWorkspace& workspace);
 
 /// Extract transistor bias waveforms from a transient solution.
 /// For NMOS, V_gs(t) = V(gate) - min(V(d), V(s)); for PMOS the magnitude

@@ -52,6 +52,16 @@ long long Cli::get_int(const std::string& name, long long fallback) const {
   }
 }
 
+long long Cli::get_count(const std::string& name, long long fallback) const {
+  const long long value = get_int(name, fallback);
+  if (value < 1) {
+    throw std::invalid_argument("option --" + name +
+                                " expects a positive count, got " +
+                                std::to_string(value));
+  }
+  return value;
+}
+
 std::uint64_t Cli::get_seed(const std::string& name, std::uint64_t fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;

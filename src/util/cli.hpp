@@ -19,6 +19,9 @@ class Cli {
   std::string get_string(const std::string& name, std::string fallback) const;
   double get_double(const std::string& name, double fallback) const;
   long long get_int(const std::string& name, long long fallback) const;
+  /// get_int, but for repetition counts: values < 1 are rejected with a
+  /// clear error instead of silently producing an empty (or garbage) run.
+  long long get_count(const std::string& name, long long fallback) const;
   std::uint64_t get_seed(const std::string& name, std::uint64_t fallback) const;
 
   /// Positional (non `--`) arguments in order.

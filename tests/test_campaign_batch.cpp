@@ -1,0 +1,162 @@
+// Campaign-level batching (Manifest::batch): manifest validation and JSON
+// round-trip for the new knob, the weight/grouping invariants of
+// sram::evaluate_importance_batch, and thread-count invariance of batched
+// shards — the concurrency contract: outcomes depend only on (manifest,
+// sample index), never on how lanes are grouped or scheduled.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "campaign/manifest.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/shard.hpp"
+#include "sram/importance.hpp"
+
+namespace samurai::campaign {
+namespace {
+
+Manifest batched_manifest() {
+  Manifest manifest;
+  manifest.kind = CampaignKind::kImportance;
+  manifest.name = "batch-test";
+  manifest.seed = 33;
+  manifest.budget = 24;
+  manifest.shard_size = 12;
+  manifest.batch = 4;
+  manifest.node = "90nm";
+  manifest.v_dd = 1.05;
+  manifest.sigma_vt = 0.12;
+  manifest.with_rtn = false;  // required for batch > 1
+  manifest.shift[0] = 0.06;   // M1
+  manifest.shift[1] = 0.06;   // M2
+  return manifest;
+}
+
+sram::ImportanceConfig batch_importance_config() {
+  sram::ImportanceConfig config;
+  config.cell.tech = physics::technology("90nm");
+  config.cell.tech.v_dd = 1.05;
+  config.cell.sizing.extra_node_cap = 40e-15;
+  config.cell.timing.period = 1e-9;
+  config.cell.ops = sram::ops_from_bits({1, 0});
+  config.sigma_vt = 0.1;
+  config.shift = {{"M1", 0.08}, {"M2", 0.05}};
+  config.samples = 16;
+  config.seed = 9;
+  config.with_rtn = false;
+  return config;
+}
+
+// -------------------------------------------------------------- manifest
+
+TEST(ManifestBatch, ValidatesBatchKnob) {
+  Manifest manifest = batched_manifest();
+  manifest.validate();  // batch = 4 with importance/with_rtn=false is fine
+
+  manifest.batch = 0;
+  EXPECT_THROW(manifest.validate(), std::invalid_argument);
+
+  manifest = batched_manifest();
+  manifest.with_rtn = true;  // batched lanes cannot carry RTN coupling
+  EXPECT_THROW(manifest.validate(), std::invalid_argument);
+
+  manifest = batched_manifest();
+  manifest.kind = CampaignKind::kVmin;
+  EXPECT_THROW(manifest.validate(), std::invalid_argument);
+
+  // batch = 1 (scalar) is valid for every kind.
+  manifest = batched_manifest();
+  manifest.kind = CampaignKind::kVmin;
+  manifest.batch = 1;
+  manifest.validate();
+}
+
+TEST(ManifestBatch, JsonRoundTripPreservesBatch) {
+  const Manifest manifest = batched_manifest();
+  const Manifest parsed = Manifest::from_json(manifest.to_json());
+  EXPECT_EQ(parsed.batch, 4u);
+  EXPECT_EQ(parsed.threads, manifest.threads);
+  EXPECT_EQ(parsed.seed, manifest.seed);
+  EXPECT_FALSE(parsed.with_rtn);
+}
+
+// ------------------------------------------------------- sample batching
+
+TEST(ImportanceBatch, WeightsBitIdenticalToScalarEvaluator) {
+  // Batched samples must replicate the scalar RNG stream exactly: the
+  // likelihood-ratio weight of sample n is a pure function of
+  // (config, n), whichever evaluator computes it.
+  const sram::ImportanceConfig config = batch_importance_config();
+  const auto batch = sram::evaluate_importance_batch(config, 3, 5);
+  ASSERT_EQ(batch.size(), 5u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto scalar = sram::evaluate_importance_sample(config, 3 + i);
+    EXPECT_EQ(batch[i].weight, scalar.weight) << "sample " << 3 + i;
+  }
+}
+
+TEST(ImportanceBatch, OutcomesIndependentOfGrouping) {
+  // Splitting [0, 12) into uneven batches must reproduce the one-shot
+  // batch bit-for-bit: all lanes share one breakpoint set, hence one
+  // fixed-grid step plan, so the grouping is pure throughput.
+  const sram::ImportanceConfig config = batch_importance_config();
+  const auto whole = sram::evaluate_importance_batch(config, 0, 12);
+  auto split = sram::evaluate_importance_batch(config, 0, 5);
+  const auto rest = sram::evaluate_importance_batch(config, 5, 7);
+  split.insert(split.end(), rest.begin(), rest.end());
+  ASSERT_EQ(whole.size(), split.size());
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(whole[i].weight, split[i].weight) << "sample " << i;
+    EXPECT_EQ(whole[i].failed, split[i].failed) << "sample " << i;
+  }
+}
+
+TEST(ImportanceBatch, RequiresNominalOnlyConfig) {
+  sram::ImportanceConfig config = batch_importance_config();
+  config.with_rtn = true;
+  EXPECT_THROW(sram::evaluate_importance_batch(config, 0, 2),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------ batched campaign
+
+void expect_bit_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.standard_error, b.standard_error);
+  EXPECT_EQ(a.weighted.failures, b.weighted.failures);
+  EXPECT_EQ(a.samples_done, b.samples_done);
+}
+
+TEST(CampaignBatch, EstimateIndependentOfBatchSize) {
+  // batch is a throughput knob: regrouping lanes must not move a bit of
+  // the estimate (batch sizes that divide, straddle and exceed the shard
+  // are all equivalent).
+  const Manifest base = batched_manifest();
+  const CampaignResult reference = run_campaign(base, {});
+  for (const std::uint64_t batch : {2u, 5u, 12u, 64u}) {
+    Manifest manifest = base;
+    manifest.batch = batch;
+    expect_bit_identical(reference, run_campaign(manifest, {}));
+  }
+}
+
+TEST(CampaignBatch, ThreadCountInvariantAcrossBatchBoundaries) {
+  // Worker threads pick up whole batches; the shard folds outcomes in
+  // index order, so any thread count is bit-identical — including thread
+  // counts that leave workers idle or interleave mid-shard.
+  Manifest manifest = batched_manifest();
+  manifest.threads = 1;
+  const CampaignResult serial = run_campaign(manifest, {});
+  for (const std::uint64_t threads : {2u, 8u}) {
+    manifest.threads = threads;
+    expect_bit_identical(serial, run_campaign(manifest, {}));
+  }
+  // Batched shards report engine counters through the ledger.
+  EXPECT_GT(serial.solver.bt_batches, 0u);
+  EXPECT_EQ(serial.solver.bt_lanes, serial.samples_done);
+}
+
+}  // namespace
+}  // namespace samurai::campaign

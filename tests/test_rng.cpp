@@ -50,6 +50,30 @@ TEST(Rng, SplitDoesNotAdvanceParent) {
   EXPECT_EQ(a.next_u64(), b.next_u64());
 }
 
+TEST(Rng, NestedChildStreamsDoNotCollide) {
+  // The campaign derives sample-level streams as master.split(n + 1) and
+  // each sample derives trap-level streams by splitting again (via the
+  // cell seed drawn from the sample stream). A collision between any two
+  // streams in that two-level tree would correlate Monte-Carlo samples,
+  // so the first outputs of every stream across a dense index grid must
+  // be pairwise distinct — including between the two levels.
+  const Rng master(2026);
+  std::set<std::uint64_t> first_outputs;
+  std::size_t streams = 0;
+  for (std::uint64_t n = 0; n < 64; ++n) {
+    Rng sample = master.split(n + 1);
+    first_outputs.insert(Rng(sample.next_u64()).next_u64());
+    ++streams;
+    const Rng sample_base = master.split(n + 1);
+    for (std::uint64_t trap = 0; trap < 16; ++trap) {
+      Rng child = sample_base.split(trap);
+      first_outputs.insert(child.next_u64());
+      ++streams;
+    }
+  }
+  EXPECT_EQ(first_outputs.size(), streams);
+}
+
 TEST(Rng, UniformInUnitInterval) {
   Rng rng(3);
   double sum = 0.0;

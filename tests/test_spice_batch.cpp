@@ -1,0 +1,268 @@
+// Batched lock-step transient engine (spice/batch.hpp): scalar-equivalence
+// oracles, the fixed-grid contract, error paths and the solver-kind
+// boundary the batch engine leans on.
+//
+// The dense oracle is exact: lane k of a batch executes the same FP
+// operation sequence as an independent scalar fixed-grid run of circuit k,
+// so every voltage sample must match bit-for-bit. The sparse oracle is a
+// tight tolerance plus an exactly-equal point count: non-seed lanes adopt
+// lane 0's symbolic pivot order, which can differ from the lane's own
+// analysis in the last ulps only.
+#include "spice/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "spice/analysis.hpp"
+#include "spice/devices.hpp"
+#include "sram/methodology.hpp"
+#include "sram/pattern.hpp"
+
+namespace samurai::spice {
+namespace {
+
+// ------------------------------------------------------------ 6T (dense)
+
+sram::MethodologyConfig cell_config(int lane) {
+  sram::MethodologyConfig config;
+  config.tech = physics::technology("90nm");
+  config.sizing.extra_node_cap = 40e-15;
+  config.timing.period = 1e-9;
+  config.ops = sram::ops_from_bits({1, 0});
+  for (int m = 1; m <= 6; ++m) {
+    config.vth_shifts["M" + std::to_string(m)] = 0.01 * lane - 0.004 * m;
+  }
+  return config;
+}
+
+TEST(BatchTransient, DenseLanesBitIdenticalToScalarFixedGrid) {
+  std::vector<sram::MethodologyConfig> configs;
+  for (int lane = 0; lane < 4; ++lane) configs.push_back(cell_config(lane));
+
+  BatchWorkspace workspace;
+  const auto batch = sram::run_nominal_batch(configs, workspace);
+  ASSERT_EQ(batch.results.size(), 4u);
+
+  for (std::size_t lane = 0; lane < configs.size(); ++lane) {
+    sram::MethodologyConfig scalar_config = configs[lane];
+    scalar_config.transient.fixed_grid = true;
+    NewtonWorkspace scalar_workspace;
+    const auto scalar = sram::run_nominal(scalar_config, scalar_workspace);
+
+    ASSERT_EQ(scalar.result.num_points(), batch.results[lane].num_points())
+        << "lane " << lane << ": accepted-step sequences diverged";
+    for (const std::string& node : {batch.q_node, batch.qb_node}) {
+      const auto& expect = scalar.result.voltage_samples(node);
+      const auto& actual = batch.results[lane].voltage_samples(node);
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        ASSERT_EQ(expect[i], actual[i])
+            << "lane " << lane << " node " << node << " sample " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchTransient, LaneStatsCarryBatchCounters) {
+  std::vector<sram::MethodologyConfig> configs;
+  for (int lane = 0; lane < 3; ++lane) configs.push_back(cell_config(lane));
+
+  const SolverStats before = solver_stats_snapshot();
+  BatchWorkspace workspace;
+  const auto batch = sram::run_nominal_batch(configs, workspace);
+  const SolverStats delta = solver_stats_snapshot().since(before);
+
+  // The batch itself is counted once (on lane 0's delta); every lane
+  // contributes one bt_lane and the shared plan's step count.
+  EXPECT_EQ(batch.results[0].stats().bt_batches, 1u);
+  EXPECT_EQ(batch.results[1].stats().bt_batches, 0u);
+  EXPECT_EQ(delta.bt_batches, 1u);
+  EXPECT_EQ(delta.bt_lanes, 3u);
+  const std::size_t steps = batch.results[0].num_points() - 1;
+  for (const auto& result : batch.results) {
+    EXPECT_EQ(result.stats().bt_lanes, 1u);
+    EXPECT_EQ(result.stats().bt_steps, steps);
+    EXPECT_EQ(result.stats().steps_accepted, steps);
+    EXPECT_EQ(result.stats().steps_rejected, 0u);
+  }
+  EXPECT_EQ(workspace.lanes(), 3u);
+}
+
+// --------------------------------------------------- RC ladders (sparse)
+
+/// Driven RC ladder with `sections` series RC stages: system size is
+/// sections + 1 nodes + 1 source branch. Per-lane capacitance scaling
+/// perturbs the dynamics without touching the topology.
+struct Ladder {
+  Circuit circuit;
+  int tail = kGround;
+};
+
+void build_ladder(Ladder& ladder, std::size_t sections, double cap_scale,
+                  const core::Pwl& drive) {
+  Circuit& c = ladder.circuit;
+  const int in = c.node("in");
+  c.add<VoltageSource>(c, "Vin", in, kGround, drive);
+  int prev = in;
+  for (std::size_t i = 0; i < sections; ++i) {
+    const int node = c.node("n" + std::to_string(i));
+    c.add<Resistor>("R" + std::to_string(i), prev, node, 1e3 + 10.0 * i);
+    c.add<Capacitor>("C" + std::to_string(i), node, kGround,
+                     cap_scale * (1e-12 + 1e-14 * i));
+    prev = node;
+  }
+  ladder.tail = prev;
+}
+
+core::Pwl step_drive(double edge) {
+  return core::Pwl({0.0, edge, edge + 1e-10}, {0.0, 0.0, 1.0});
+}
+
+TEST(BatchTransient, SparseLanesMatchScalarWithinTolerance) {
+  // 60 sections -> system size 62 >= kSparseAutoThreshold: all lanes run
+  // the sparse engine, lanes > 0 adopting lane 0's symbolic analysis.
+  constexpr std::size_t kSections = 60;
+  const core::Pwl drive = step_drive(1e-9);
+
+  TransientOptions options;
+  options.t_stop = 10e-9;
+  options.dt_max = 0.25e-9;
+  options.fixed_grid = true;
+
+  std::vector<Ladder> lanes(3);
+  std::vector<Circuit*> circuits;
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    build_ladder(lanes[k], kSections, 1.0 + 0.1 * static_cast<double>(k),
+                 drive);
+    circuits.push_back(&lanes[k].circuit);
+  }
+  const auto batch = transient_batch(circuits, options);
+  ASSERT_EQ(batch.size(), lanes.size());
+  EXPECT_GT(batch[0].stats().sp_solves, 0u) << "expected the sparse engine";
+
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    Ladder twin;
+    build_ladder(twin, kSections, 1.0 + 0.1 * static_cast<double>(k), drive);
+    const auto scalar = transient(twin.circuit, options);
+
+    ASSERT_EQ(scalar.num_points(), batch[k].num_points())
+        << "lane " << k << ": accepted-step sequences diverged";
+    const std::string tail = twin.circuit.node_name(twin.tail);
+    const auto& expect = scalar.voltage_samples(tail);
+    const auto& actual = batch[k].voltage_samples(tail);
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      ASSERT_NEAR(expect[i], actual[i], 1e-6)
+          << "lane " << k << " sample " << i;
+    }
+  }
+}
+
+TEST(BatchTransient, DivergentBreakpointsUseTheUnionGrid) {
+  // Lanes whose sources switch at different instants still run in
+  // lock-step: the engine plans on the union of all lanes' breakpoints.
+  // A scalar rerun of one lane reproduces its batch result bit-for-bit
+  // only when handed the other lane's breakpoints via extra_breakpoints.
+  TransientOptions options;
+  options.t_stop = 10e-9;
+  options.dt_max = 0.5e-9;
+  options.fixed_grid = true;
+
+  std::vector<Ladder> lanes(2);
+  build_ladder(lanes[0], 4, 1.0, step_drive(2e-9));
+  build_ladder(lanes[1], 4, 1.0, step_drive(5.3e-9));
+  std::vector<Circuit*> circuits{&lanes[0].circuit, &lanes[1].circuit};
+  const auto batch = transient_batch(circuits, options);
+
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    Ladder twin;
+    build_ladder(twin, 4, 1.0, step_drive(k == 0 ? 2e-9 : 5.3e-9));
+    TransientOptions scalar_options = options;
+    // The *other* lane's switch instants, which the union grid includes.
+    const double other_edge = k == 0 ? 5.3e-9 : 2e-9;
+    scalar_options.extra_breakpoints = {other_edge, other_edge + 1e-10};
+    const auto scalar = transient(twin.circuit, scalar_options);
+
+    ASSERT_EQ(scalar.num_points(), batch[k].num_points()) << "lane " << k;
+    const std::string tail = twin.circuit.node_name(twin.tail);
+    const auto& expect = scalar.voltage_samples(tail);
+    const auto& actual = batch[k].voltage_samples(tail);
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      ASSERT_EQ(expect[i], actual[i]) << "lane " << k << " sample " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------------ error paths
+
+TEST(BatchTransient, RequiresFixedGrid) {
+  Ladder lane;
+  build_ladder(lane, 2, 1.0, step_drive(1e-9));
+  std::vector<Circuit*> circuits{&lane.circuit};
+  TransientOptions options;
+  options.t_stop = 1e-9;
+  EXPECT_THROW(transient_batch(circuits, options), std::invalid_argument);
+}
+
+TEST(BatchTransient, RejectsOnStepCallback) {
+  Ladder lane;
+  build_ladder(lane, 2, 1.0, step_drive(1e-9));
+  std::vector<Circuit*> circuits{&lane.circuit};
+  TransientOptions options;
+  options.t_stop = 1e-9;
+  options.fixed_grid = true;
+  options.on_step = [](double, std::span<const double>) {};
+  EXPECT_THROW(transient_batch(circuits, options), std::invalid_argument);
+}
+
+TEST(BatchTransient, RejectsTopologyMismatch) {
+  Ladder a;
+  Ladder b;
+  build_ladder(a, 2, 1.0, step_drive(1e-9));
+  build_ladder(b, 3, 1.0, step_drive(1e-9));  // different system size
+  std::vector<Circuit*> circuits{&a.circuit, &b.circuit};
+  TransientOptions options;
+  options.t_stop = 1e-9;
+  options.fixed_grid = true;
+  EXPECT_THROW(transient_batch(circuits, options), std::invalid_argument);
+}
+
+TEST(BatchTransient, EmptyBatchReturnsEmpty) {
+  TransientOptions options;
+  options.t_stop = 1e-9;
+  options.fixed_grid = true;
+  EXPECT_TRUE(transient_batch({}, options).empty());
+}
+
+// --------------------------------------------- SolverKind::kAuto boundary
+
+/// System size of a `sections`-stage ladder is sections + 2 (input node,
+/// stage nodes, one source branch); pick sections so the boundary sits
+/// exactly at kSparseAutoThreshold.
+std::size_t ladder_sections_for_system_size(std::size_t system_size) {
+  return system_size - 2;
+}
+
+TEST(SolverAuto, SparseKicksInExactlyAtThreshold) {
+  for (const std::size_t system_size :
+       {kSparseAutoThreshold - 1, kSparseAutoThreshold,
+        kSparseAutoThreshold + 1}) {
+    Ladder lane;
+    build_ladder(lane, ladder_sections_for_system_size(system_size), 1.0,
+                 step_drive(1e-9));
+    ASSERT_EQ(lane.circuit.system_size(), system_size);
+    TransientOptions options;
+    options.t_stop = 4e-9;
+    options.dt_max = 0.5e-9;
+    options.fixed_grid = true;
+    const auto result = transient(lane.circuit, options);
+    const bool expect_sparse = system_size >= kSparseAutoThreshold;
+    EXPECT_EQ(result.stats().sp_solves > 0, expect_sparse)
+        << "system size " << system_size;
+    EXPECT_EQ(result.stats().lu_solves > 0, true);
+  }
+}
+
+}  // namespace
+}  // namespace samurai::spice

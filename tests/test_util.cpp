@@ -142,6 +142,15 @@ TEST(Cli, BadNumberThrows) {
   EXPECT_THROW(cli.get_double("n", 0.0), std::invalid_argument);
 }
 
+TEST(Cli, CountRejectsNonPositiveValues) {
+  const char* argv[] = {"prog", "--reps=0", "--passes=-3", "--ok=2"};
+  Cli cli(4, argv);
+  EXPECT_THROW(cli.get_count("reps", 5), std::invalid_argument);
+  EXPECT_THROW(cli.get_count("passes", 5), std::invalid_argument);
+  EXPECT_EQ(cli.get_count("ok", 5), 2);
+  EXPECT_EQ(cli.get_count("absent", 5), 5);
+}
+
 TEST(Cli, HexSeedParses) {
   const char* argv[] = {"prog", "--seed=0xff"};
   Cli cli(2, argv);
