@@ -3,6 +3,9 @@
 //   samurai_campaign run    --dir out/ [--manifest m.json | flags...]
 //   samurai_campaign resume --dir out/ [--max-shards K]
 //   samurai_campaign status --dir out/
+//   samurai_campaign init   --dir out/ [--manifest m.json | flags...]
+//   samurai_campaign work   --dir out/ [--worker-id ID] [--lease-ttl S]
+//   samurai_campaign serve  --dir out/ [--lease-ttl S] [--watch]
 //
 // `run` starts a campaign described by a manifest file or by flags
 // (--kind importance|array-yield|vmin, --samples, --shard, --batch,
@@ -13,6 +16,13 @@
 // transient engine, K lanes at a time (requires --nominal-only). Without --dir the campaign runs
 // in memory (no checkpoint, no resume). Every subcommand ends with one
 // machine-readable JSON summary line on stdout.
+//
+// The distributed service (DESIGN.md §14): `init` writes the manifest
+// without running anything; any number of `work` processes then lease
+// shards out of the shared directory and append results; `serve` reaps
+// expired leases, folds progress and publishes status.json (`--watch`
+// adds a live per-worker view). Errors and usage go to stderr; exit is
+// non-zero whenever the requested command could not run.
 #include <cstdio>
 #include <exception>
 #include <iostream>
@@ -21,6 +31,8 @@
 #include "campaign/checkpoint.hpp"
 #include "campaign/manifest.hpp"
 #include "campaign/runner.hpp"
+#include "campaign/service/coordinator.hpp"
+#include "campaign/service/worker.hpp"
 #include "util/cli.hpp"
 
 using namespace samurai;
@@ -32,7 +44,13 @@ int usage() {
                "usage: samurai_campaign run    --dir DIR [--manifest FILE | "
                "--kind importance|array-yield|vmin --samples N --shard S ...]\n"
                "       samurai_campaign resume --dir DIR [--max-shards K]\n"
-               "       samurai_campaign status --dir DIR\n");
+               "       samurai_campaign status --dir DIR\n"
+               "       samurai_campaign init   --dir DIR [--manifest FILE | "
+               "flags as for run]\n"
+               "       samurai_campaign work   --dir DIR [--worker-id ID] "
+               "[--lease-ttl S] [--poll S] [--max-shards K] [--max-seconds S]\n"
+               "       samurai_campaign serve  --dir DIR [--lease-ttl S] "
+               "[--poll S] [--max-seconds S] [--watch]\n");
   return 2;
 }
 
@@ -145,6 +163,53 @@ int main(int argc, char** argv) {
       print_summary(campaign::campaign_status(dir));
       return 0;
     }
+    if (command == "init") {
+      if (dir.empty()) return usage();
+      campaign::Manifest manifest;
+      if (cli.has("manifest")) {
+        manifest = campaign::Manifest::from_json(
+            campaign::read_file(cli.get_string("manifest", "")));
+      } else {
+        manifest = manifest_from_flags(cli);
+      }
+      manifest.validate();
+      campaign::Checkpoint(dir).init(manifest);
+      std::printf("%s\n", manifest.to_json().c_str());
+      return 0;
+    }
+    if (command == "work") {
+      if (dir.empty()) return usage();
+      campaign::WorkerOptions worker;
+      worker.dir = dir;
+      worker.worker_id = cli.get_string("worker-id", "");
+      worker.lease_ttl =
+          cli.get_positive_double("lease-ttl", worker.lease_ttl);
+      worker.poll_seconds = cli.get_positive_double("poll", worker.poll_seconds);
+      worker.max_shards =
+          static_cast<std::uint64_t>(cli.get_int("max-shards", 0));
+      worker.max_wall_seconds = cli.get_double("max-seconds", 0.0);
+      worker.progress = cli.has("quiet") ? nullptr : &std::cerr;
+      const campaign::WorkerReport report = campaign::run_worker(worker);
+      std::printf("%s\n", report.to_json().c_str());
+      return report.timed_out ? 4 : 0;
+    }
+    if (command == "serve") {
+      if (dir.empty()) return usage();
+      campaign::ServeOptions serve;
+      serve.dir = dir;
+      serve.lease_ttl = cli.get_positive_double("lease-ttl", serve.lease_ttl);
+      serve.poll_seconds =
+          cli.get_positive_double("poll", serve.poll_seconds);
+      serve.max_wall_seconds = cli.get_double("max-seconds", 0.0);
+      serve.watch = cli.has("watch");
+      serve.out = cli.has("quiet") ? nullptr : &std::cerr;
+      const campaign::ServiceStatus status = campaign::serve_campaign(serve);
+      std::printf("%s\n", status.to_json().c_str());
+      print_summary(status.result);
+      return status.result.complete ? 0 : 4;
+    }
+    std::fprintf(stderr, "samurai_campaign: unknown command '%s'\n",
+                 command.c_str());
     return usage();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "samurai_campaign: %s\n", error.what());

@@ -1,28 +1,18 @@
 #include "campaign/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fs.hpp"
+
 namespace samurai::campaign {
 
 void write_file_atomic(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("campaign: cannot open " + tmp);
-    out << content;
-    out.flush();
-    if (!out) throw std::runtime_error("campaign: short write to " + tmp);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    throw std::runtime_error("campaign: cannot rename " + tmp + " -> " + path);
-  }
+  util::replace_file_durable(path, content);
 }
 
 std::string read_file(const std::string& path) {
@@ -58,24 +48,67 @@ Manifest Checkpoint::load_manifest() const {
 std::vector<ShardResult> Checkpoint::load_ledger() const {
   std::vector<ShardResult> shards;
   if (!has_ledger()) return shards;
-  std::istringstream in(read_file(ledger_path()));
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    shards.push_back(ShardResult::from_json(line));
-    if (shards.back().index + 1 != shards.size()) {
-      throw std::runtime_error("campaign: ledger " + ledger_path() +
-                               " is out of order at shard " +
-                               std::to_string(shards.back().index));
+  const std::string text = read_file(ledger_path());
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Unterminated tail: a writer died mid-append. The shard it was
+      // recording counts as not-run and will be executed again; the next
+      // append fences the fragment off with a newline.
+      std::fprintf(stderr,
+                   "campaign: ignoring torn trailing line in %s "
+                   "(writer died mid-append; shard will be re-run)\n",
+                   ledger_path().c_str());
+      break;
+    }
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;  // fence newline from a torn-tail repair
+    try {
+      // A torn line that a later append fenced off is a byte-wise *prefix*
+      // of a record, so it can never end in the closing brace — the lenient
+      // parser would otherwise accept the fragment's leading fields as a
+      // (wrong) record. Demand the whole object.
+      if (line.front() != '{' || line.back() != '}') {
+        throw std::runtime_error("truncated shard record");
+      }
+      ShardResult shard = ShardResult::from_json(line);
+      // A parseable object that lacks the shard fields is a fenced-off
+      // fragment that happened to close as valid JSON — not a record.
+      if (shard.samples == 0 && shard.fails.count == 0 &&
+          shard.value.count == 0) {
+        throw std::runtime_error("not a shard record");
+      }
+      shards.push_back(std::move(shard));
+    } catch (const std::exception&) {
+      std::fprintf(stderr,
+                   "campaign: ignoring malformed line in %s "
+                   "(torn write; shard will be re-run)\n",
+                   ledger_path().c_str());
     }
   }
+
+  // Worker processes append in completion order, not index order; the
+  // fold contract is index order from shard 0, so sort here. Duplicate
+  // indices (a reclaimed lease whose original owner also finished) keep
+  // the first-appended line; both are bit-identical by the determinism
+  // contract, so this is a tie-break, not a choice.
+  std::stable_sort(shards.begin(), shards.end(),
+                   [](const ShardResult& a, const ShardResult& b) {
+                     return a.index < b.index;
+                   });
+  shards.erase(std::unique(shards.begin(), shards.end(),
+                           [](const ShardResult& a, const ShardResult& b) {
+                             return a.index == b.index;
+                           }),
+               shards.end());
   return shards;
 }
 
-void Checkpoint::store_ledger(const std::vector<ShardResult>& shards) const {
-  std::string content;
-  for (const auto& shard : shards) content += shard.to_json() + "\n";
-  write_file_atomic(ledger_path(), content);
+void Checkpoint::append_ledger(const ShardResult& shard) const {
+  util::append_line_durable(ledger_path(), shard.to_json());
 }
 
 void Checkpoint::store_state(const std::string& state_json) const {

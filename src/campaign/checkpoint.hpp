@@ -1,17 +1,24 @@
 // Atomic campaign checkpoints.
 //
-// A campaign directory holds three artifacts:
+// A campaign directory holds four artifacts:
 //   manifest.json — the job description, written once at `run` start;
-//   shards.jsonl  — the shard ledger, one flat-JSON line per completed
-//                   shard in index order (the source of truth on resume);
+//   shards.jsonl  — the shard ledger, one flat-JSON line appended per
+//                   completed shard (the source of truth on resume);
 //   state.json    — the folded estimator state and status (a convenience
-//                   summary for `status`; always derivable from the ledger).
+//                   summary for `status`; always derivable from the ledger);
+//   leases/       — the campaign service's per-shard lease files
+//                   (service/lease.hpp), absent for single-process runs.
 //
-// Every file is replaced via write-to-temp + rename, so a kill at any
-// instant leaves either the previous consistent version or the new one —
-// never a torn file. Resume re-folds the ledger in shard order; because
-// doubles are serialised with round-trip precision, the restored estimator
-// state is bit-identical to the state the uninterrupted run had.
+// Whole-file artifacts are replaced via unique-temp + fsync + rename, so
+// a kill at any instant leaves either the previous consistent version or
+// the new one — never a torn file — even with many processes writing the
+// same path. The ledger is append-only: each completed shard is one
+// O_APPEND write of one newline-terminated line, which multiple worker
+// processes can interleave safely (whole lines, never bytes). Loading
+// sorts lines by shard index and drops duplicates, so the fold — always
+// in shard-index order from shard 0 — is bit-identical to the
+// uninterrupted single-process run no matter which workers wrote which
+// lines in which order.
 #pragma once
 
 #include <string>
@@ -22,7 +29,8 @@
 
 namespace samurai::campaign {
 
-/// Atomically replace `path` with `content` (temp file + rename).
+/// Atomically replace `path` with `content` (unique temp file + fsync +
+/// rename; safe under concurrent writers of the same path).
 /// Throws std::runtime_error on I/O failure.
 void write_file_atomic(const std::string& path, const std::string& content);
 
@@ -37,6 +45,10 @@ class Checkpoint {
   std::string manifest_path() const { return dir_ + "/manifest.json"; }
   std::string ledger_path() const { return dir_ + "/shards.jsonl"; }
   std::string state_path() const { return dir_ + "/state.json"; }
+  /// The coordinator's machine-readable endpoint (svc_* keys + results).
+  std::string status_path() const { return dir_ + "/status.json"; }
+  /// Per-shard lease files for the campaign service (service/lease.hpp).
+  std::string leases_dir() const { return dir_ + "/leases"; }
 
   /// Create the directory (parents included) and write the manifest.
   /// Throws std::runtime_error if a ledger already exists (an interrupted
@@ -47,12 +59,18 @@ class Checkpoint {
   bool has_ledger() const;
   Manifest load_manifest() const;  ///< throws if missing/invalid
 
-  /// Completed shards in ledger order (empty if no ledger yet). Throws on
-  /// a malformed line — a corrupt ledger must not silently truncate.
+  /// Completed shards sorted by index, duplicates dropped (first line
+  /// wins; re-runs of a reclaimed shard are bit-identical anyway, so a
+  /// duplicate can never change the fold). Lines that are not complete,
+  /// parseable shard records — a torn tail from a writer killed
+  /// mid-append, or a fenced-off fragment from a later append's repair —
+  /// are skipped with a warning on stderr, never silently folded; the
+  /// affected shard simply counts as not-yet-run and is executed again.
   std::vector<ShardResult> load_ledger() const;
 
-  /// Atomically rewrite the full ledger (small: one line per shard).
-  void store_ledger(const std::vector<ShardResult>& shards) const;
+  /// Append one completed shard to the ledger: a single durable O_APPEND
+  /// write, safe under concurrent appenders (other worker processes).
+  void append_ledger(const ShardResult& shard) const;
 
   void store_state(const std::string& state_json) const;
   std::string load_state() const;  ///< "" if absent

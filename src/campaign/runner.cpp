@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
@@ -87,41 +88,48 @@ void report_progress(std::ostream* out, const CampaignResult& result) {
 /// Shared engine: fold the existing ledger shard by shard (re-applying the
 /// stopping rule so a resumed campaign stops exactly where the
 /// uninterrupted one would have), then optionally execute further shards.
+/// Ledger entries beyond a gap (a distributed campaign whose workers
+/// completed shards out of order) are folded in place when the fold
+/// reaches their index — never re-executed, never double-folded.
 CampaignResult drive(const Manifest& manifest, const RunOptions& options,
-                     Checkpoint* checkpoint, std::vector<ShardResult> ledger,
-                     bool execute) {
-  CampaignResult result;
-  result.manifest = manifest;
+                     Checkpoint* checkpoint,
+                     const std::vector<ShardResult>& ledger, bool execute) {
+  CampaignResult result = fold_ledger(manifest, ledger);
 
+  // Completed shards the prefix fold could not reach (beyond a gap).
+  std::map<std::uint64_t, ShardResult> completed_ahead;
   for (const auto& shard : ledger) {
-    fold(result, shard);
-    refresh_estimate(result);
-    if (should_stop(result)) {
-      result.stopped_early = true;
-      break;
-    }
+    if (shard.index >= result.shards_done) completed_ahead.emplace(shard.index, shard);
   }
 
   std::uint64_t executed = 0;
   while (execute && !result.stopped_early &&
          result.shards_done < manifest.shard_count()) {
-    if (options.max_shards_this_run != 0 &&
-        executed >= options.max_shards_this_run) {
-      break;  // simulated kill / per-invocation budget
+    ShardResult shard;
+    bool ran = false;
+    const auto ahead = completed_ahead.find(result.shards_done);
+    if (ahead != completed_ahead.end()) {
+      shard = ahead->second;  // gap closed: fold the stored result
+    } else {
+      if (options.max_shards_this_run != 0 &&
+          executed >= options.max_shards_this_run) {
+        break;  // simulated kill / per-invocation budget
+      }
+      shard = run_shard(manifest, shard_spec(manifest, result.shards_done));
+      ran = true;
+      ++executed;
     }
-    const ShardResult shard =
-        run_shard(manifest, shard_spec(manifest, result.shards_done));
-    ledger.push_back(shard);
     fold(result, shard);
     refresh_estimate(result);
     if (should_stop(result)) result.stopped_early = true;
     finalise(result);
-    if (checkpoint) {
-      checkpoint->store_ledger(ledger);
-      checkpoint->store_state(result.to_json());
+    if (ran) {
+      if (checkpoint) {
+        checkpoint->append_ledger(shard);
+        checkpoint->store_state(result.to_json());
+      }
+      report_progress(options.progress, result);
     }
-    report_progress(options.progress, result);
-    ++executed;
   }
 
   refresh_estimate(result);
@@ -134,8 +142,31 @@ CampaignResult drive(const Manifest& manifest, const RunOptions& options,
 
 }  // namespace
 
+CampaignResult fold_ledger(const Manifest& manifest,
+                           const std::vector<ShardResult>& ledger) {
+  CampaignResult result;
+  result.manifest = manifest;
+  for (const auto& shard : ledger) {
+    if (shard.index != result.shards_done) break;  // contiguous prefix only
+    fold(result, shard);
+    refresh_estimate(result);
+    if (should_stop(result)) {
+      result.stopped_early = true;
+      break;
+    }
+  }
+  refresh_estimate(result);
+  finalise(result);
+  return result;
+}
+
 std::string CampaignResult::to_json() const {
   JsonWriter json;
+  write_fields(json);
+  return json.str();
+}
+
+void CampaignResult::write_fields(JsonWriter& json) const {
   json.add("kind", to_string(manifest.kind));
   json.add("name", manifest.name);
   json.add("status", stopped_early ? "stopped_early"
@@ -179,7 +210,6 @@ std::string CampaignResult::to_json() const {
   json.add("rtn_envelope_integral", rtn.envelope_integral);
   json.add("rtn_fixed_bound_integral", rtn.fixed_bound_integral);
   json.add("rtn_envelope_efficiency", rtn.envelope_efficiency());
-  return json.str();
 }
 
 CampaignResult run_campaign(const Manifest& manifest,
@@ -207,10 +237,7 @@ CampaignResult resume_campaign(const RunOptions& options) {
 CampaignResult campaign_status(const std::string& dir) {
   Checkpoint checkpoint(dir);
   const Manifest manifest = checkpoint.load_manifest();
-  RunOptions options;
-  options.dir = dir;
-  return drive(manifest, options, nullptr, checkpoint.load_ledger(),
-               /*execute=*/false);
+  return fold_ledger(manifest, checkpoint.load_ledger());
 }
 
 }  // namespace samurai::campaign

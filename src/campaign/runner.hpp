@@ -15,11 +15,15 @@
 #include <iosfwd>
 #include <string>
 
+#include <vector>
+
 #include "campaign/accumulator.hpp"
 #include "campaign/manifest.hpp"
 #include "campaign/shard.hpp"
 
 namespace samurai::campaign {
+
+class JsonWriter;
 
 struct RunOptions {
   /// Checkpoint directory; empty = run in memory (no resume possible).
@@ -59,7 +63,20 @@ struct CampaignResult {
 
   /// state.json payload / machine-readable summary line.
   std::string to_json() const;
+  /// The same fields appended to a caller-owned writer, so composed
+  /// documents (the service's status.json) can extend rather than wrap.
+  void write_fields(JsonWriter& json) const;
 };
+
+/// Fold `ledger` (as returned by Checkpoint::load_ledger: index-sorted,
+/// deduplicated) without executing anything. Folds the *contiguous* shard
+/// prefix from shard 0 — never past a gap left by a still-running or dead
+/// worker — re-applying the sequential stopping rule at each shard, so
+/// the estimate, CI and stopping decision are bit-identical to the
+/// single-process run over the same prefix regardless of which workers
+/// appended which lines in which order.
+CampaignResult fold_ledger(const Manifest& manifest,
+                           const std::vector<ShardResult>& ledger);
 
 /// Run `manifest` from scratch. With a checkpoint dir the manifest is
 /// persisted and every shard is journalled; an existing ledger in the dir

@@ -1,0 +1,186 @@
+#include "campaign/service/lease.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/json.hpp"
+#include "util/fs.hpp"
+
+namespace samurai::campaign {
+
+namespace {
+
+/// Best-effort whole-file read: "" if the file vanished mid-read (a
+/// release or steal racing us), which every caller treats as "not held".
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+std::string Lease::to_json() const {
+  JsonWriter json;
+  json.add_u64("shard", shard);
+  json.add("worker", worker);
+  json.add("token", token);
+  json.add_u64("heartbeats", heartbeats);
+  json.add("claimed_unix", claimed_unix);
+  return json.str();
+}
+
+Lease Lease::from_json(const std::string& text) {
+  const JsonObject json = JsonObject::parse(text);
+  if (!json.has("token") || !json.has("worker")) {
+    throw std::runtime_error("lease: missing ownership fields");
+  }
+  Lease lease;
+  lease.shard = json.get_u64("shard", 0);
+  lease.worker = json.get_string("worker", "");
+  lease.token = json.get_string("token", "");
+  lease.heartbeats = json.get_u64("heartbeats", 0);
+  lease.claimed_unix = json.get_double("claimed_unix", 0.0);
+  return lease;
+}
+
+LeaseDir::LeaseDir(std::string campaign_dir, double ttl_seconds)
+    : dir_(std::move(campaign_dir) + "/leases"), ttl_(ttl_seconds) {
+  if (!(ttl_ > 0.0)) {
+    throw std::invalid_argument("lease: ttl must be positive");
+  }
+  std::filesystem::create_directories(dir_);
+}
+
+std::string LeaseDir::path_for(std::uint64_t shard) const {
+  char leaf[40];
+  std::snprintf(leaf, sizeof leaf, "/shard-%08llu.lease",
+                static_cast<unsigned long long>(shard));
+  return dir_ + leaf;
+}
+
+bool LeaseDir::expired_by_age(const std::string& path) const {
+  try {
+    return util::file_age_seconds(path) > ttl_;
+  } catch (const std::exception&) {
+    return false;  // vanished: not expired, just gone
+  }
+}
+
+bool LeaseDir::steal(const std::string& path) {
+  // Rename-to-tombstone: of N processes that saw the lease expire, the
+  // rename succeeds for exactly one; the losers see ENOENT and go back
+  // to racing the O_EXCL create. The tombstone suffix keeps stolen files
+  // out of observe()'s "*.lease" namespace until the unlink lands.
+  const std::string tomb =
+      path + ".dead." + util::process_token() + "." + std::to_string(claims_);
+  if (::rename(path.c_str(), tomb.c_str()) == 0) {
+    ::unlink(tomb.c_str());
+    ++reclaimed_;
+    return true;
+  }
+  return errno == ENOENT;  // someone else stole (or released) it first
+}
+
+std::optional<Lease> LeaseDir::try_claim(std::uint64_t shard,
+                                         const std::string& worker_id) {
+  const std::string path = path_for(shard);
+  // Two rounds: a fresh claim, and — after stealing an expired lease —
+  // one retry. Losing both rounds means a live competitor holds it now.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Lease lease;
+    lease.shard = shard;
+    lease.worker = worker_id;
+    lease.token =
+        util::process_token() + "." + std::to_string(++claims_);
+    lease.heartbeats = 0;
+    lease.claimed_unix = util::unix_now_seconds();
+    if (util::create_file_exclusive(path, lease.to_json() + "\n")) {
+      return lease;
+    }
+    if (!expired_by_age(path)) return std::nullopt;  // live holder
+    if (!steal(path)) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool LeaseDir::renew(Lease& lease) {
+  const std::string path = path_for(lease.shard);
+  Lease current;
+  try {
+    current = Lease::from_json(slurp(path));
+  } catch (const std::exception&) {
+    return false;  // vanished or torn: treat as stolen
+  }
+  if (current.token != lease.token) return false;  // stolen for real
+  ++lease.heartbeats;
+  // The replace both persists the bumped counter and refreshes the mtime
+  // that expiry judgements read. A steal landing between the ownership
+  // check above and this rename is lost to the thief's O_EXCL create —
+  // the rename simply reinstates our lease and the thief's next renew
+  // fails the token check; the shard runs twice and the fold dedupes.
+  util::replace_file_durable(path, lease.to_json() + "\n");
+  return true;
+}
+
+void LeaseDir::release(const Lease& lease) {
+  const std::string path = path_for(lease.shard);
+  try {
+    if (Lease::from_json(slurp(path)).token != lease.token) return;
+  } catch (const std::exception&) {
+    return;  // vanished or torn: nothing of ours to release
+  }
+  ::unlink(path.c_str());
+}
+
+std::size_t LeaseDir::reclaim_expired() {
+  std::size_t reaped = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string path = entry.path().string();
+    const std::string name = entry.path().filename().string();
+    const bool is_lease = name.size() > 6 &&
+                          name.compare(name.size() - 6, 6, ".lease") == 0;
+    if (is_lease) {
+      if (expired_by_age(path) && steal(path)) ++reaped;
+    } else if (name.find(".lease.dead.") != std::string::npos &&
+               expired_by_age(path)) {
+      // Tombstone from a stealer that crashed between rename and unlink.
+      ::unlink(path.c_str());
+    }
+  }
+  return reaped;
+}
+
+std::vector<LeaseDir::Observed> LeaseDir::observe() const {
+  std::vector<Observed> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= 6 || name.compare(name.size() - 6, 6, ".lease") != 0) {
+      continue;
+    }
+    const std::string path = entry.path().string();
+    Observed observed;
+    try {
+      observed.lease = Lease::from_json(slurp(path));
+      observed.age_seconds = util::file_age_seconds(path);
+    } catch (const std::exception&) {
+      continue;  // claim in flight or torn crash; ttl resolves it
+    }
+    observed.expired = observed.age_seconds > ttl_;
+    out.push_back(std::move(observed));
+  }
+  return out;
+}
+
+}  // namespace samurai::campaign

@@ -1,0 +1,98 @@
+// Shard leases: cooperative mutual exclusion over shared storage.
+//
+// The campaign service coordinates elastic worker processes — possibly on
+// different hosts — through nothing but files in the campaign directory.
+// A worker that wants to run shard i claims `leases/shard-<i>.lease` via
+// an O_CREAT|O_EXCL create (exactly one of N racing claimers wins), then
+// renews it periodically while the shard runs; the lease file carries the
+// worker id, a per-claim ownership token and a monotonic heartbeat
+// counter. A lease whose file has not been touched for `ttl` seconds —
+// judged by the *filesystem's* mtime clock, the one clock every
+// participant on shared storage agrees on — is expired: any process may
+// steal it by renaming the file to a unique tombstone (again exactly one
+// racer wins the rename) and re-claiming.
+//
+// Leases are an *efficiency* mechanism, not a correctness one: if a
+// stalled worker outlives its ttl and its shard is re-run, both runs are
+// bit-identical (sample n depends only on (manifest, n)) and the ledger
+// fold deduplicates by shard index, so the worst outcome of any lease
+// race is wasted work. The crash matrix lives in DESIGN.md §14.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace samurai::campaign {
+
+/// One parsed lease file.
+struct Lease {
+  std::uint64_t shard = 0;
+  std::string worker;            ///< claiming worker's id
+  std::string token;             ///< per-claim unique id; ownership proof
+  std::uint64_t heartbeats = 0;  ///< monotonic renewal counter
+  double claimed_unix = 0.0;     ///< wall-clock claim time (informational —
+                                 ///< expiry uses file mtime, never this)
+
+  std::string to_json() const;
+  static Lease from_json(const std::string& text);  ///< throws
+};
+
+/// The `leases/` directory of one campaign, with a fixed ttl.
+class LeaseDir {
+ public:
+  /// `campaign_dir` is the checkpoint directory; the leases/ subdirectory
+  /// is created on first use. `ttl_seconds` must be positive.
+  LeaseDir(std::string campaign_dir, double ttl_seconds);
+
+  double ttl() const noexcept { return ttl_; }
+  std::string dir() const { return dir_; }
+  std::string path_for(std::uint64_t shard) const;
+
+  /// Claim the lease for `shard`: returns the held lease, or nullopt if a
+  /// live (unexpired) holder exists. An expired lease is stolen first —
+  /// rename-to-tombstone, so exactly one of N racing stealers proceeds.
+  std::optional<Lease> try_claim(std::uint64_t shard,
+                                 const std::string& worker_id);
+
+  /// Heartbeat: rewrite the lease with a bumped counter, refreshing its
+  /// mtime. Returns false — and leaves the file alone — if the lease was
+  /// stolen (the file no longer carries our token); the caller's shard
+  /// run is then presumed duplicated and its lease lost.
+  bool renew(Lease& lease);
+
+  /// Release after a completed shard: unlink iff still the owner.
+  void release(const Lease& lease);
+
+  /// Reap every expired lease file (and stale tombstones left by crashed
+  /// stealers). Returns how many were reclaimed. The coordinator calls
+  /// this each tick; claimants reclaim their own target shards inline.
+  std::size_t reclaim_expired();
+
+  /// One observed lease file: parsed content plus filesystem age.
+  struct Observed {
+    Lease lease;
+    double age_seconds = 0.0;
+    bool expired = false;
+  };
+  /// Snapshot of all current lease files (unparsable ones skipped:
+  /// either a claim in flight or a torn crash, both resolved by ttl).
+  std::vector<Observed> observe() const;
+
+  /// Cumulative count of expired leases this object has reclaimed.
+  std::uint64_t reclaimed() const noexcept { return reclaimed_; }
+
+ private:
+  bool expired_by_age(const std::string& path) const;
+  /// Steal an expired lease file. True if we won the steal (or the file
+  /// vanished on its own); false only on an unexpected I/O error.
+  bool steal(const std::string& path);
+
+  std::string dir_;
+  double ttl_;
+  std::uint64_t reclaimed_ = 0;
+  std::uint64_t claims_ = 0;  ///< per-object token uniquifier
+};
+
+}  // namespace samurai::campaign

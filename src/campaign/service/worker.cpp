@@ -1,0 +1,202 @@
+#include "campaign/service/worker.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/json.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/service/lease.hpp"
+#include "util/fs.hpp"
+
+namespace samurai::campaign {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Renews `lease` every `period` seconds on a background thread while a
+/// shard runs on the caller's thread. Joined (never detached) so the
+/// lease file is quiescent before the caller releases it.
+class Heartbeat {
+ public:
+  Heartbeat(LeaseDir& leases, Lease& lease, double period)
+      : leases_(leases), lease_(lease) {
+    thread_ = std::thread([this, period] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      const auto tick = std::chrono::duration<double>(period);
+      while (!cv_.wait_for(lock, tick, [this] { return stop_; })) {
+        lock.unlock();
+        bool renewed = false;
+        try {
+          renewed = leases_.renew(lease_);
+        } catch (const std::exception&) {
+          renewed = false;  // transient I/O failure: retry next tick
+        }
+        lock.lock();
+        if (!renewed) {
+          lost_ = true;
+          return;  // stolen: stop touching a file that is no longer ours
+        }
+      }
+    });
+  }
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+  ~Heartbeat() { stop(); }
+
+  /// Stop renewing and join. Returns true if the lease was lost.
+  bool stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    return lost_;
+  }
+
+ private:
+  LeaseDir& leases_;
+  Lease& lease_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool lost_ = false;  // written by the thread, read after join
+};
+
+}  // namespace
+
+void WorkerOptions::validate() const {
+  if (dir.empty()) {
+    throw std::invalid_argument("worker: campaign --dir is required");
+  }
+  if (!(lease_ttl > 0.0)) {
+    throw std::invalid_argument("worker: --lease-ttl must be positive");
+  }
+  if (!(poll_seconds > 0.0)) {
+    throw std::invalid_argument("worker: --poll must be positive");
+  }
+  for (char ch : worker_id) {
+    // The id is embedded in flat-JSON lease files and ledger lines; keep
+    // it printable and free of the writer's escape/separator characters.
+    if (ch == '"' || ch == '\\' || ch == '/' ||
+        static_cast<unsigned char>(ch) < 0x21) {
+      throw std::invalid_argument(
+          "worker: --worker-id must be printable without spaces, quotes, "
+          "backslashes or slashes");
+    }
+  }
+}
+
+std::string WorkerReport::to_json() const {
+  JsonWriter json;
+  json.add("worker", worker_id);
+  json.add_u64("svc_shards_run", shards_run);
+  json.add_u64("svc_samples_run", samples_run);
+  json.add_u64("svc_leases_lost", leases_lost);
+  json.add_u64("svc_leases_reclaimed", leases_reclaimed);
+  json.add("svc_campaign_complete", campaign_complete);
+  json.add("svc_timed_out", timed_out);
+  json.add("wall_seconds", wall_seconds);
+  return json.str();
+}
+
+WorkerReport run_worker(const WorkerOptions& options_in) {
+  WorkerOptions options = options_in;
+  if (options.worker_id.empty()) {
+    options.worker_id = util::default_worker_id();
+  }
+  options.validate();
+
+  const Checkpoint checkpoint(options.dir);
+  const Manifest manifest = checkpoint.load_manifest();
+  manifest.validate();
+  LeaseDir leases(options.dir, options.lease_ttl);
+
+  const auto started = Clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - started).count();
+  };
+
+  WorkerReport report;
+  report.worker_id = options.worker_id;
+
+  for (;;) {
+    if (options.max_wall_seconds > 0.0 &&
+        elapsed() > options.max_wall_seconds) {
+      report.timed_out = true;
+      break;
+    }
+
+    const auto ledger = checkpoint.load_ledger();
+    const CampaignResult folded = fold_ledger(manifest, ledger);
+    if (folded.complete) {
+      report.campaign_complete = true;
+      break;
+    }
+    if (options.max_shards != 0 && report.shards_run >= options.max_shards) {
+      break;
+    }
+
+    std::unordered_set<std::uint64_t> done;
+    done.reserve(ledger.size());
+    for (const auto& shard : ledger) done.insert(shard.index);
+
+    // Lowest-index-first keeps the contiguous prefix growing, which is
+    // what advances the stopping rule; it also means gaps left by dead
+    // workers are the first thing a live worker goes after.
+    bool claimed = false;
+    for (std::uint64_t i = 0; i < manifest.shard_count(); ++i) {
+      if (done.count(i) != 0) continue;
+      auto lease = leases.try_claim(i, options.worker_id);
+      if (!lease) continue;
+      claimed = true;
+
+      ShardResult shard;
+      {
+        Heartbeat heartbeat(leases, *lease, options.lease_ttl / 3.0);
+        shard = run_shard(manifest, shard_spec(manifest, i));
+        shard.worker = options.worker_id;
+        if (heartbeat.stop()) {
+          // Presumed dead and our shard re-assigned. Our result is
+          // bit-identical to the thief's, so append it anyway — the fold
+          // dedupes — but leave the thief's lease file alone.
+          ++report.leases_lost;
+          lease.reset();
+        }
+      }
+      checkpoint.append_ledger(shard);
+      if (lease) leases.release(*lease);
+      ++report.shards_run;
+      report.samples_run += shard.samples;
+      if (options.progress) {
+        *options.progress << "[worker " << options.worker_id << "] shard "
+                          << shard.index << " done (" << shard.samples
+                          << " samples, " << shard.wall_seconds << " s)\n";
+      }
+      break;  // re-read the ledger before choosing the next shard
+    }
+
+    if (!claimed) {
+      // Everything open is leased to live workers (or the directory just
+      // changed under us): wait and re-scan.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.poll_seconds));
+    }
+  }
+
+  report.leases_reclaimed = leases.reclaimed();
+  report.wall_seconds = elapsed();
+  return report;
+}
+
+}  // namespace samurai::campaign

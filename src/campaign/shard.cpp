@@ -194,6 +194,9 @@ std::string ShardResult::to_json() const {
   JsonWriter json;
   json.add_u64("shard", index);
   json.add_u64("samples", samples);
+  // Only service workers stamp an identity; single-process ledger lines
+  // stay byte-identical to the pre-service format.
+  if (!worker.empty()) json.add("worker", worker);
   json.add_u64("w_count", weighted.count);
   json.add_u64("w_failures", weighted.failures);
   json.add("w_sum", weighted.weight_sum);
@@ -240,6 +243,7 @@ ShardResult ShardResult::from_json(const std::string& line) {
   ShardResult result;
   result.index = json.get_u64("shard", 0);
   result.samples = json.get_u64("samples", 0);
+  result.worker = json.get_string("worker", "");
   result.weighted.count = json.get_u64("w_count", 0);
   result.weighted.failures = json.get_u64("w_failures", 0);
   result.weighted.weight_sum = json.get_double("w_sum", 0.0);

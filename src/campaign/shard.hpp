@@ -39,6 +39,10 @@ ShardSpec shard_spec(const Manifest& manifest, std::uint64_t shard_index);
 struct ShardResult {
   std::uint64_t index = 0;
   std::uint64_t samples = 0;
+  /// Campaign-service worker that ran the shard ("" for single-process
+  /// runs; the coordinator's per-worker throughput view groups by this).
+  /// Attribution only — never estimator state.
+  std::string worker;
   WeightedFailure weighted;  ///< importance: LR-weighted failures
   Binomial fails;          ///< primary Bernoulli (array: RTN-only errors;
                            ///< vmin: replicas with no RTN V_min in range)

@@ -62,6 +62,17 @@ long long Cli::get_count(const std::string& name, long long fallback) const {
   return value;
 }
 
+double Cli::get_positive_double(const std::string& name,
+                                double fallback) const {
+  const double value = get_double(name, fallback);
+  if (!(value > 0.0)) {  // rejects zero, negatives and NaN alike
+    throw std::invalid_argument("option --" + name +
+                                " expects a positive number, got " +
+                                std::to_string(value));
+  }
+  return value;
+}
+
 std::uint64_t Cli::get_seed(const std::string& name, std::uint64_t fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;

@@ -22,6 +22,10 @@ class Cli {
   /// get_int, but for repetition counts: values < 1 are rejected with a
   /// clear error instead of silently producing an empty (or garbage) run.
   long long get_count(const std::string& name, long long fallback) const;
+  /// get_double, but for durations/intervals that must be > 0 (lease TTLs,
+  /// poll periods): zero, negative or non-finite values are rejected with
+  /// a clear error instead of silently disabling the mechanism.
+  double get_positive_double(const std::string& name, double fallback) const;
   std::uint64_t get_seed(const std::string& name, std::uint64_t fallback) const;
 
   /// Positional (non `--`) arguments in order.

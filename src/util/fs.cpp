@@ -1,0 +1,183 @@
+#include "util/fs.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+namespace samurai::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("fs: " + what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+/// RAII fd so every error path closes.
+class Fd {
+ public:
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const noexcept { return fd_; }
+  /// Close now, reporting the error (a deferred write can fail at close).
+  bool close_checked() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return ::close(fd) == 0;
+  }
+
+ private:
+  int fd_;
+};
+
+void write_all(int fd, const std::string& content, const std::string& path) {
+  std::size_t done = 0;
+  while (done < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + done, content.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("cannot write", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+/// fsync the directory containing `path` so the rename/create itself is
+/// durable, not just the file contents. Best-effort: some filesystems
+/// refuse O_RDONLY directory fsync; a crash then only loses the very
+/// last directory operation, which every caller already tolerates.
+void sync_parent_dir(const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+const std::string& process_token() {
+  static const std::string token = [] {
+    std::random_device entropy;
+    std::uint64_t salt = (static_cast<std::uint64_t>(entropy()) << 32) ^
+                         entropy();
+    return std::to_string(::getpid()) + "-" + std::to_string(salt);
+  }();
+  return token;
+}
+
+std::string default_worker_id() {
+  char host[256] = "localhost";
+  if (::gethostname(host, sizeof host - 1) != 0) {
+    std::strcpy(host, "localhost");
+  }
+  host[sizeof host - 1] = '\0';
+  return std::string(host) + ":" + std::to_string(::getpid());
+}
+
+void replace_file_durable(const std::string& path,
+                          const std::string& content) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + process_token() + "." +
+                          std::to_string(counter.fetch_add(1));
+  {
+    Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644));
+    if (fd.get() < 0) fail("cannot open", tmp);
+    write_all(fd.get(), content, tmp);
+    if (::fsync(fd.get()) != 0 || !fd.close_checked()) {
+      ::unlink(tmp.c_str());
+      fail("cannot fsync", tmp);
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail("cannot rename " + tmp + " over", path);
+  }
+  sync_parent_dir(path);
+}
+
+bool create_file_exclusive(const std::string& path,
+                           const std::string& content) {
+  Fd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644));
+  if (fd.get() < 0) {
+    if (errno == EEXIST) return false;
+    fail("cannot create", path);
+  }
+  write_all(fd.get(), content, path);
+  if (::fsync(fd.get()) != 0 || !fd.close_checked()) {
+    fail("cannot fsync", path);
+  }
+  sync_parent_dir(path);
+  return true;
+}
+
+void append_line_durable(const std::string& path, const std::string& line) {
+  // O_RDWR, not O_WRONLY: the torn-tail probe below preads the final byte,
+  // which a write-only descriptor refuses (EBADF).
+  Fd fd(::open(path.c_str(), O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC, 0644));
+  if (fd.get() < 0) fail("cannot open for append", path);
+
+  // Heal a torn tail left by a writer that died mid-append: only a dead
+  // process can leave one (live appenders write whole lines in one
+  // write(2)), so a non-'\n' final byte is stable and safe to fence off.
+  bool needs_fence = false;
+  struct ::stat st {};
+  if (::fstat(fd.get(), &st) == 0 && st.st_size > 0) {
+    char last = '\n';
+    if (::pread(fd.get(), &last, 1, st.st_size - 1) == 1 && last != '\n') {
+      needs_fence = true;
+    }
+  }
+
+  std::string record;
+  record.reserve(line.size() + 2);
+  if (needs_fence) record.push_back('\n');
+  record += line;
+  if (record.empty() || record.back() != '\n') record.push_back('\n');
+
+  // One write(2): O_APPEND makes the seek+write atomic, so concurrent
+  // appenders (other worker processes) can never interleave inside it.
+  const ::ssize_t n = ::write(fd.get(), record.data(), record.size());
+  if (n < 0 || static_cast<std::size_t>(n) != record.size()) {
+    fail("short append to", path);
+  }
+  if (::fsync(fd.get()) != 0 || !fd.close_checked()) {
+    fail("cannot fsync", path);
+  }
+}
+
+double file_age_seconds(const std::string& path) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) {
+    throw std::runtime_error("fs: cannot stat " + path + ": " + ec.message());
+  }
+  const auto age = std::filesystem::file_time_type::clock::now() - mtime;
+  return std::chrono::duration<double>(age).count();
+}
+
+double unix_now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace samurai::util

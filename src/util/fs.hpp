@@ -1,0 +1,65 @@
+// Durable file primitives for multi-process coordination on shared storage.
+//
+// The campaign service (DESIGN.md §14) coordinates elastic worker
+// processes purely through files in one directory, which makes three
+// primitives load-bearing:
+//   * `replace_file_durable` — unique-temp + flush + fsync + atomic
+//     rename. The temp name embeds a per-process token and a per-call
+//     counter, so any number of processes can replace the same path
+//     concurrently and a reader always sees one writer's complete
+//     content (a fixed ".tmp" suffix lets two writers rename each
+//     other's partial file).
+//   * `create_file_exclusive` — O_CREAT|O_EXCL claim: exactly one of N
+//     racing processes wins. This is the primitive a lease acquisition
+//     reduces to.
+//   * `append_line_durable` — one O_APPEND write(2) of a whole
+//     newline-terminated record, then fsync. POSIX serialises O_APPEND
+//     writes, so concurrent appenders interleave whole lines, never
+//     bytes; a crash mid-write leaves at most one unterminated tail,
+//     which the next append heals by prefixing its own newline.
+#pragma once
+
+#include <string>
+
+namespace samurai::util {
+
+/// Token unique to this process instance ("<pid>-<random>"), stable for
+/// the process lifetime. Building block for collision-free temp names and
+/// lease-ownership tokens across hosts sharing one filesystem.
+const std::string& process_token();
+
+/// "<hostname>:<pid>" — the default worker identity for the campaign
+/// service's lease files and ledger attribution.
+std::string default_worker_id();
+
+/// Atomically replace `path` with `content`: write a unique temp file
+/// next to it, flush + fsync, then rename over `path`. Safe against
+/// concurrent replacers (each uses its own temp; rename is atomic).
+/// Throws std::runtime_error on I/O failure.
+void replace_file_durable(const std::string& path, const std::string& content);
+
+/// Create `path` with `content` iff it does not already exist
+/// (O_CREAT|O_EXCL) and fsync it. Returns false if the path exists;
+/// throws std::runtime_error on any other I/O failure.
+bool create_file_exclusive(const std::string& path,
+                           const std::string& content);
+
+/// Append `line` to `path` (created if absent) as a single O_APPEND
+/// write(2) followed by fsync; a '\n' terminator is added if missing.
+/// If the file currently ends in an unterminated tail (a writer died
+/// mid-append), a leading '\n' is prepended so the torn fragment becomes
+/// an isolated malformed line instead of corrupting this record.
+/// Throws std::runtime_error on I/O failure.
+void append_line_durable(const std::string& path, const std::string& line);
+
+/// Seconds since `path` was last modified, judged by the *filesystem's*
+/// clock (on shared storage that is the one clock every participant
+/// agrees on). Negative if the mtime is in the observer's future (skew).
+/// Throws std::runtime_error if the file cannot be statted.
+double file_age_seconds(const std::string& path);
+
+/// Wall-clock seconds since the Unix epoch (informational timestamps in
+/// lease files; expiry decisions use `file_age_seconds` instead).
+double unix_now_seconds();
+
+}  // namespace samurai::util

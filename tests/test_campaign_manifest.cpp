@@ -10,6 +10,7 @@
 
 #include "campaign/checkpoint.hpp"
 #include "campaign/json.hpp"
+#include "campaign/runner.hpp"
 #include "campaign/shard.hpp"
 
 namespace samurai::campaign {
@@ -197,15 +198,31 @@ TEST_F(CampaignCheckpointFiles, AtomicWriteLeavesNoTempFile) {
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
 
-TEST_F(CampaignCheckpointFiles, LedgerRejectsOutOfOrderShards) {
+TEST_F(CampaignCheckpointFiles, LedgerToleratesOutOfOrderAppends) {
+  // Worker processes append in completion order; load sorts by index and
+  // the fold stops at the gap (shard 1's worker died before appending).
   Checkpoint checkpoint(dir_);
   Manifest manifest;
+  manifest.budget = 30;
+  manifest.shard_size = 10;
   checkpoint.init(manifest);
   ShardResult first, third;
   first.index = 0;
-  third.index = 2;  // gap: shard 1 missing
-  checkpoint.store_ledger({first, third});
-  EXPECT_THROW(checkpoint.load_ledger(), std::runtime_error);
+  first.samples = 10;
+  first.fails = {10, 1};
+  third.index = 2;
+  third.samples = 10;
+  third.fails = {10, 2};
+  checkpoint.append_ledger(third);
+  checkpoint.append_ledger(first);
+  const auto ledger = checkpoint.load_ledger();
+  ASSERT_EQ(ledger.size(), 2u);
+  EXPECT_EQ(ledger[0].index, 0u);
+  EXPECT_EQ(ledger[1].index, 2u);
+  const CampaignResult folded = fold_ledger(manifest, ledger);
+  EXPECT_EQ(folded.shards_done, 1u);
+  EXPECT_EQ(folded.samples_done, 10u);
+  EXPECT_FALSE(folded.complete);
 }
 
 TEST_F(CampaignCheckpointFiles, InitRefusesToClobberALedger) {
@@ -213,7 +230,9 @@ TEST_F(CampaignCheckpointFiles, InitRefusesToClobberALedger) {
   Manifest manifest;
   checkpoint.init(manifest);
   ShardResult shard;
-  checkpoint.store_ledger({shard});
+  shard.samples = 10;
+  shard.fails = {10, 1};
+  checkpoint.append_ledger(shard);
   EXPECT_THROW(checkpoint.init(manifest), std::runtime_error);
 }
 
