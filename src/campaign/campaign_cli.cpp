@@ -11,7 +11,10 @@
 // (--kind importance|array-yield|vmin, --samples, --shard, --batch,
 // --seed, --threads, --target-rhw, --min-samples, --node, --vdd, --bits,
 // --scale, --sigma-vt, --shift, --rtn-seeds, --v-lo, --v-hi,
-// --resolution, --nominal-only, --slow-as-fail, --name). --batch K > 1
+// --resolution, --nominal-only, --slow-as-fail, --name, --rows, --cols,
+// --activity off|elide|schur). --rows/--cols pin the array-yield cell
+// population to an R×C footprint; non-positive values and unknown
+// activity modes are rejected with usage (exit 2). --batch K > 1
 // runs nominal-only importance samples through the lock-step batched
 // transient engine, K lanes at a time (requires --nominal-only). Without --dir the campaign runs
 // in memory (no checkpoint, no resume). Every subcommand ends with one
@@ -42,7 +45,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: samurai_campaign run    --dir DIR [--manifest FILE | "
-               "--kind importance|array-yield|vmin --samples N --shard S ...]\n"
+               "--kind importance|array-yield|vmin --samples N --shard S\n"
+               "                               [--rows R --cols C] "
+               "[--activity off|elide|schur] ...]\n"
                "       samurai_campaign resume --dir DIR [--max-shards K]\n"
                "       samurai_campaign status --dir DIR\n"
                "       samurai_campaign init   --dir DIR [--manifest FILE | "
@@ -91,6 +96,16 @@ campaign::Manifest manifest_from_flags(const util::Cli& cli) {
   manifest.resolution = cli.get_double("resolution", manifest.resolution);
   manifest.rtn_seeds =
       static_cast<std::uint64_t>(cli.get_int("rtn-seeds", 1));
+  // --rows/--cols pin the array-yield cell population to an R×C footprint;
+  // get_count rejects non-positive values loudly. --activity is validated
+  // by Manifest::validate() (off | elide | schur).
+  if (cli.has("rows")) {
+    manifest.rows = static_cast<std::uint64_t>(cli.get_count("rows", 1));
+  }
+  if (cli.has("cols")) {
+    manifest.cols = static_cast<std::uint64_t>(cli.get_count("cols", 1));
+  }
+  manifest.activity = cli.get_string("activity", manifest.activity);
   return manifest;
 }
 
@@ -139,13 +154,18 @@ int main(int argc, char** argv) {
 
     if (command == "run") {
       campaign::Manifest manifest;
-      if (cli.has("manifest")) {
-        manifest = campaign::Manifest::from_json(
-            campaign::read_file(cli.get_string("manifest", "")));
-      } else {
-        manifest = manifest_from_flags(cli);
+      try {
+        if (cli.has("manifest")) {
+          manifest = campaign::Manifest::from_json(
+              campaign::read_file(cli.get_string("manifest", "")));
+        } else {
+          manifest = manifest_from_flags(cli);
+        }
+        manifest.validate();
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "samurai_campaign: %s\n", error.what());
+        return usage();
       }
-      manifest.validate();
       if (dir.empty()) {
         std::fprintf(stderr, "samurai_campaign: no --dir given; running "
                              "without checkpoints (resume unavailable)\n");
@@ -166,13 +186,18 @@ int main(int argc, char** argv) {
     if (command == "init") {
       if (dir.empty()) return usage();
       campaign::Manifest manifest;
-      if (cli.has("manifest")) {
-        manifest = campaign::Manifest::from_json(
-            campaign::read_file(cli.get_string("manifest", "")));
-      } else {
-        manifest = manifest_from_flags(cli);
+      try {
+        if (cli.has("manifest")) {
+          manifest = campaign::Manifest::from_json(
+              campaign::read_file(cli.get_string("manifest", "")));
+        } else {
+          manifest = manifest_from_flags(cli);
+        }
+        manifest.validate();
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "samurai_campaign: %s\n", error.what());
+        return usage();
       }
-      manifest.validate();
       campaign::Checkpoint(dir).init(manifest);
       std::printf("%s\n", manifest.to_json().c_str());
       return 0;

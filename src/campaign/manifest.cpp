@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "campaign/json.hpp"
+#include "spice/analysis.hpp"
 
 namespace samurai::campaign {
 
@@ -59,6 +60,20 @@ void Manifest::validate() const {
       throw std::invalid_argument("manifest: rtn_seeds must be > 0");
     }
   }
+  if ((rows == 0) != (cols == 0)) {
+    throw std::invalid_argument(
+        "manifest: rows and cols must be set together");
+  }
+  if (rows > 0 && kind == CampaignKind::kArrayYield && budget > rows * cols) {
+    throw std::invalid_argument(
+        "manifest: budget exceeds the rows*cols cell population");
+  }
+  try {
+    (void)spice::activity_mode_from_string(activity);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("manifest: unknown activity mode '" +
+                                activity + "' (off | elide | schur)");
+  }
   bool any_bit = false;
   for (char ch : bits) any_bit |= (ch == '0' || ch == '1');
   if (!any_bit) throw std::invalid_argument("manifest: bits has no 0/1");
@@ -88,6 +103,9 @@ std::string Manifest::to_json() const {
   }
   json.add("count_slow_as_fail", count_slow_as_fail);
   json.add("with_rtn", with_rtn);
+  json.add_u64("rows", rows);
+  json.add_u64("cols", cols);
+  json.add("activity", activity);
   json.add("v_lo", v_lo);
   json.add("v_hi", v_hi);
   json.add("resolution", resolution);
@@ -124,6 +142,9 @@ Manifest Manifest::from_json(const std::string& text) {
   manifest.count_slow_as_fail =
       json.get_bool("count_slow_as_fail", manifest.count_slow_as_fail);
   manifest.with_rtn = json.get_bool("with_rtn", manifest.with_rtn);
+  manifest.rows = json.get_u64("rows", manifest.rows);
+  manifest.cols = json.get_u64("cols", manifest.cols);
+  manifest.activity = json.get_string("activity", manifest.activity);
   manifest.v_lo = json.get_double("v_lo", manifest.v_lo);
   manifest.v_hi = json.get_double("v_hi", manifest.v_hi);
   manifest.resolution = json.get_double("resolution", manifest.resolution);

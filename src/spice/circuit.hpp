@@ -76,6 +76,20 @@ class Device {
   /// their work across the kLinear/kNonlinear scopes instead.
   virtual bool is_linear() const noexcept { return false; }
 
+  /// Nodes of x that the device's kNonlinear load reads — the elision
+  /// contract for the activity-partitioned engine. A non-empty return
+  /// promises that, for this device:
+  ///  - the kNonlinear stamps (Jacobian values *and* residual
+  ///    contributions) are a pure function of x at exactly these indices
+  ///    — independent of time, a0/ci and any committed history — and
+  ///  - the kNonlinear residual writes touch only these indices, with at
+  ///    most one addition per index per load.
+  /// Under that promise the engine may replay a cached snapshot of the
+  /// stamps whenever x at these indices is unchanged (bit-identical at
+  /// tolerance 0). Ground (negative) entries are permitted and ignored.
+  /// The default empty span opts the device out of elision entirely.
+  virtual std::span<const int> nonlinear_inputs() const { return {}; }
+
   /// Record charge/current history after a step is accepted. `a0`/`ci`
   /// are the coefficients the *accepted* step was integrated with.
   virtual void commit(std::span<const double> x, double a0, double ci);

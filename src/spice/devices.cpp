@@ -135,7 +135,7 @@ void CurrentSource::load(const LoadContext& ctx) {
 }
 
 void CurrentSource::collect_breakpoints(std::vector<double>& breakpoints) const {
-  if (!waveform_.is_constant()) {
+  if (emit_breakpoints_ && !waveform_.is_constant()) {
     breakpoints.insert(breakpoints.end(), waveform_.times().begin(),
                        waveform_.times().end());
   }
@@ -162,7 +162,7 @@ void CallbackCurrentSource::load(const LoadContext& ctx) {
 Mosfet::Mosfet(std::string name, int drain, int gate, int source, int bulk,
                physics::MosDevice model)
     : Device(std::move(name)), d_(drain), g_(gate), s_(source), b_(bulk),
-      model_(std::move(model)) {
+      terminals_{drain, gate, source, bulk}, model_(std::move(model)) {
   const auto& geom = model_.geometry();
   const double c_gate = model_.tech().c_ox() * geom.width * geom.length;
   // Meyer-style constant split: half the gate capacitance to each of

@@ -3,6 +3,7 @@
 // capacitances).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <string>
 #include <vector>
@@ -75,10 +76,17 @@ class CurrentSource final : public Device {
   bool is_linear() const noexcept override { return true; }
   void collect_breakpoints(std::vector<double>& breakpoints) const override;
   void set_waveform(core::Pwl waveform) { waveform_ = std::move(waveform); }
+  /// An injected RTN stream carries thousands of trap-transition corners;
+  /// registering each as a grid breakpoint would make the step count scale
+  /// with the total transition count instead of the circuit's own timing.
+  /// Turning breakpoints off makes the source grid-sampled: its current is
+  /// evaluated at whatever step placement the rest of the circuit dictates.
+  void set_emit_breakpoints(bool emit) noexcept { emit_breakpoints_ = emit; }
 
  private:
   int p_, n_;
   core::Pwl waveform_;
+  bool emit_breakpoints_ = true;
 };
 
 /// Current source whose value is an arbitrary function of time, used by
@@ -106,6 +114,12 @@ class Mosfet final : public Device {
   void load(const LoadContext& ctx) override;
   void commit(std::span<const double> x, double a0, double ci) override;
   void reset_history() override;
+  /// The channel evaluation reads exactly the four terminal voltages and
+  /// its stamps satisfy the purity/single-add contract (see Device), so
+  /// the MOSFET is elidable in the activity-partitioned engine.
+  std::span<const int> nonlinear_inputs() const override {
+    return {terminals_.data(), terminals_.size()};
+  }
 
   /// Stamp the channel (residual + 8 Jacobian entries) for an operating
   /// point that was already evaluated — the batched transient engine
@@ -135,6 +149,7 @@ class Mosfet final : public Device {
                             double a0, double ci);
 
   int d_, g_, s_, b_;
+  std::array<int, 4> terminals_{};  ///< {d, g, s, b} for nonlinear_inputs
   physics::MosDevice model_;
   std::vector<ChargeElement> charges_;
 };

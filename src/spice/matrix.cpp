@@ -184,6 +184,14 @@ double singularity_threshold(double scale, std::size_t n) {
                   std::numeric_limits<double>::min());
 }
 
+/// When a grouped (Schur-fold) analysis fails — a group interior that is
+/// not invertible on its own — fall back to the classic whole-matrix
+/// discovery, but only below this size: the classic path allocates an
+/// O(n²) dense working copy, which at array scale (tens of thousands of
+/// unknowns) is gigabytes. Above the limit the failure is reported to the
+/// caller instead.
+constexpr std::size_t kGroupedFallbackLimit = 8192;
+
 }  // namespace
 
 double SparseLu::resolve_scale(const SparseMatrix& a, double scale_hint) {
@@ -195,12 +203,19 @@ bool SparseLu::pattern_matches(const SparseMatrix& a) const {
          a.cols() == a_cols_;
 }
 
+void SparseLu::set_ordering_groups(std::vector<std::vector<int>> groups) {
+  if (groups == groups_) return;  // Monte-Carlo re-attach: keep the analysis
+  groups_ = std::move(groups);
+  invalidate();
+}
+
 bool SparseLu::factor(const SparseMatrix& a, double scale_hint,
-                      bool* was_analysis) {
+                      bool* was_analysis, std::size_t first_changed_row) {
   if (was_analysis) *was_analysis = false;
   const std::size_t n = a.size();
   if (n == 0) {
     analyzed_ = true;
+    numeric_valid_ = true;
     n_ = 0;
     a_row_ptr_.assign(1, 0);
     a_cols_.clear();
@@ -213,8 +228,15 @@ bool SparseLu::factor(const SparseMatrix& a, double scale_hint,
   if (scale == 0.0) return false;  // zero matrix
   const double threshold = singularity_threshold(scale, n);
   if (pattern_matches(a)) {
-    if (refactor(a, threshold)) return true;
+    // A partial refactorization is only meaningful against the intact
+    // numeric state of the previous successful factor.
+    const std::size_t floor =
+        numeric_valid_ ? std::min(first_changed_row, n) : 0;
+    if (refactor(a, threshold, floor)) return true;
     // Static pivots degraded numerically: re-analyse with fresh pivoting.
+    // (A partial sweep fails iff the full sweep fails — the retained rows
+    // are bit-identical by the caller's contract — so go straight to the
+    // analysis.)
   }
   if (was_analysis) *was_analysis = true;
   analyzed_ = analyze(a, threshold);
@@ -222,50 +244,56 @@ bool SparseLu::factor(const SparseMatrix& a, double scale_hint,
 }
 
 bool SparseLu::analyze(const SparseMatrix& a, double threshold) {
-  const std::size_t n = a.size();
-  n_ = n;
-  // Dense working copy with structure tracked separately from values:
-  // a numerically cancelled entry stays in the pattern, so the recorded
-  // fill is a superset of every future refactorization's fill.
-  dense_.assign(n * n, 0.0);
-  struct_.assign(n * n, 0);
-  row_active_.assign(n, 1);
-  col_active_.assign(n, 1);
-  row_cnt_.assign(n, 0);
-  col_cnt_.assign(n, 0);
-  const auto& arp = a.row_ptr();
-  const auto& acols = a.cols();
-  const auto& avals = a.values();
+  numeric_valid_ = false;
+  n_ = a.size();
+  bool ok;
+  if (!groups_.empty()) {
+    ok = analyze_grouped(a, threshold);
+    if (!ok && n_ <= kGroupedFallbackLimit) ok = analyze_classic(a, threshold);
+  } else {
+    ok = analyze_classic(a, threshold);
+  }
+  if (!ok) return false;
+  build_scatter_map(a);
+  numeric_valid_ = true;
+  return true;
+}
+
+bool SparseLu::markowitz_eliminate(std::vector<double>& dense,
+                                   std::vector<unsigned char>& strct,
+                                   std::size_t n, double threshold,
+                                   std::vector<std::size_t>& row_perm,
+                                   std::vector<std::size_t>& row_perm_inv,
+                                   std::vector<std::size_t>& col_perm,
+                                   std::vector<std::size_t>& col_perm_inv) {
+  std::vector<unsigned char> row_active(n, 1);
+  std::vector<unsigned char> col_active(n, 1);
+  std::vector<int> row_cnt(n, 0);
+  std::vector<int> col_cnt(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    for (int idx = arp[i]; idx < arp[i + 1]; ++idx) {
-      const auto j = static_cast<std::size_t>(acols[static_cast<std::size_t>(idx)]);
-      dense_[i * n + j] = avals[static_cast<std::size_t>(idx)];
-      if (!struct_[i * n + j]) {
-        struct_[i * n + j] = 1;
-        ++row_cnt_[i];
-        ++col_cnt_[j];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (strct[i * n + j]) {
+        ++row_cnt[i];
+        ++col_cnt[j];
       }
     }
   }
-
-  row_perm_.assign(n, 0);
-  row_perm_inv_.assign(n, 0);
-  col_perm_.assign(n, 0);
-  col_perm_inv_.assign(n, 0);
-  // col_max doubles as scratch: candidates_ is reserved for the harvest.
-  std::vector<double>& col_max = pb_;
-  col_max.assign(n, 0.0);
+  row_perm.assign(n, 0);
+  row_perm_inv.assign(n, 0);
+  col_perm.assign(n, 0);
+  col_perm_inv.assign(n, 0);
+  std::vector<double> col_max(n, 0.0);
   for (std::size_t step = 0; step < n; ++step) {
     // Threshold Markowitz: among active entries within kPivotRelTol of
     // their column's largest magnitude, pick the smallest Markowitz cost
     // (r-1)(c-1); ties go to the larger magnitude, then the lower index —
     // a deterministic pivot order.
     for (std::size_t c = 0; c < n; ++c) {
-      if (!col_active_[c]) continue;
+      if (!col_active[c]) continue;
       double m = 0.0;
       for (std::size_t i = 0; i < n; ++i) {
-        if (row_active_[i] && struct_[i * n + c]) {
-          m = std::max(m, std::abs(dense_[i * n + c]));
+        if (row_active[i] && strct[i * n + c]) {
+          m = std::max(m, std::abs(dense[i * n + c]));
         }
       }
       col_max[c] = m;
@@ -278,10 +306,10 @@ bool SparseLu::analyze(const SparseMatrix& a, double threshold) {
     std::size_t fr = n, fc = n;
     double fallback_mag = -1.0;
     for (std::size_t i = 0; i < n; ++i) {
-      if (!row_active_[i]) continue;
+      if (!row_active[i]) continue;
       for (std::size_t j = 0; j < n; ++j) {
-        if (!col_active_[j] || !struct_[i * n + j]) continue;
-        const double mag = std::abs(dense_[i * n + j]);
+        if (!col_active[j] || !strct[i * n + j]) continue;
+        const double mag = std::abs(dense[i * n + j]);
         if (mag < threshold) continue;
         if (mag > fallback_mag) {
           fallback_mag = mag;
@@ -290,8 +318,8 @@ bool SparseLu::analyze(const SparseMatrix& a, double threshold) {
         }
         if (mag < kPivotRelTol * col_max[j]) continue;
         const std::uint64_t cost =
-            static_cast<std::uint64_t>(row_cnt_[i] - 1) *
-            static_cast<std::uint64_t>(col_cnt_[j] - 1);
+            static_cast<std::uint64_t>(row_cnt[i] - 1) *
+            static_cast<std::uint64_t>(col_cnt[j] - 1);
         if (pr == n || cost < best_cost ||
             (cost == best_cost && mag > best_mag)) {
           best_cost = cost;
@@ -307,33 +335,57 @@ bool SparseLu::analyze(const SparseMatrix& a, double threshold) {
     }
     if (pr == n) return false;  // no usable pivot: singular
 
-    row_perm_[step] = pr;
-    row_perm_inv_[pr] = step;
-    col_perm_[step] = pc;
-    col_perm_inv_[pc] = step;
-    row_active_[pr] = 0;
-    col_active_[pc] = 0;
+    row_perm[step] = pr;
+    row_perm_inv[pr] = step;
+    col_perm[step] = pc;
+    col_perm_inv[pc] = step;
+    row_active[pr] = 0;
+    col_active[pc] = 0;
     for (std::size_t j = 0; j < n; ++j) {
-      if (col_active_[j] && struct_[pr * n + j]) --col_cnt_[j];
+      if (col_active[j] && strct[pr * n + j]) --col_cnt[j];
     }
     for (std::size_t i = 0; i < n; ++i) {
-      if (row_active_[i] && struct_[i * n + pc]) --row_cnt_[i];
+      if (row_active[i] && strct[i * n + pc]) --row_cnt[i];
     }
-    const double inv = 1.0 / dense_[pr * n + pc];
+    const double inv = 1.0 / dense[pr * n + pc];
     for (std::size_t i = 0; i < n; ++i) {
-      if (!row_active_[i] || !struct_[i * n + pc]) continue;
-      const double l = dense_[i * n + pc] * inv;
-      dense_[i * n + pc] = l;  // multiplier: the L entry of row i, step col
+      if (!row_active[i] || !strct[i * n + pc]) continue;
+      const double l = dense[i * n + pc] * inv;
+      dense[i * n + pc] = l;  // multiplier: the L entry of row i, step col
       for (std::size_t j = 0; j < n; ++j) {
-        if (!col_active_[j] || !struct_[pr * n + j]) continue;
-        if (!struct_[i * n + j]) {
-          struct_[i * n + j] = 1;  // fill-in
-          ++row_cnt_[i];
-          ++col_cnt_[j];
+        if (!col_active[j] || !strct[pr * n + j]) continue;
+        if (!strct[i * n + j]) {
+          strct[i * n + j] = 1;  // fill-in
+          ++row_cnt[i];
+          ++col_cnt[j];
         }
-        dense_[i * n + j] -= l * dense_[pr * n + j];
+        dense[i * n + j] -= l * dense[pr * n + j];
       }
     }
+  }
+  return true;
+}
+
+bool SparseLu::analyze_classic(const SparseMatrix& a, double threshold) {
+  const std::size_t n = a.size();
+  // Dense working copy with structure tracked separately from values:
+  // a numerically cancelled entry stays in the pattern, so the recorded
+  // fill is a superset of every future refactorization's fill.
+  dense_.assign(n * n, 0.0);
+  struct_.assign(n * n, 0);
+  const auto& arp = a.row_ptr();
+  const auto& acols = a.cols();
+  const auto& avals = a.values();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int idx = arp[i]; idx < arp[i + 1]; ++idx) {
+      const auto j = static_cast<std::size_t>(acols[static_cast<std::size_t>(idx)]);
+      dense_[i * n + j] = avals[static_cast<std::size_t>(idx)];
+      struct_[i * n + j] = 1;
+    }
+  }
+  if (!markowitz_eliminate(dense_, struct_, n, threshold, row_perm_,
+                           row_perm_inv_, col_perm_, col_perm_inv_)) {
+    return false;
   }
 
   // Harvest the permuted L+U pattern and this factorization's values.
@@ -369,8 +421,14 @@ bool SparseLu::analyze(const SparseMatrix& a, double threshold) {
     if (std::abs(pivot) < threshold) return false;
     recip_diag_[k] = 1.0 / pivot;
   }
+  return true;
+}
 
+void SparseLu::build_scatter_map(const SparseMatrix& a) {
   // Scatter map for refactorizations, and the pattern identity key.
+  const std::size_t n = n_;
+  const auto& arp = a.row_ptr();
+  const auto& acols = a.cols();
   a_row_ptr_.assign(arp.begin(), arp.end());
   a_cols_.assign(acols.begin(), acols.end());
   a_to_lu_.assign(acols.size(), 0);
@@ -388,15 +446,418 @@ bool SparseLu::analyze(const SparseMatrix& a, double threshold) {
   }
   pos_.assign(n, -1);
   pb_.assign(n, 0.0);
+}
+
+bool SparseLu::analyze_grouped(const SparseMatrix& a, double threshold) {
+  const std::size_t n = a.size();
+  const auto& arp = a.row_ptr();
+  const auto& acols = a.cols();
+  const auto& avals = a.values();
+
+  // Unknown -> group map. Direct coupling between unknowns of two
+  // *different* groups violates the fold's block structure; both ends of
+  // such an edge are demoted to the boundary (one pass suffices: every
+  // cross-group edge has both endpoints demoted, so the surviving
+  // interiors couple only within their group or to the boundary).
+  std::vector<int> group_of(n, -1);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (const int u : groups_[g]) {
+      if (u < 0 || static_cast<std::size_t>(u) >= n) {
+        throw std::out_of_range(
+            "SparseLu: ordering-group unknown outside the system");
+      }
+      if (group_of[static_cast<std::size_t>(u)] != -1) {
+        throw std::invalid_argument("SparseLu: overlapping ordering groups");
+      }
+      group_of[static_cast<std::size_t>(u)] = static_cast<int>(g);
+    }
+  }
+  {
+    std::vector<unsigned char> demote(n, 0);
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (group_of[i] < 0) continue;
+      for (int idx = arp[i]; idx < arp[i + 1]; ++idx) {
+        const auto j =
+            static_cast<std::size_t>(acols[static_cast<std::size_t>(idx)]);
+        if (group_of[j] >= 0 && group_of[j] != group_of[i]) {
+          demote[i] = 1;
+          demote[j] = 1;
+          any = true;
+        }
+      }
+    }
+    if (any) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (demote[i]) group_of[i] = -1;
+      }
+    }
+  }
+
+  // Interior member lists (post-demotion) and boundary numbering.
+  struct LocalFactor {
+    std::vector<int> ids;   ///< interior unknowns, local indices 0..ni-1
+    std::vector<int> bids;  ///< coupled boundary unknowns, local ni..m-1
+    std::vector<double> dense;           ///< m×m local working matrix
+    std::vector<unsigned char> strct;    ///< m×m structure incl. fill
+    std::vector<std::size_t> lrow_perm;  ///< step -> local interior row
+    std::vector<std::size_t> lcol_perm;  ///< step -> local interior col
+    std::vector<std::size_t> lrow_pos;   ///< local interior row -> step
+    std::vector<std::size_t> lcol_pos;   ///< local interior col -> step
+  };
+  std::vector<LocalFactor> locals(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (const int u : groups_[g]) {
+      if (group_of[static_cast<std::size_t>(u)] == static_cast<int>(g)) {
+        locals[g].ids.push_back(u);
+      }
+    }
+  }
+  std::vector<int> bnd;
+  std::vector<int> b_index(n, -1);
+  for (std::size_t u = 0; u < n; ++u) {
+    if (group_of[u] < 0) {
+      b_index[u] = static_cast<int>(bnd.size());
+      bnd.push_back(static_cast<int>(u));
+    }
+  }
+  const std::size_t nb = bnd.size();
+
+  // One pass over A collects each group's coupled boundary set — the
+  // pattern may be structurally asymmetric (branch rows), so both
+  // (interior row, boundary col) and (boundary row, interior col) count.
+  for (std::size_t r = 0; r < n; ++r) {
+    const int gr = group_of[r];
+    for (int idx = arp[r]; idx < arp[r + 1]; ++idx) {
+      const auto c =
+          static_cast<std::size_t>(acols[static_cast<std::size_t>(idx)]);
+      const int gc = group_of[c];
+      if (gr == gc) continue;
+      if (gr >= 0) locals[static_cast<std::size_t>(gr)].bids.push_back(
+          static_cast<int>(c));
+      if (gc >= 0) locals[static_cast<std::size_t>(gc)].bids.push_back(
+          static_cast<int>(r));
+    }
+  }
+  for (auto& lf : locals) {
+    std::sort(lf.bids.begin(), lf.bids.end());
+    lf.bids.erase(std::unique(lf.bids.begin(), lf.bids.end()), lf.bids.end());
+  }
+
+  // Per-group local elimination: threshold-Markowitz restricted to
+  // interior×interior pivots, with the group's boundary rows and columns
+  // riding along as permanently-active spectators — their updates are the
+  // Schur complement, their fill the Schur pattern.
+  std::vector<int> loc_of(n, -1);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    LocalFactor& lf = locals[g];
+    const std::size_t ni = lf.ids.size();
+    if (ni == 0) continue;
+    const std::size_t m = ni + lf.bids.size();
+    for (std::size_t k = 0; k < ni; ++k) {
+      loc_of[static_cast<std::size_t>(lf.ids[k])] = static_cast<int>(k);
+    }
+    for (std::size_t k = 0; k < lf.bids.size(); ++k) {
+      loc_of[static_cast<std::size_t>(lf.bids[k])] =
+          static_cast<int>(ni + k);
+    }
+    lf.dense.assign(m * m, 0.0);
+    lf.strct.assign(m * m, 0);
+    std::vector<int> lrow_cnt(m, 0), lcol_cnt(m, 0);
+    for (std::size_t lr = 0; lr < m; ++lr) {
+      const int r = lr < ni ? lf.ids[lr] : lf.bids[lr - ni];
+      for (int idx = arp[r]; idx < arp[r + 1]; ++idx) {
+        const int lc = loc_of[static_cast<std::size_t>(
+            acols[static_cast<std::size_t>(idx)])];
+        if (lc < 0) continue;
+        // Boundary×boundary base entries belong to the global boundary
+        // block, not the local factor — the local b×b positions hold the
+        // pure Schur increment.
+        if (lr >= ni && static_cast<std::size_t>(lc) >= ni) continue;
+        lf.dense[lr * m + static_cast<std::size_t>(lc)] =
+            avals[static_cast<std::size_t>(idx)];
+        lf.strct[lr * m + static_cast<std::size_t>(lc)] = 1;
+        ++lrow_cnt[lr];
+        ++lcol_cnt[static_cast<std::size_t>(lc)];
+      }
+    }
+    for (std::size_t k = 0; k < ni; ++k) {
+      loc_of[static_cast<std::size_t>(lf.ids[k])] = -1;
+    }
+    for (std::size_t k = 0; k < lf.bids.size(); ++k) {
+      loc_of[static_cast<std::size_t>(lf.bids[k])] = -1;
+    }
+
+    lf.lrow_perm.assign(ni, 0);
+    lf.lcol_perm.assign(ni, 0);
+    lf.lrow_pos.assign(ni, 0);
+    lf.lcol_pos.assign(ni, 0);
+    std::vector<unsigned char> lrow_act(m, 1), lcol_act(m, 1);
+    for (std::size_t step = 0; step < ni; ++step) {
+      std::size_t pr = m, pc = m;
+      std::uint64_t best_cost = 0;
+      double best_mag = -1.0;
+      std::size_t fr = m, fc = m;
+      double fallback_mag = -1.0;
+      for (std::size_t j = 0; j < ni; ++j) {
+        if (!lcol_act[j]) continue;
+        // Stability is judged against the column's largest entry over
+        // *all* active local rows, boundary rows included — the same
+        // entries the classic whole-matrix pass would have seen.
+        double cmax = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          if (lrow_act[i] && lf.strct[i * m + j]) {
+            cmax = std::max(cmax, std::abs(lf.dense[i * m + j]));
+          }
+        }
+        for (std::size_t i = 0; i < ni; ++i) {
+          if (!lrow_act[i] || !lf.strct[i * m + j]) continue;
+          const double mag = std::abs(lf.dense[i * m + j]);
+          if (mag < threshold) continue;
+          if (mag > fallback_mag) {
+            fallback_mag = mag;
+            fr = i;
+            fc = j;
+          }
+          if (mag < kPivotRelTol * cmax) continue;
+          const std::uint64_t cost =
+              static_cast<std::uint64_t>(lrow_cnt[i] - 1) *
+              static_cast<std::uint64_t>(lcol_cnt[j] - 1);
+          if (pr == m || cost < best_cost ||
+              (cost == best_cost && mag > best_mag)) {
+            best_cost = cost;
+            best_mag = mag;
+            pr = i;
+            pc = j;
+          }
+        }
+      }
+      if (pr == m) {
+        pr = fr;
+        pc = fc;
+      }
+      // A group interior that is not invertible against its own unknowns
+      // cannot be folded; the caller falls back to the classic analysis.
+      if (pr == m) return false;
+
+      lf.lrow_perm[step] = pr;
+      lf.lrow_pos[pr] = step;
+      lf.lcol_perm[step] = pc;
+      lf.lcol_pos[pc] = step;
+      lrow_act[pr] = 0;
+      lcol_act[pc] = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (lcol_act[j] && lf.strct[pr * m + j]) --lcol_cnt[j];
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        if (lrow_act[i] && lf.strct[i * m + pc]) --lrow_cnt[i];
+      }
+      const double inv = 1.0 / lf.dense[pr * m + pc];
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!lrow_act[i] || !lf.strct[i * m + pc]) continue;
+        const double l = lf.dense[i * m + pc] * inv;
+        lf.dense[i * m + pc] = l;
+        for (std::size_t j = 0; j < m; ++j) {
+          if (!lcol_act[j] || !lf.strct[pr * m + j]) continue;
+          if (!lf.strct[i * m + j]) {
+            lf.strct[i * m + j] = 1;
+            ++lrow_cnt[i];
+            ++lcol_cnt[j];
+          }
+          lf.dense[i * m + j] -= l * lf.dense[pr * m + j];
+        }
+      }
+    }
+  }
+
+  // Boundary block: A's boundary×boundary entries plus every group's
+  // Schur increment, eliminated with the shared Markowitz core.
+  dense_.assign(nb * nb, 0.0);
+  struct_.assign(nb * nb, 0);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    const int r = bnd[bi];
+    for (int idx = arp[r]; idx < arp[r + 1]; ++idx) {
+      const auto c =
+          static_cast<std::size_t>(acols[static_cast<std::size_t>(idx)]);
+      if (group_of[c] < 0) {
+        const auto bj = static_cast<std::size_t>(b_index[c]);
+        dense_[bi * nb + bj] = avals[static_cast<std::size_t>(idx)];
+        struct_[bi * nb + bj] = 1;
+      }
+    }
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const LocalFactor& lf = locals[g];
+    const std::size_t ni = lf.ids.size();
+    if (ni == 0) continue;
+    const std::size_t m = ni + lf.bids.size();
+    for (std::size_t lbr = ni; lbr < m; ++lbr) {
+      const auto bi = static_cast<std::size_t>(
+          b_index[static_cast<std::size_t>(lf.bids[lbr - ni])]);
+      for (std::size_t lbc = ni; lbc < m; ++lbc) {
+        if (!lf.strct[lbr * m + lbc]) continue;
+        const auto bj = static_cast<std::size_t>(
+            b_index[static_cast<std::size_t>(lf.bids[lbc - ni])]);
+        dense_[bi * nb + bj] += lf.dense[lbr * m + lbc];
+        struct_[bi * nb + bj] = 1;
+      }
+    }
+  }
+  std::vector<std::size_t> brow_perm, brow_pos, bcol_perm, bcol_pos;
+  if (nb > 0 &&
+      !markowitz_eliminate(dense_, struct_, nb, threshold, brow_perm,
+                           brow_pos, bcol_perm, bcol_pos)) {
+    return false;
+  }
+
+  // Harvest one global permutation — group interiors first, in group
+  // order, then the boundary — and the permuted L+U pattern, so that
+  // refactor()/solve() run unchanged on the grouped ordering.
+  row_perm_.assign(n, 0);
+  row_perm_inv_.assign(n, 0);
+  col_perm_.assign(n, 0);
+  col_perm_inv_.assign(n, 0);
+  std::vector<std::size_t> goff(groups_.size(), 0);
+  std::size_t off = 0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const LocalFactor& lf = locals[g];
+    goff[g] = off;
+    for (std::size_t s = 0; s < lf.ids.size(); ++s) {
+      row_perm_[off + s] =
+          static_cast<std::size_t>(lf.ids[lf.lrow_perm[s]]);
+      col_perm_[off + s] =
+          static_cast<std::size_t>(lf.ids[lf.lcol_perm[s]]);
+    }
+    off += lf.ids.size();
+  }
+  const std::size_t n_interior = off;
+  for (std::size_t t = 0; t < nb; ++t) {
+    row_perm_[n_interior + t] =
+        static_cast<std::size_t>(bnd[brow_perm[t]]);
+    col_perm_[n_interior + t] =
+        static_cast<std::size_t>(bnd[bcol_perm[t]]);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    row_perm_inv_[row_perm_[k]] = k;
+    col_perm_inv_[col_perm_[k]] = k;
+  }
+
+  // Boundary unknown -> (group, local row) back references for the
+  // boundary rows' interior-column (L) entries.
+  std::vector<std::vector<std::pair<int, int>>> bnd_groups(nb);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const LocalFactor& lf = locals[g];
+    if (lf.ids.empty()) continue;
+    for (std::size_t lb = 0; lb < lf.bids.size(); ++lb) {
+      bnd_groups[static_cast<std::size_t>(
+                     b_index[static_cast<std::size_t>(lf.bids[lb])])]
+          .emplace_back(static_cast<int>(g),
+                        static_cast<int>(lf.ids.size() + lb));
+    }
+  }
+
+  lu_row_ptr_.assign(n + 1, 0);
+  lu_diag_.assign(n, 0);
+  recip_diag_.assign(n, 0.0);
+  lu_cols_.clear();
+  lu_vals_.clear();
+  std::vector<std::pair<std::size_t, double>> row_entries;
+  auto emit_row = [&](std::size_t k) -> bool {
+    std::sort(row_entries.begin(), row_entries.end());
+    bool have_diag = false;
+    for (const auto& [kc, v] : row_entries) {
+      if (kc == k) {
+        lu_diag_[k] = static_cast<int>(lu_cols_.size());
+        have_diag = true;
+      }
+      lu_cols_.push_back(static_cast<int>(kc));
+      lu_vals_.push_back(v);
+    }
+    lu_row_ptr_[k + 1] = static_cast<int>(lu_cols_.size());
+    return have_diag;
+  };
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const LocalFactor& lf = locals[g];
+    const std::size_t ni = lf.ids.size();
+    const std::size_t m = ni + lf.bids.size();
+    for (std::size_t s = 0; s < ni; ++s) {
+      const std::size_t k = goff[g] + s;
+      const std::size_t lr = lf.lrow_perm[s];
+      row_entries.clear();
+      for (std::size_t lc = 0; lc < m; ++lc) {
+        if (!lf.strct[lr * m + lc]) continue;
+        const std::size_t kc =
+            lc < ni ? goff[g] + lf.lcol_pos[lc]
+                    : n_interior +
+                          bcol_pos[static_cast<std::size_t>(b_index[
+                              static_cast<std::size_t>(lf.bids[lc - ni])])];
+        row_entries.emplace_back(kc, lf.dense[lr * m + lc]);
+      }
+      if (!emit_row(k)) return false;
+      const double pivot = lf.dense[lr * m + lf.lcol_perm[s]];
+      if (std::abs(pivot) < threshold) return false;
+      recip_diag_[k] = 1.0 / pivot;
+    }
+  }
+  for (std::size_t t = 0; t < nb; ++t) {
+    const std::size_t k = n_interior + t;
+    const std::size_t br = brow_perm[t];
+    row_entries.clear();
+    for (const auto& [g, lr] : bnd_groups[br]) {
+      const LocalFactor& lf = locals[static_cast<std::size_t>(g)];
+      const std::size_t ni = lf.ids.size();
+      const std::size_t m = ni + lf.bids.size();
+      const auto lrs = static_cast<std::size_t>(lr);
+      for (std::size_t lc = 0; lc < ni; ++lc) {
+        if (!lf.strct[lrs * m + lc]) continue;
+        row_entries.emplace_back(
+            goff[static_cast<std::size_t>(g)] + lf.lcol_pos[lc],
+            lf.dense[lrs * m + lc]);
+      }
+    }
+    for (std::size_t bc = 0; bc < nb; ++bc) {
+      if (!struct_[br * nb + bc]) continue;
+      row_entries.emplace_back(n_interior + bcol_pos[bc],
+                               dense_[br * nb + bc]);
+    }
+    if (!emit_row(k)) return false;
+    const double pivot = dense_[br * nb + bcol_perm[t]];
+    if (std::abs(pivot) < threshold) return false;
+    recip_diag_[k] = 1.0 / pivot;
+  }
   return true;
 }
 
-bool SparseLu::refactor(const SparseMatrix& a, double threshold) {
+bool SparseLu::refactor(const SparseMatrix& a, double threshold,
+                        std::size_t first_changed_row) {
   const std::size_t n = n_;
-  std::fill(lu_vals_.begin(), lu_vals_.end(), 0.0);
   const auto& avals = a.values();
-  for (std::size_t e = 0; e < avals.size(); ++e) {
-    lu_vals_[static_cast<std::size_t>(a_to_lu_[e])] += avals[e];
+  // `numeric_valid_` drops for the duration of the sweep: a mid-sweep
+  // pivot failure leaves lu_vals_ partially overwritten, which must not
+  // seed a later partial refactorization.
+  numeric_valid_ = false;
+  if (first_changed_row == 0) {
+    std::fill(lu_vals_.begin(), lu_vals_.end(), 0.0);
+    for (std::size_t e = 0; e < avals.size(); ++e) {
+      lu_vals_[static_cast<std::size_t>(a_to_lu_[e])] += avals[e];
+    }
+  } else {
+    // Partial mode: the caller promises rows below the floor map to
+    // bit-identical A values, so their retained L/U rows (and reciprocal
+    // pivots) are exactly what a full sweep would recompute. Re-scatter
+    // and re-sweep only the tail.
+    std::fill(
+        lu_vals_.begin() + lu_row_ptr_[first_changed_row], lu_vals_.end(),
+        0.0);
+    const auto& arp = a.row_ptr();
+    for (std::size_t k = first_changed_row; k < n; ++k) {
+      const std::size_t r = row_perm_[k];
+      for (int idx = arp[r]; idx < arp[r + 1]; ++idx) {
+        lu_vals_[static_cast<std::size_t>(
+            a_to_lu_[static_cast<std::size_t>(idx)])] +=
+            avals[static_cast<std::size_t>(idx)];
+      }
+    }
   }
   // Up-looking sweep over the static pattern, rows in permuted order. For
   // row k, each L entry (column j < k, ascending) becomes the multiplier
@@ -404,7 +865,7 @@ bool SparseLu::refactor(const SparseMatrix& a, double threshold) {
   // is closed under elimination by construction, so every target position
   // exists (the pos_ guard only skips positions a cancellation-proof
   // superset makes structurally absent — never silently wrong values).
-  for (std::size_t k = 0; k < n; ++k) {
+  for (std::size_t k = first_changed_row; k < n; ++k) {
     const int row_begin = lu_row_ptr_[k];
     const int row_end = lu_row_ptr_[k + 1];
     for (int idx = row_begin; idx < row_end; ++idx) {
@@ -434,11 +895,12 @@ bool SparseLu::refactor(const SparseMatrix& a, double threshold) {
     }
     const double pivot = lu_vals_[static_cast<std::size_t>(diag)];
     if (std::abs(pivot) < threshold) {
-      // Clear the row map before bailing (pos_ must stay all -1).
+      // (pos_ is already all -1: the row map was cleared above.)
       return false;
     }
     recip_diag_[k] = 1.0 / pivot;
   }
+  numeric_valid_ = true;
   return true;
 }
 

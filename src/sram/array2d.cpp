@@ -1,0 +1,412 @@
+#include "sram/array2d.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/rtn_generator.hpp"
+#include "physics/srh_model.hpp"
+#include "physics/trap_profile.hpp"
+#include "spice/devices.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace samurai::sram {
+
+std::string array_cell_prefix(std::size_t row, std::size_t col) {
+  return "r" + std::to_string(row) + "c" + std::to_string(col) + "_";
+}
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Control waveforms for the op sequence (same slot timing discipline as
+/// the column's build_waves, widened to per-row WL and per-column
+/// drivers).
+struct ArrayWaves {
+  core::Pwl pcb;                  ///< shared precharge gate (active low)
+  std::vector<core::Pwl> wl;      ///< one per row
+  std::vector<core::Pwl> wd0;     ///< per column, pulls BL low
+  std::vector<core::Pwl> wd1;     ///< per column, pulls BLB low
+};
+
+void drive_to(core::Pwl& wave, double t, double edge, double value) {
+  const double current = wave.values().empty() ? value : wave.values().back();
+  if (current == value) return;
+  if (t > wave.back_time()) wave.append(t, current);
+  wave.append(t + edge, value);
+}
+
+ArrayWaves build_waves(const Array2dConfig& config) {
+  const auto& timing = config.timing;
+  const double v_dd = config.tech.v_dd;
+  ArrayWaves waves;
+  waves.pcb.append(0.0, 0.0);  // precharging at t = 0
+  waves.wl.assign(config.rows, {});
+  for (auto& wl : waves.wl) wl.append(0.0, 0.0);
+  waves.wd0.assign(config.cols, {});
+  waves.wd1.assign(config.cols, {});
+  for (auto& wd : waves.wd0) wd.append(0.0, 0.0);
+  for (auto& wd : waves.wd1) wd.append(0.0, 0.0);
+
+  for (std::size_t k = 0; k < config.ops.size(); ++k) {
+    const double start = static_cast<double>(k) * timing.period;
+    const double pre_end = start + timing.precharge_frac * timing.period;
+    const double wl_on = start + timing.wl_on_frac * timing.period;
+    const double wl_off = start + timing.wl_off_frac * timing.period;
+    const ArrayOp& op = config.ops[k];
+
+    drive_to(waves.pcb, start, timing.edge, 0.0);
+    drive_to(waves.pcb, pre_end, timing.edge, v_dd);
+
+    if (op.kind == ArrayOp::Kind::kNop) continue;
+    if (op.row >= config.rows) {
+      throw std::invalid_argument("build_array2d: op addresses missing row");
+    }
+    drive_to(waves.wl[op.row], wl_on, timing.edge, v_dd);
+    drive_to(waves.wl[op.row], wl_off, timing.edge, 0.0);
+    if (op.kind == ArrayOp::Kind::kWrite) {
+      if (op.bits.size() != config.cols) {
+        throw std::invalid_argument(
+            "build_array2d: write word width != cols");
+      }
+      for (std::size_t c = 0; c < config.cols; ++c) {
+        core::Pwl& driver = op.bits[c] ? waves.wd1[c] : waves.wd0[c];
+        drive_to(driver, pre_end + timing.edge, timing.edge, v_dd);
+        drive_to(driver, wl_off + 2.0 * timing.edge, timing.edge, 0.0);
+      }
+    }
+  }
+  return waves;
+}
+
+int initial_bit(const Array2dConfig& config, std::size_t row,
+                std::size_t col) {
+  const std::size_t flat = row * config.cols + col;
+  return flat < config.initial_bits.size() ? config.initial_bits[flat] : 0;
+}
+
+}  // namespace
+
+Array2dBuild build_array2d(spice::Circuit& circuit,
+                           const Array2dConfig& config) {
+  if (config.ops.empty() || config.rows == 0 || config.cols == 0) {
+    throw std::invalid_argument("build_array2d: need rows, cols and ops");
+  }
+  Array2dBuild build;
+  build.vdd = "vdd";
+  const int vdd = circuit.node(build.vdd);
+  const double v_dd = config.tech.v_dd;
+  spice::VoltageSource::dc(circuit, "Vdd", vdd, spice::kGround, v_dd);
+  const auto waves = build_waves(config);
+
+  // Wordline rails, one per row.
+  std::vector<int> wl_rail(config.rows);
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    build.wl.push_back("wl" + std::to_string(r));
+    wl_rail[r] = circuit.node(build.wl.back());
+    circuit.add<spice::VoltageSource>(circuit, "Vwl" + std::to_string(r),
+                                      wl_rail[r], spice::kGround,
+                                      waves.wl[r]);
+  }
+
+  // Column rails + periphery.
+  const int pcb = circuit.node("pcb");
+  circuit.add<spice::VoltageSource>(circuit, "Vpcb", pcb, spice::kGround,
+                                    waves.pcb);
+  const physics::MosGeometry pre_geom{
+      config.precharge_width_mult * config.tech.w_min, config.tech.l_min};
+  const physics::MosGeometry driver_geom{
+      config.driver_width_mult * config.tech.w_min, config.tech.l_min};
+  std::vector<int> bl_rail(config.cols), blb_rail(config.cols);
+  for (std::size_t c = 0; c < config.cols; ++c) {
+    const std::string suffix = std::to_string(c);
+    build.bl.push_back("bl" + suffix);
+    build.blb.push_back("blb" + suffix);
+    const int bl = circuit.node(build.bl.back());
+    const int blb = circuit.node(build.blb.back());
+    bl_rail[c] = bl;
+    blb_rail[c] = blb;
+    circuit.add<spice::Capacitor>("Cbl" + suffix, bl, spice::kGround,
+                                  config.bitline_cap);
+    circuit.add<spice::Capacitor>("Cblb" + suffix, blb, spice::kGround,
+                                  config.bitline_cap);
+    circuit.add<spice::Mosfet>(
+        "MPC0_" + suffix, bl, pcb, vdd, vdd,
+        physics::MosDevice(config.tech, physics::MosType::kPmos, pre_geom));
+    circuit.add<spice::Mosfet>(
+        "MPC1_" + suffix, blb, pcb, vdd, vdd,
+        physics::MosDevice(config.tech, physics::MosType::kPmos, pre_geom));
+    circuit.add<spice::Mosfet>(
+        "MEQ_" + suffix, bl, pcb, blb, vdd,
+        physics::MosDevice(config.tech, physics::MosType::kPmos, pre_geom));
+    const int wd0 = circuit.node("wd0_" + suffix);
+    const int wd1 = circuit.node("wd1_" + suffix);
+    circuit.add<spice::VoltageSource>(circuit, "Vwd0_" + suffix, wd0,
+                                      spice::kGround, waves.wd0[c]);
+    circuit.add<spice::VoltageSource>(circuit, "Vwd1_" + suffix, wd1,
+                                      spice::kGround, waves.wd1[c]);
+    circuit.add<spice::Mosfet>(
+        "MWD0_" + suffix, bl, wd0, spice::kGround, spice::kGround,
+        physics::MosDevice(config.tech, physics::MosType::kNmos, driver_geom));
+    circuit.add<spice::Mosfet>(
+        "MWD1_" + suffix, blb, wd1, spice::kGround, spice::kGround,
+        physics::MosDevice(config.tech, physics::MosType::kNmos, driver_geom));
+  }
+
+  // Cells: private stubs tie each cell to its column/row/supply rails
+  // through small contact resistances (the WL stub keeps every cell
+  // unknown private, which is what lets the Schur fold condense a
+  // quiescent cell onto the rails).
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    for (std::size_t c = 0; c < config.cols; ++c) {
+      const std::string prefix = array_cell_prefix(r, c);
+      auto handles =
+          build_6t_cell(circuit, config.tech, config.sizing, prefix);
+      circuit.add<spice::Resistor>(prefix + "Rbl",
+                                   circuit.find_node(handles.bl), bl_rail[c],
+                                   20.0);
+      circuit.add<spice::Resistor>(prefix + "Rblb",
+                                   circuit.find_node(handles.blb),
+                                   blb_rail[c], 20.0);
+      circuit.add<spice::Resistor>(prefix + "Rvdd",
+                                   circuit.find_node(handles.vdd), vdd, 2.0);
+      circuit.add<spice::Resistor>(prefix + "Rwl",
+                                   circuit.find_node(handles.wl), wl_rail[r],
+                                   10.0);
+      build.cells.push_back(std::move(handles));
+    }
+  }
+  return build;
+}
+
+Array2dReport check_array2d(const spice::TransientResult& result,
+                            const Array2dConfig& config,
+                            const Array2dBuild& build) {
+  Array2dReport report;
+  const double v_dd = config.tech.v_dd;
+  report.min_sense_margin = v_dd;
+  report.column_worst_margin.assign(config.cols, v_dd);
+  const auto& timing = config.timing;
+
+  std::vector<int> stored(config.rows * config.cols);
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    for (std::size_t c = 0; c < config.cols; ++c) {
+      stored[r * config.cols + c] = initial_bit(config, r, c);
+    }
+  }
+
+  auto cell_bit_at = [&](std::size_t flat, double t) {
+    const double q = result.voltage_at(build.cells[flat].q, t);
+    return q > 0.5 * v_dd ? 1 : 0;
+  };
+
+  for (std::size_t k = 0; k < config.ops.size(); ++k) {
+    const ArrayOp& op = config.ops[k];
+    const double slot_end = (static_cast<double>(k) + 0.999) * timing.period;
+    if (op.kind == ArrayOp::Kind::kWrite) {
+      for (std::size_t c = 0; c < config.cols; ++c) {
+        const std::size_t flat = op.row * config.cols + c;
+        WriteOutcome outcome;
+        outcome.slot = k;
+        outcome.cell = flat;
+        outcome.bit = op.bits[c];
+        outcome.ok = cell_bit_at(flat, slot_end) == op.bits[c];
+        if (!outcome.ok) report.any_error = true;
+        stored[flat] = outcome.ok ? op.bits[c] : cell_bit_at(flat, slot_end);
+        report.writes.push_back(outcome);
+      }
+    } else if (op.kind == ArrayOp::Kind::kRead) {
+      const double t_sense =
+          (static_cast<double>(k) + timing.sense_frac) * timing.period;
+      for (std::size_t c = 0; c < config.cols; ++c) {
+        const std::size_t flat = op.row * config.cols + c;
+        ReadOutcome outcome;
+        outcome.slot = k;
+        outcome.cell = flat;
+        outcome.expected = stored[flat];
+        const double diff = result.voltage_at(build.bl[c], t_sense) -
+                            result.voltage_at(build.blb[c], t_sense);
+        outcome.sensed = diff > 0.0 ? 1 : 0;
+        outcome.sense_margin = std::abs(diff);
+        outcome.disturbed = cell_bit_at(flat, slot_end) != outcome.expected;
+        if (outcome.sensed != outcome.expected || outcome.disturbed) {
+          report.any_error = true;
+        }
+        if (outcome.disturbed) stored[flat] = cell_bit_at(flat, slot_end);
+        report.min_sense_margin =
+            std::min(report.min_sense_margin, outcome.sense_margin);
+        report.column_worst_margin[c] =
+            std::min(report.column_worst_margin[c], outcome.sense_margin);
+        report.reads.push_back(outcome);
+      }
+    }
+  }
+  return report;
+}
+
+spice::TransientOptions array2d_transient_options(
+    const Array2dConfig& config) {
+  spice::TransientOptions options;
+  options.t_start = 0.0;
+  options.t_stop =
+      static_cast<double>(config.ops.size()) * config.timing.period;
+  options.dt_max = config.timing.period / 150.0;
+  const double v_dd = config.tech.v_dd;
+  options.dc.nodeset["vdd"] = v_dd;
+  for (std::size_t c = 0; c < config.cols; ++c) {
+    options.dc.nodeset["bl" + std::to_string(c)] = v_dd;
+    options.dc.nodeset["blb" + std::to_string(c)] = v_dd;
+  }
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    for (std::size_t c = 0; c < config.cols; ++c) {
+      const std::string prefix = array_cell_prefix(r, c);
+      const int bit = initial_bit(config, r, c);
+      options.dc.nodeset[prefix + "q"] = bit ? v_dd : 0.0;
+      options.dc.nodeset[prefix + "qb"] = bit ? 0.0 : v_dd;
+      options.dc.nodeset[prefix + "vdd"] = v_dd;
+    }
+  }
+  return options;
+}
+
+spice::ActivityPartition array2d_activity(spice::Circuit& circuit,
+                                          const Array2dConfig& config,
+                                          spice::ActivityMode mode,
+                                          double tolerance) {
+  spice::ActivityPartition partition;
+  partition.mode = mode;
+  partition.tolerance = tolerance;
+  if (mode == spice::ActivityMode::kOff) return partition;
+
+  std::vector<bool> addressed(config.rows, false);
+  for (const auto& op : config.ops) {
+    if (op.kind != ArrayOp::Kind::kNop && op.row < config.rows) {
+      addressed[op.row] = true;
+    }
+  }
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    if (addressed[r]) continue;
+    for (std::size_t c = 0; c < config.cols; ++c) {
+      const std::string prefix = array_cell_prefix(r, c);
+      for (int m = 1; m <= 6; ++m) {
+        partition.quiescent_devices.push_back(prefix + "M" +
+                                              std::to_string(m));
+      }
+      if (mode != spice::ActivityMode::kSchur) continue;
+      partition.groups.push_back({circuit.find_node(prefix + "q"),
+                                  circuit.find_node(prefix + "qb"),
+                                  circuit.find_node(prefix + "bl"),
+                                  circuit.find_node(prefix + "blb"),
+                                  circuit.find_node(prefix + "vdd"),
+                                  circuit.find_node(prefix + "wl")});
+    }
+  }
+  return partition;
+}
+
+Array2dRtnResult run_array2d_rtn(const Array2dConfig& config,
+                                 std::uint64_t seed, double rtn_scale,
+                                 const spice::ActivityPartition* activity) {
+  spice::TransientOptions options = array2d_transient_options(config);
+  if (activity != nullptr) options.activity = *activity;
+  // Both passes run on the fixed op-slot grid. With LTE control on, every
+  // trap transition in any of the R*C injected sources forces a global
+  // step refinement, so the injected cost would scale with the total
+  // transition count instead of the array size (a 16x16 array already
+  // takes ~10x the nominal step count). The fixed grid keeps step
+  // placement identical across the two passes — differences in the
+  // outcome are attributable to RTN alone — and samples each trap current
+  // at the slot resolution the sense checks use.
+  options.dt_initial = options.dt_max;
+  options.lte_reltol = 1e9;
+  options.lte_abstol = 1e9;
+
+  // Mirror of spice::run_rtn_transient with per-phase wall timing and the
+  // array's request convention: one RTN stream per cell, on the M5
+  // pull-down (the paper's read-margin-critical device).
+  Array2dRtnResult result;
+  spice::NewtonWorkspace workspace;
+
+  auto build_circuit = [&config](spice::Circuit& circuit) {
+    return build_array2d(circuit, config);
+  };
+
+  double t0 = now_seconds();
+  auto nominal_circuit = std::make_unique<spice::Circuit>();
+  Array2dBuild build = build_circuit(*nominal_circuit);
+  result.rtn.nominal =
+      spice::transient(*nominal_circuit, options, workspace);
+  result.nominal_seconds = now_seconds() - t0;
+
+  t0 = now_seconds();
+  // Per-cell generation is independent (the RNG stream is derived from the
+  // flat index, each iteration writes only its own slot, and the nominal
+  // result is read-only), so the cells fan out across the pool; the
+  // per-trap parallelism inside generate_device_rtn degrades to serial on
+  // pool threads. Bit-identical for any thread count.
+  result.rtn.traces.resize(config.rows * config.cols);
+  util::parallel_for_indexed(
+      config.rows * config.cols,
+      [&](std::size_t flat) {
+        const std::size_t r = flat / config.cols;
+        const std::size_t c = flat % config.cols;
+        auto* mosfet = build.cells[flat].mosfet(5);
+        spice::DeviceRtnTrace trace;
+        trace.device = array_cell_prefix(r, c) + "M5";
+
+        const auto& tech = mosfet->model().tech();
+        const physics::SrhModel srh(tech);
+        util::Rng rng(seed + 1000 * flat + 5);
+        util::Rng profile_rng = rng.split(101);
+        trace.traps = physics::sample_trap_profile(
+            tech, mosfet->model().geometry(), profile_rng);
+
+        core::Pwl v_gs, i_d;
+        spice::extract_device_bias(result.rtn.nominal, *nominal_circuit,
+                                   *mosfet, v_gs, i_d);
+        const physics::MosDevice equivalent(tech, physics::MosType::kNmos,
+                                            mosfet->model().geometry());
+        core::RtnGeneratorOptions gen;
+        gen.t0 = options.t_start;
+        gen.tf = options.t_stop;
+        gen.amplitude_scale = rtn_scale;
+        util::Rng trap_rng = rng.split(977);
+        auto device_rtn = core::generate_device_rtn(
+            srh, equivalent, trace.traps, v_gs, i_d, trap_rng, gen);
+        trace.n_filled = std::move(device_rtn.n_filled);
+        trace.i_rtn = std::move(device_rtn.i_rtn);
+        trace.stats = device_rtn.stats;
+        result.rtn.traces[flat] = std::move(trace);
+      },
+      util::ThreadPool::shared().worker_count() + 1);
+  result.generation_seconds = now_seconds() - t0;
+
+  t0 = now_seconds();
+  auto rtn_circuit = std::make_unique<spice::Circuit>();
+  Array2dBuild rtn_build = build_circuit(*rtn_circuit);
+  for (std::size_t flat = 0; flat < result.rtn.traces.size(); ++flat) {
+    const auto& trace = result.rtn.traces[flat];
+    auto* mosfet = rtn_build.cells[flat].mosfet(5);
+    auto& source = rtn_circuit->add<spice::CurrentSource>(
+        "Irtn_" + trace.device, mosfet->drain(), mosfet->source(),
+        trace.i_rtn.scaled(-1.0));
+    // Grid-sampled injection: R*C streams of trap corners must not each
+    // become breakpoints, or the step count scales with the array's total
+    // transition count (see the fixed-grid note above).
+    source.set_emit_breakpoints(false);
+  }
+  result.rtn.with_rtn = spice::transient(*rtn_circuit, options, workspace);
+  result.injected_seconds = now_seconds() - t0;
+
+  result.nominal_report = check_array2d(result.rtn.nominal, config, build);
+  result.rtn_report = check_array2d(result.rtn.with_rtn, config, rtn_build);
+  return result;
+}
+
+}  // namespace samurai::sram

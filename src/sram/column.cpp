@@ -223,9 +223,50 @@ spice::TransientOptions column_transient_options(const ColumnConfig& config) {
   return options;
 }
 
+spice::ActivityPartition column_activity(spice::Circuit& circuit,
+                                         const ColumnConfig& config,
+                                         spice::ActivityMode mode,
+                                         double tolerance) {
+  spice::ActivityPartition partition;
+  partition.mode = mode;
+  partition.tolerance = tolerance;
+  if (mode == spice::ActivityMode::kOff) return partition;
+
+  std::vector<bool> addressed(config.num_cells, false);
+  for (const auto& op : config.ops) {
+    if (op.kind != ColumnOp::Kind::kNop && op.cell < config.num_cells) {
+      addressed[op.cell] = true;
+    }
+  }
+  for (std::size_t i = 0; i < config.num_cells; ++i) {
+    if (addressed[i]) continue;
+    const std::string prefix = cell_prefix(i);
+    for (int m = 1; m <= 6; ++m) {
+      partition.quiescent_devices.push_back(prefix + "M" + std::to_string(m));
+    }
+    if (mode != spice::ActivityMode::kSchur) continue;
+    auto* vwl = circuit.find<spice::VoltageSource>(prefix + "Vwl");
+    if (vwl == nullptr) {
+      throw std::invalid_argument("column_activity: circuit is not a "
+                                  "build_column circuit (missing " +
+                                  prefix + "Vwl)");
+    }
+    partition.groups.push_back({circuit.find_node(prefix + "q"),
+                                circuit.find_node(prefix + "qb"),
+                                circuit.find_node(prefix + "bl"),
+                                circuit.find_node(prefix + "blb"),
+                                circuit.find_node(prefix + "vdd"),
+                                circuit.find_node(prefix + "wl"),
+                                vwl->branch_index()});
+  }
+  return partition;
+}
+
 ColumnRtnResult run_column_rtn(const ColumnConfig& config, std::uint64_t seed,
-                               double rtn_scale) {
+                               double rtn_scale,
+                               const spice::ActivityPartition* activity) {
   spice::TransientOptions options = column_transient_options(config);
+  if (activity != nullptr) options.activity = *activity;
 
   // One RTN request per cell transistor, each with its own stream.
   std::vector<spice::RtnRequest> requests;

@@ -76,6 +76,9 @@ TEST(CampaignManifest, RoundTripsThroughJson) {
   manifest.v_hi = 1.05;
   manifest.resolution = 0.0125;
   manifest.rtn_seeds = 3;
+  manifest.rows = 64;
+  manifest.cols = 32;
+  manifest.activity = "elide";
 
   const Manifest copy = Manifest::from_json(manifest.to_json());
   EXPECT_EQ(copy.kind, manifest.kind);
@@ -98,6 +101,19 @@ TEST(CampaignManifest, RoundTripsThroughJson) {
   EXPECT_EQ(copy.v_hi, manifest.v_hi);
   EXPECT_EQ(copy.resolution, manifest.resolution);
   EXPECT_EQ(copy.rtn_seeds, manifest.rtn_seeds);
+  EXPECT_EQ(copy.rows, manifest.rows);
+  EXPECT_EQ(copy.cols, manifest.cols);
+  EXPECT_EQ(copy.activity, manifest.activity);
+}
+
+TEST(CampaignManifest, PreArrayManifestsParseWithDefaults) {
+  // Ledgers written before the array footprint existed carry no
+  // rows/cols/activity keys; they must keep parsing as unconstrained.
+  const Manifest manifest = Manifest::from_json(
+      "{\"kind\": \"importance\", \"budget\": 10, \"shard_size\": 5}");
+  EXPECT_EQ(manifest.rows, 0u);
+  EXPECT_EQ(manifest.cols, 0u);
+  EXPECT_EQ(manifest.activity, "schur");
 }
 
 TEST(CampaignManifest, ValidationCatchesBadJobs) {
@@ -117,6 +133,20 @@ TEST(CampaignManifest, ValidationCatchesBadJobs) {
   manifest.kind = CampaignKind::kVmin;
   manifest.v_lo = 1.2;
   manifest.v_hi = 1.0;
+  EXPECT_THROW(manifest.validate(), std::invalid_argument);
+  manifest = Manifest{};
+  manifest.rows = 8;  // cols left unset
+  EXPECT_THROW(manifest.validate(), std::invalid_argument);
+  manifest = Manifest{};
+  manifest.kind = CampaignKind::kArrayYield;
+  manifest.rows = 4;
+  manifest.cols = 4;
+  manifest.budget = 17;  // 17 samples > 16 cells
+  EXPECT_THROW(manifest.validate(), std::invalid_argument);
+  manifest.budget = 16;
+  EXPECT_NO_THROW(manifest.validate());
+  manifest = Manifest{};
+  manifest.activity = "turbo";
   EXPECT_THROW(manifest.validate(), std::invalid_argument);
   EXPECT_THROW(kind_from_string("bogus"), std::invalid_argument);
 }

@@ -369,5 +369,205 @@ TEST(SparseLu, ZeroAndEmptyMatrices) {
   EXPECT_TRUE(sparse_lu_solve(empty, b0));  // 0x0: trivially factored
 }
 
+namespace {
+
+/// Array-like pattern: `groups` chains of `per_group` unknowns, each
+/// chain's last member coupled to one of two shared rail unknowns at the
+/// end — the cell-interior-vs-bitline shape the Schur fold targets.
+/// Returns the group index lists (rails ungrouped).
+std::vector<std::vector<int>> fill_array_pattern(SparseMatrix& m,
+                                                 std::size_t groups,
+                                                 std::size_t per_group,
+                                                 util::Rng& rng) {
+  const std::size_t n = groups * per_group + 2;
+  const int rail0 = static_cast<int>(n - 2);
+  const int rail1 = static_cast<int>(n - 1);
+  std::vector<std::pair<int, int>> coords;
+  std::vector<std::vector<int>> group_ids(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t k = 0; k < per_group; ++k) {
+      const int i = static_cast<int>(g * per_group + k);
+      group_ids[g].push_back(i);
+      coords.emplace_back(i, i);
+      if (k + 1 < per_group) {
+        coords.emplace_back(i, i + 1);
+        coords.emplace_back(i + 1, i);
+      }
+    }
+    const int last = group_ids[g].back();
+    const int rail = g % 2 == 0 ? rail0 : rail1;
+    coords.emplace_back(last, rail);
+    coords.emplace_back(rail, last);
+  }
+  coords.emplace_back(rail0, rail0);
+  coords.emplace_back(rail1, rail1);
+  coords.emplace_back(rail0, rail1);
+  coords.emplace_back(rail1, rail0);
+  m.build_pattern(n, coords);
+  for (const auto& [r, c] : coords) *m.slot(r, c) += rng.uniform(-1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    *m.slot(static_cast<int>(i), static_cast<int>(i)) += 6.0;
+  }
+  return group_ids;
+}
+
+void solve_and_check(SparseLu& lu, const SparseMatrix& a, util::Rng& rng,
+                     double tol) {
+  const std::size_t n = a.size();
+  DenseMatrix ad;
+  a.to_dense(ad);
+  std::vector<double> x_true(n), b(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = rng.uniform(-2.0, 2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b[i] += ad.at(i, j) * x_true[j];
+  }
+  lu.solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], tol);
+}
+
+}  // namespace
+
+TEST(SparseLu, GroupedOrderingMatchesDense) {
+  util::Rng rng(61);
+  SparseMatrix a;
+  const auto groups = fill_array_pattern(a, 24, 5, rng);
+  SparseLu lu;
+  lu.set_ordering_groups(groups);
+  EXPECT_TRUE(lu.has_ordering_groups());
+  bool was_analysis = false;
+  ASSERT_TRUE(lu.factor(a, -1.0, &was_analysis));
+  EXPECT_TRUE(was_analysis);
+  solve_and_check(lu, a, rng, 1e-9);
+  // Same pattern, new values: the grouped symbolic analysis is reused by
+  // the numeric refactor exactly like the classic one.
+  for (double& v : a.values()) v += rng.uniform(-0.1, 0.1);
+  ASSERT_TRUE(lu.factor(a, -1.0, &was_analysis));
+  EXPECT_FALSE(was_analysis);
+  solve_and_check(lu, a, rng, 1e-9);
+  // Clearing the groups invalidates the analysis (different ordering).
+  lu.set_ordering_groups({});
+  EXPECT_FALSE(lu.has_ordering_groups());
+  ASSERT_TRUE(lu.factor(a, -1.0, &was_analysis));
+  EXPECT_TRUE(was_analysis);
+  solve_and_check(lu, a, rng, 1e-9);
+}
+
+TEST(SparseLu, GroupedOrderingRejectsBadGroups) {
+  util::Rng rng(67);
+  SparseMatrix a;
+  fill_array_pattern(a, 4, 3, rng);
+  SparseLu lu;
+  lu.set_ordering_groups({{0, 1}, {1, 2}});  // overlap
+  EXPECT_THROW(lu.factor(a), std::invalid_argument);
+  lu.set_ordering_groups({{0, 99}});  // out of range
+  EXPECT_THROW(lu.factor(a), std::out_of_range);
+}
+
+TEST(SparseLu, PartialRefactorIsBitIdenticalToFull) {
+  util::Rng rng(71);
+  SparseMatrix a;
+  fill_array_pattern(a, 16, 4, rng);
+  const std::size_t n = a.size();
+  SparseLu lu;
+  ASSERT_TRUE(lu.factor(a));
+
+  // Perturb only the original rows whose permuted position is in the
+  // trailing quarter of the factor; every leading row stays bit-unchanged,
+  // so a partial refactor from `floor` must reproduce the full factor
+  // exactly.
+  const std::size_t floor = 3 * n / 4;
+  const auto& row_ptr = a.row_ptr();
+  auto& vals = a.values();
+  for (std::size_t r = 0; r < n; ++r) {
+    if (lu.permuted_row(r) < floor) continue;
+    for (auto k = static_cast<std::size_t>(row_ptr[r]);
+         k < static_cast<std::size_t>(row_ptr[r + 1]); ++k) {
+      vals[k] += rng.uniform(-0.05, 0.05);
+    }
+  }
+
+  bool was_analysis = true;
+  ASSERT_TRUE(lu.factor(a, -1.0, &was_analysis, floor));
+  EXPECT_FALSE(was_analysis);
+  std::vector<double> b_partial(n), b_full(n);
+  for (std::size_t i = 0; i < n; ++i) b_partial[i] = rng.uniform(-1.0, 1.0);
+  b_full = b_partial;
+  lu.solve(b_partial);
+
+  // A second LU that shares the same symbolic analysis (same pattern,
+  // pre-perturbation values) but numerically refactors the perturbed A
+  // from row 0: the partial sweep must reproduce its factors bitwise.
+  ASSERT_TRUE(lu.factor(a, -1.0, &was_analysis, 0));
+  EXPECT_FALSE(was_analysis);
+  lu.solve(b_full);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Bitwise: the retained leading rows plus the re-swept tail must
+    // equal the from-scratch numeric sweep exactly.
+    EXPECT_EQ(b_partial[i], b_full[i]) << "row " << i;
+  }
+
+  // floor == n with unchanged values is a legal no-op returning the
+  // cached factors.
+  ASSERT_TRUE(lu.factor(a, -1.0, &was_analysis, n));
+  EXPECT_FALSE(was_analysis);
+  std::vector<double> b_again(n), b_ref(n);
+  for (std::size_t i = 0; i < n; ++i) b_again[i] = rng.uniform(-1.0, 1.0);
+  b_ref = b_again;
+  lu.solve(b_again);
+  ASSERT_TRUE(lu.factor(a, -1.0, &was_analysis, 0));
+  lu.solve(b_ref);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(b_again[i], b_ref[i]);
+}
+
+TEST(SparseLu, PivotDegradationTriggersReanalysisAtArrayScale) {
+  // Array-scale pattern of 2x2 branch-row blocks: initially diagonally
+  // dominant, so the analysis pivots on the diagonal. Rescaling the
+  // stamps so every diagonal collapses to gmin scale while the
+  // off-diagonals grow makes those pivots fail the threshold check: the
+  // numeric refactor must bail out and factor() must recover with a
+  // fresh symbolic analysis (the signal SolverStats counts as
+  // sp_symbolic_analyses) and still solve accurately.
+  const std::size_t pairs = 256;
+  const std::size_t n = 2 * pairs;
+  SparseMatrix a;
+  std::vector<std::pair<int, int>> coords;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const int i = static_cast<int>(2 * p);
+    coords.emplace_back(i, i);
+    coords.emplace_back(i, i + 1);
+    coords.emplace_back(i + 1, i);
+    coords.emplace_back(i + 1, i + 1);
+  }
+  a.build_pattern(n, coords);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const int i = static_cast<int>(2 * p);
+    *a.slot(i, i) = 4.0;
+    *a.slot(i + 1, i + 1) = 4.0;
+    *a.slot(i, i + 1) = 0.5;
+    *a.slot(i + 1, i) = 0.5;
+  }
+  SparseLu lu;
+  bool was_analysis = false;
+  ASSERT_TRUE(lu.factor(a, a.value_max_abs(), &was_analysis));
+  EXPECT_TRUE(was_analysis);
+
+  // Scaled stamps: diagonal -> 1e-16, off-diagonal -> 1.0. The matrix
+  // stays comfortably nonsingular (each block is near-antidiagonal) but
+  // the old diagonal pivots fall below the scale-relative singularity
+  // threshold (~n·eps·max|A|), so the static-pattern numeric refactor
+  // must bail out and factor() must recover with a fresh analysis.
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const int i = static_cast<int>(2 * p);
+    *a.slot(i, i) = 1e-16;
+    *a.slot(i + 1, i + 1) = 1e-16;
+    *a.slot(i, i + 1) = 1.0;
+    *a.slot(i + 1, i) = 1.0;
+  }
+  ASSERT_TRUE(lu.factor(a, a.value_max_abs(), &was_analysis));
+  EXPECT_TRUE(was_analysis) << "degraded pivots must force a re-analysis";
+  util::Rng rng(73);
+  solve_and_check(lu, a, rng, 1e-9);
+}
+
 }  // namespace
 }  // namespace samurai::spice
